@@ -1,0 +1,28 @@
+"""Benchmarks A1-A3: the design-choice ablations (see DESIGN.md)."""
+
+from repro.experiments import ablations
+
+
+def test_a1_war_precision(benchmark, hw_traces):
+    result = benchmark.pedantic(
+        lambda: ablations.run_war_precision(traces=hw_traces),
+        rounds=1,
+        iterations=1,
+    )
+    assert max(result.column("precise")) > 2.0  # RADISH-class cost
+
+
+def test_a2_atomicity(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_atomicity(scale="test"), rounds=1, iterations=1
+    )
+    shares = [float(row[3].rstrip("%")) for row in result.rows]
+    assert sum(shares) / len(shares) > 30.0
+
+
+def test_a3_clock_width(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablations.run_clock_width(scale="test"), rounds=1, iterations=1
+    )
+    rollovers = result.column("rollovers")
+    assert rollovers == sorted(rollovers, reverse=True)

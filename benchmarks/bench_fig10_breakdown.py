@@ -1,0 +1,12 @@
+"""Benchmark E7 — Figure 10: access breakdowns."""
+
+from repro.experiments import fig10_breakdown
+
+
+def test_fig10_breakdown(benchmark, hw_traces):
+    result = benchmark.pedantic(
+        lambda: fig10_breakdown.run(traces=hw_traces), rounds=1, iterations=1
+    )
+    expanded = dict(zip(result.column("benchmark"), result.column("expanded")))
+    assert expanded["dedup"] > 50.0  # dedup: mostly expanded lines
+    assert max(result.column("expand")) < 0.1  # expansions are rare

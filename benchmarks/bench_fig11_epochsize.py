@@ -1,0 +1,14 @@
+"""Benchmark E8 — Figure 11: 1-byte / 4-byte epoch alternatives."""
+
+from repro.experiments import fig11_epochsize
+
+
+def test_fig11_epochsize(benchmark, hw_traces):
+    result = benchmark.pedantic(
+        lambda: fig11_epochsize.run(traces=hw_traces), rounds=1, iterations=1
+    )
+    clean = dict(zip(result.column("benchmark"), result.column("CLEAN")))
+    wide = dict(zip(result.column("benchmark"), result.column("4B epochs")))
+    deltas = {k: wide[k] / clean[k] for k in clean}
+    worst3 = sorted(deltas, key=deltas.get, reverse=True)[:3]
+    assert set(worst3) == {"ocean_cp", "ocean_ncp", "radix"}

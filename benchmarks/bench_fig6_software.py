@@ -1,0 +1,13 @@
+"""Benchmark E2 — Figure 6: software-only CLEAN slowdown breakdown."""
+
+from repro.experiments import fig6_software
+
+
+def test_fig6_software(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig6_software.run(scale="test"), rounds=1, iterations=1
+    )
+    detection = result.column("detection only")
+    full = result.column("full CLEAN")
+    assert 4.5 < sum(detection) / len(detection) < 7.5  # paper: 5.8x
+    assert 6.0 < sum(full) / len(full) < 10.0           # paper: 7.8x

@@ -1,0 +1,14 @@
+"""Benchmark E3 — Figure 7: shared-access frequency."""
+
+from repro.experiments import fig7_freq
+
+
+def test_fig7_freq(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig7_freq.run(scale="test"), rounds=1, iterations=1
+    )
+    densities = dict(
+        zip(result.column("benchmark"), result.column("shared-access density"))
+    )
+    top2 = sorted(densities, key=densities.get, reverse=True)[:2]
+    assert set(top2) == {"lu_cb", "lu_ncb"}  # the paper's outliers

@@ -1,0 +1,11 @@
+"""Benchmark E4 — Figure 8: vectorization impact."""
+
+from repro.experiments import fig8_vector
+
+
+def test_fig8_vector(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig8_vector.run(scale="test"), rounds=1, iterations=1
+    )
+    for row in result.rows:
+        assert row[2] >= row[1], row[0]  # non-vectorized never faster

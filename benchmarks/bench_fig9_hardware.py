@@ -1,0 +1,13 @@
+"""Benchmark E6 — Figure 9: hardware-supported detection slowdown."""
+
+from repro.experiments import fig9_hardware
+
+
+def test_fig9_hardware(benchmark, hw_traces):
+    result = benchmark.pedantic(
+        lambda: fig9_hardware.run(traces=hw_traces), rounds=1, iterations=1
+    )
+    slowdowns = dict(zip(result.column("benchmark"), result.column("slowdown")))
+    mean = sum(slowdowns.values()) / len(slowdowns)
+    assert 1.03 < mean < 1.30                            # paper: 10.4%
+    assert max(slowdowns, key=slowdowns.get) == "dedup"  # paper: 46.7%

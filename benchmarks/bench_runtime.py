@@ -1,0 +1,47 @@
+"""Micro-benchmarks: cooperative-runtime and simulator throughput."""
+
+from repro.clean import run_clean
+from repro.hardware import SimConfig, simulate_trace
+from repro.runtime import RoundRobinPolicy, TraceRecorder
+from repro.workloads import build_program, get_benchmark
+
+
+def test_scheduler_throughput(benchmark):
+    """Bare runtime: no monitors attached."""
+    spec = get_benchmark("fft")
+
+    def run():
+        return build_program(spec, scale="test").run(
+            policy=RoundRobinPolicy(), max_threads=16
+        )
+
+    result = benchmark(run)
+    assert result.race is None
+
+
+def test_clean_monitored_throughput(benchmark):
+    """Runtime + CLEAN detector + Kendo gate (the full software stack)."""
+    spec = get_benchmark("fft")
+
+    def run():
+        return run_clean(
+            build_program(spec, scale="test"),
+            policy=RoundRobinPolicy(),
+            max_threads=16,
+        )
+
+    result = benchmark(run)
+    assert result.race is None
+
+
+def test_hardware_sim_throughput(benchmark):
+    """Trace-driven simulator with the race-check unit enabled."""
+    spec = get_benchmark("fft")
+    recorder = TraceRecorder()
+    build_program(spec, scale="test").run(
+        policy=RoundRobinPolicy(), monitors=[recorder], max_threads=16
+    )
+    trace = recorder.trace
+
+    result = benchmark(lambda: simulate_trace(trace, SimConfig(detection=True)))
+    assert result.cycles > 0

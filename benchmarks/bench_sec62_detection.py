@@ -1,0 +1,13 @@
+"""Benchmark E1 — Section 6.2.2: detection & determinism validation."""
+
+from repro.experiments import sec62_detection
+
+
+def test_sec62_detection(benchmark):
+    result = benchmark.pedantic(
+        lambda: sec62_detection.run(scale="test", runs=3),
+        rounds=1,
+        iterations=1,
+    )
+    assert any("17/17" in line for line in result.summary)
+    assert any("deterministic: True" in line for line in result.summary)

@@ -1,0 +1,10 @@
+"""Benchmark E5 — Table 1: clock-rollover impact."""
+
+from repro.experiments import table1_rollover
+
+
+def test_table1_rollover(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1_rollover.run(scale="simlarge"), rounds=1, iterations=1
+    )
+    assert set(result.column("benchmark")) == set(table1_rollover.PAPER_ROSTER)

@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+(asserting its qualitative shape) under ``pytest-benchmark`` timing, so
+``pytest benchmarks/ --benchmark-only`` both re-derives every result and
+reports how long each harness takes.
+"""
+
+import pytest
+
+from repro.experiments.traces import record_all_traces
+
+
+@pytest.fixture(scope="session")
+def hw_traces():
+    """Traces for the hardware experiments, recorded once per session."""
+    return record_all_traces(scale="test")

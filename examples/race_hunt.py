@@ -1,0 +1,102 @@
+"""Race hunting: CLEAN vs. FastTrack vs. an imprecise TSan-like detector.
+
+Explores many schedules of one buggy program with three detectors
+attached to the *same* execution, and tallies what each one saw:
+
+* the precise FastTrack oracle reports every race (WAW, RAW, *and* WAR);
+* CLEAN stops exactly the WAW/RAW schedules and never reports WAR —
+  by design, not by accident: the undetected WAR schedules still
+  completed with clean SFR semantics;
+* the TSan-like detector (k last accesses per 8-byte granule) reports
+  without stopping and can *miss* races after shadow-cell eviction.
+
+Run:  python examples/race_hunt.py
+"""
+
+from collections import Counter
+
+from repro.baselines import FastTrackDetector, TsanLiteDetector
+from repro.clean import CleanMonitor
+from repro.core import CleanDetector
+from repro.runtime import (
+    Compute,
+    Join,
+    Program,
+    RandomPolicy,
+    Read,
+    Spawn,
+    Write,
+)
+
+N_SCHEDULES = 40
+
+
+def buggy_program(ctx):
+    """A work-queue with a forgotten lock: the flag/data pair races."""
+
+    def producer(ctx, data, flag):
+        yield Compute(5)
+        yield Write(data, 8, 0xFEED)   # fill the payload...
+        yield Write(flag, 1, 1)        # ...and racily publish it
+
+    def consumer(ctx, data, flag):
+        ready = yield Read(flag, 1)    # racy poll
+        yield Compute(3)
+        if ready:
+            return (yield Read(data, 8))
+        return None
+
+    data = ctx.alloc(8)
+    flag = ctx.alloc(1)
+    p = yield Spawn(producer, (data, flag))
+    c = yield Spawn(consumer, (data, flag))
+    yield Join(p)
+    result = yield Join(c)
+    return result
+
+
+def main():
+    clean_outcomes = Counter()
+    oracle_kinds = Counter()
+    tsan_reports = Counter()
+
+    for seed in range(N_SCHEDULES):
+        oracle = FastTrackDetector(max_threads=8, record_only=True)
+        tsan = TsanLiteDetector(max_threads=8, k=4)
+        clean = CleanDetector(max_threads=8)
+        result = Program(buggy_program).run(
+            policy=RandomPolicy(seed),
+            monitors=[
+                CleanMonitor(detector=oracle),
+                CleanMonitor(detector=tsan),
+                CleanMonitor(detector=clean),
+            ],
+        )
+        if result.race is not None:
+            clean_outcomes[f"stopped ({result.race.kind})"] += 1
+        else:
+            clean_outcomes["completed"] += 1
+        for kind in oracle.race_kinds():
+            oracle_kinds[kind] += 1
+        for kind in tsan.race_kinds():
+            tsan_reports[kind] += 1
+
+    print(f"{N_SCHEDULES} schedules of the racy publish/poll program\n")
+    print("CLEAN outcomes:")
+    for outcome, count in clean_outcomes.most_common():
+        print(f"   {count:3d}x {outcome}")
+    print("\nFastTrack oracle saw (schedules containing each kind):")
+    for kind, count in sorted(oracle_kinds.items()):
+        print(f"   {kind}: {count}")
+    print("\nTSan-like detector reported:")
+    for kind, count in sorted(tsan_reports.items()):
+        print(f"   {kind}: {count}")
+    print(
+        "\nReading: CLEAN stops exactly the RAW/WAW schedules; schedules"
+        "\nwhere the races resolved as WAR complete — with SFR isolation"
+        "\nand write-atomicity still guaranteed (Section 3.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

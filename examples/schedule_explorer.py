@@ -1,0 +1,117 @@
+"""Exhaustive schedule exploration and the region-serializability gap.
+
+Two demonstrations on ONE tiny racy program, using the library's
+CHESS-style explorer to enumerate *every* interleaving:
+
+1. The Section-3.4 iff-property, schedule by schedule: CLEAN raises a
+   race exception exactly on the interleavings where a precise detector
+   observes a WAW or RAW race; the WAR-resolving interleavings complete.
+
+2. The Section-7 positioning: among the completed (WAR-only)
+   interleavings there are executions that are *not* region-serializable
+   — yet SFR isolation and write-atomicity hold, which is precisely the
+   gap between region serializability and CLEAN's (cheaper) guarantee.
+
+Run:  python examples/schedule_explorer.py
+"""
+
+from collections import Counter
+
+from repro.baselines import VcRaceDetector
+from repro.clean import CleanMonitor
+from repro.core import CleanDetector
+from repro.runtime import (
+    Compute,
+    IsolationOracle,
+    Join,
+    Program,
+    Read,
+    SfrTracker,
+    Spawn,
+    Write,
+    WriteAtomicityOracle,
+    explore_results,
+)
+from repro.runtime.serializability import RegionSerializabilityOracle
+
+
+def make_program():
+    """Two SFRs that read the other's variable, then write their own."""
+
+    def left(ctx, x, y):
+        seen = yield Read(x, 4)
+        yield Write(y, 4, 100 + seen)
+        return seen
+
+    def right(ctx, x, y):
+        seen = yield Read(y, 4)
+        yield Write(x, 4, 200 + seen)
+        return seen
+
+    def main(ctx):
+        x = ctx.alloc(4)
+        y = ctx.alloc(4)
+        a = yield Spawn(left, (x, y))
+        b = yield Spawn(right, (x, y))
+        ra = yield Join(a)
+        rb = yield Join(b)
+        return (ra, rb)
+
+    return Program(main)
+
+
+def monitors_factory():
+    tracker = SfrTracker()
+    return [
+        tracker,
+        IsolationOracle(tracker),
+        WriteAtomicityOracle(tracker),
+        RegionSerializabilityOracle(tracker),
+        CleanMonitor(detector=VcRaceDetector(max_threads=8, record_only=True)),
+        CleanMonitor(detector=CleanDetector(max_threads=8)),
+    ]
+
+
+def main():
+    outcomes, stats = explore_results(
+        make_program, monitors_factory, max_schedules=100_000, max_threads=8
+    )
+    assert not stats.truncated
+    print(f"explored ALL {stats.schedules} interleavings\n")
+
+    tally = Counter()
+    non_rs_completions = 0
+    for result, monitors in outcomes:
+        _, isolation, atomicity, rs, oracle_mon, _ = monitors
+        oracle_kinds = set(oracle_mon.detector.race_kinds())
+        if result.race is not None:
+            tally[f"stopped by CLEAN ({result.race.kind})"] += 1
+            assert oracle_kinds & {"WAW", "RAW"}, "iff violated!"
+            continue
+        assert not (oracle_kinds & {"WAW", "RAW"}), "iff violated!"
+        assert isolation.violations == [], "SFR isolation violated!"
+        assert atomicity.violations == [], "write-atomicity violated!"
+        if rs.serializable:
+            tally["completed (region-serializable)"] += 1
+        else:
+            tally["completed (NOT region-serializable)"] += 1
+            non_rs_completions += 1
+
+    for outcome, count in tally.most_common():
+        print(f"  {count:3d}x {outcome}")
+
+    print(
+        "\nOn every stopped schedule the precise oracle confirmed a WAW/RAW"
+        "\nrace; on every completed schedule it saw none (iff verified)."
+    )
+    if non_rs_completions:
+        print(
+            f"\n{non_rs_completions} completed interleavings are not"
+            "\nregion-serializable, yet SFR isolation and write-atomicity"
+            "\nheld on all of them: region serializability is strictly"
+            "\nstronger than CLEAN's guarantee (paper, Section 7)."
+        )
+
+
+if __name__ == "__main__":
+    main()

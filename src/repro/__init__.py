@@ -1,0 +1,57 @@
+"""repro - a full reproduction of *CLEAN: A Race Detector with Cleaner
+Semantics* (Segulja & Abdelrahman, ISCA 2015).
+
+The package provides:
+
+* :mod:`repro.core` - CLEAN's precise WAW/RAW epoch-based race detection;
+* :mod:`repro.determinism` - Kendo deterministic synchronization;
+* :mod:`repro.runtime` - the cooperative multithreaded runtime CLEAN
+  instruments (the Pthread-program substrate);
+* :mod:`repro.baselines` - vector-clock, FastTrack and TSan-like
+  reference detectors;
+* :mod:`repro.swclean` - the software-only CLEAN cost model (Figures 6-8);
+* :mod:`repro.hardware` - the trace-driven multicore simulator with
+  CLEAN's hardware race-check unit (Figures 9-11);
+* :mod:`repro.workloads` - SPLASH-2/PARSEC synthetic workload models;
+* :mod:`repro.experiments` - one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import run_clean
+    from repro.runtime import Program, Read, Write, Spawn, Join
+
+    def racer(ctx, addr):
+        yield Write(addr, 4, 7)
+
+    def main(ctx):
+        addr = ctx.alloc(4)
+        child = yield Spawn(racer, (addr,))
+        yield Write(addr, 4, 1)       # races with the child's write
+        yield Join(child)
+
+    result = run_clean(Program(main))
+    print(result.race)                # -> WAW race at ...
+"""
+
+from .clean import CleanMonitor, clean_stack, run_clean
+from .core import (
+    CleanDetector,
+    CleanError,
+    RaceException,
+    RawRaceException,
+    WawRaceException,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_clean",
+    "clean_stack",
+    "CleanMonitor",
+    "CleanDetector",
+    "CleanError",
+    "RaceException",
+    "RawRaceException",
+    "WawRaceException",
+    "__version__",
+]

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+report [--fast]
+    Regenerate every table/figure of the paper (EXPERIMENTS.md content).
+experiment NAME [--scale S]
+    Run one experiment: sec62, fig6, fig7, fig8, table1, fig9, fig10,
+    fig11, ablations.
+check PROGRAM_KIND [--seeds N]
+    Quick demos on built-in programs: ``racy`` / ``war`` / ``torn``.
+bench NAME [--scale S] [--seed K] [--racy]
+    Run one workload model under full CLEAN and print its summary.
+trace NAME OUT.jsonl [--scale S] [--seed K]
+    Record a benchmark's access trace to a file.
+simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
+    Replay a recorded trace on the hardware simulator.
+list
+    List the modelled benchmarks and their characteristics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import report
+
+    if args.fast:
+        sys.argv.append("--fast")
+    report.main()
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        ablations,
+        fig6_software,
+        fig7_freq,
+        fig8_vector,
+        fig9_hardware,
+        fig10_breakdown,
+        fig11_epochsize,
+        sec62_detection,
+        table1_rollover,
+    )
+
+    table = {
+        "sec62": sec62_detection,
+        "fig6": fig6_software,
+        "fig7": fig7_freq,
+        "fig8": fig8_vector,
+        "table1": table1_rollover,
+        "fig9": fig9_hardware,
+        "fig10": fig10_breakdown,
+        "fig11": fig11_epochsize,
+        "ablations": ablations,
+    }
+    module = table.get(args.name)
+    if module is None:
+        print(f"unknown experiment {args.name!r}; one of {sorted(table)}")
+        return 2
+    module.main()
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .clean import run_clean
+    from .runtime import Program, RandomPolicy
+    from .workloads import spilled_switch_program, torn_write_program
+
+    if args.kind == "torn":
+        make = torn_write_program
+    elif args.kind == "racy":
+        make = spilled_switch_program
+    else:
+        print(f"unknown program kind {args.kind!r}; one of racy, torn")
+        return 2
+    stopped = 0
+    for seed in range(args.seeds):
+        result = run_clean(make(), policy=RandomPolicy(seed))
+        if result.race is not None:
+            stopped += 1
+            print(f"seed {seed}: {result.race}")
+        else:
+            print(f"seed {seed}: completed")
+    print(f"\nstopped {stopped}/{args.seeds} schedules")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .swclean import run_software_clean
+    from .workloads import get_benchmark
+
+    spec = get_benchmark(args.name)
+    if args.racy:
+        from .clean import run_clean
+        from .runtime import RandomPolicy
+        from .workloads import build_program
+
+        result = run_clean(
+            build_program(spec, scale=args.scale, racy=True, seed=args.seed),
+            policy=RandomPolicy(args.seed),
+            max_threads=24,
+        )
+        print(f"{spec.name} (racy variant): race = {result.race}")
+        return 0
+    run = run_software_clean(spec, scale=args.scale, seed=args.seed)
+    print(f"benchmark            {run.benchmark} ({spec.suite}, {spec.style})")
+    print(f"scale                {run.scale}")
+    print(f"baseline time        {run.t0:.0f} instructions")
+    print(f"shared accesses      {run.shared_accesses}")
+    print(f"shared density       {run.shared_access_density:.3f} /instr")
+    print(f"det-sync slowdown    {run.slowdown_detsync:.2f}x")
+    print(f"detection slowdown   {run.slowdown_detection:.2f}x")
+    print(f"full CLEAN slowdown  {run.slowdown_full:.2f}x")
+    print(f"rollovers            {run.rollovers}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.traces import record_trace
+    from .workloads import get_benchmark
+
+    trace = record_trace(
+        get_benchmark(args.name), scale=args.scale, seed=args.seed
+    )
+    trace.save(args.out)
+    print(
+        f"wrote {trace.total_events} events "
+        f"({trace.shared_accesses()} shared accesses, "
+        f"{len(trace.thread_ids())} threads) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .hardware import SimConfig, simulate_trace
+    from .runtime.trace import Trace
+
+    trace = Trace.load(args.trace)
+    base = simulate_trace(trace, SimConfig(detection=False))
+    det = simulate_trace(
+        trace,
+        SimConfig(
+            detection=True, metadata_mode=args.mode, check_unit=args.unit
+        ),
+    )
+    print(f"baseline cycles   {base.cycles}")
+    print(f"detection cycles  {det.cycles}  "
+          f"({args.unit} unit, {args.mode} metadata)")
+    print(f"slowdown          {det.cycles / base.cycles:.3f}x")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .workloads import ALL_BENCHMARKS
+
+    if args.measured:
+        from .workloads import characterize
+
+        print(f"{'name':<16s} {'density':<8s} {'sync/thr':<9s} "
+              f"{'write%':<7s} {'wide%':<6s} footprint")
+        for spec in ALL_BENCHMARKS:
+            c = characterize(spec, scale=args.scale)
+            print(
+                f"{spec.name:<16s} {c.shared_density:<8.3f} "
+                f"{c.sync_ops / c.threads:<9.1f} "
+                f"{c.write_fraction * 100:<7.1f} "
+                f"{c.wide_fraction * 100:<6.1f} {c.footprint_bytes}B"
+            )
+        return 0
+    print(f"{'name':<16s} {'suite':<8s} {'style':<15s} "
+          f"{'racy':<5s} {'density':<8s} notes")
+    for spec in ALL_BENCHMARKS:
+        notes = []
+        if spec.byte_granular:
+            notes.append("byte-granular")
+        if spec.blocking_sync:
+            notes.append("blocking-sync")
+        if spec.hw_omitted:
+            notes.append("hw-omitted")
+        print(
+            f"{spec.name:<16s} {spec.suite:<8s} {spec.style:<15s} "
+            f"{'yes' if spec.racy else 'no':<5s} "
+            f"{spec.shared_access_density:<8.3f} {', '.join(notes)}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CLEAN (ISCA 2015) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="regenerate every table/figure")
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("experiment", help="run one experiment")
+    p.add_argument("name")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("check", help="demo CLEAN on a built-in racy program")
+    p.add_argument("kind", choices=["racy", "torn"])
+    p.add_argument("--seeds", type=int, default=8)
+    p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("bench", help="run one workload under CLEAN")
+    p.add_argument("name")
+    p.add_argument("--scale", default="test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--racy", action="store_true")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("trace", help="record a workload's access trace")
+    p.add_argument("name")
+    p.add_argument("out")
+    p.add_argument("--scale", default="test")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("simulate", help="replay a trace on the hw simulator")
+    p.add_argument("trace")
+    p.add_argument("--mode", default="clean",
+                   choices=["clean", "epoch1", "epoch4"])
+    p.add_argument("--unit", default="clean", choices=["clean", "precise"])
+    p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("list", help="list the modelled benchmarks")
+    p.add_argument("--measured", action="store_true",
+                   help="measure characteristics by running each model")
+    p.add_argument("--scale", default="test")
+    p.set_defaults(fn=_cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

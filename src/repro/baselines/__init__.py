@@ -1,0 +1,24 @@
+"""Reference detectors CLEAN is compared against.
+
+* :class:`VcRaceDetector` — classical two-vector-clocks-per-location
+  precise detector (the oracle for property tests);
+* :class:`FastTrackDetector` — FastTrack, the algorithm CLEAN simplifies;
+* :class:`TsanLiteDetector` — an imprecise ThreadSanitizer-like detector
+  (the methodology tool used to produce race-free benchmark variants).
+
+All plug into the runtime through :class:`repro.clean.CleanMonitor`
+(they expose the same detector API).
+"""
+
+from .common import HbEngine
+from .fasttrack import FastTrackDetector
+from .tsanlite import TsanLiteDetector, TsanReport
+from .vcdetector import VcRaceDetector
+
+__all__ = [
+    "HbEngine",
+    "VcRaceDetector",
+    "FastTrackDetector",
+    "TsanLiteDetector",
+    "TsanReport",
+]

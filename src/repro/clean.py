@@ -1,0 +1,219 @@
+"""The CLEAN system: detector + deterministic synchronization, assembled.
+
+This is the library's front door.  :class:`CleanMonitor` adapts the
+runtime's event stream to the :class:`~repro.core.CleanDetector` — the
+software-only CLEAN of Section 4, with the Section-4.3 ordering (write
+checks before the store, read checks right after the load) guaranteed by
+the monitor hook placement.  :func:`clean_stack` builds the full monitor
+stack (race detection + Kendo gate), and :func:`run_clean` runs a program
+under it.
+
+Example
+-------
+    from repro.clean import run_clean
+    from repro.runtime import Program
+
+    result = run_clean(Program(main))
+    if result.race is not None:
+        print("stopped by", result.race)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .core.detector import CleanDetector
+from .core.epoch import DEFAULT_LAYOUT, EpochLayout
+from .core.rollover import RolloverPolicy
+from .determinism.counters import PreciseCounter
+from .determinism.kendo import KendoGate
+from .runtime.ops import Op
+from .runtime.program import Program
+from .runtime.scheduler import (
+    ExecutionMonitor,
+    ExecutionResult,
+    SchedulingPolicy,
+)
+from .runtime.sync import Barrier, Condition, Lock, Semaphore
+
+__all__ = ["CleanMonitor", "clean_stack", "run_clean"]
+
+
+class CleanMonitor(ExecutionMonitor):
+    """Adapter: runtime events -> CLEAN race checks and VC maintenance.
+
+    Private (stack-like) accesses are skipped, mirroring the conservative
+    shared-access estimate of Section 4.1.  A rollover policy, if given,
+    resets all metadata at synchronization commits — under the Kendo gate
+    these commits are globally ordered, so the reset point is the
+    deterministic one Section 4.5 requires.
+    """
+
+    def __init__(
+        self,
+        detector: Optional[CleanDetector] = None,
+        rollover: Optional[RolloverPolicy] = None,
+        max_threads: int = 64,
+        layout: EpochLayout = DEFAULT_LAYOUT,
+        instrument_private_fraction: float = 0.0,
+    ) -> None:
+        if not 0.0 <= instrument_private_fraction <= 1.0:
+            raise ValueError("instrument_private_fraction must be in [0, 1]")
+        self.detector = (
+            detector
+            if detector is not None
+            else CleanDetector(max_threads=max_threads, layout=layout)
+        )
+        self.rollover = rollover
+        self.instrument_private_fraction = instrument_private_fraction
+        self._sync_index = 0
+
+    def _instrument(self, private: bool, address: int) -> bool:
+        """Whether this access gets a race check.
+
+        Shared accesses always do.  ``instrument_private_fraction``
+        models how conservative the compiler's shared-access estimate is
+        (Section 4.1): 0.0 is a perfect escape analysis, 1.0 instruments
+        every stack access whose privacy it could not prove.  The choice
+        is a deterministic hash of the address, standing in for the
+        static classification of the variable.
+        """
+        if not private:
+            return True
+        if not self.instrument_private_fraction:
+            return False
+        return (address * 2654435761 % 1000) < self.instrument_private_fraction * 1000
+
+    # -- thread lifecycle -------------------------------------------------
+
+    def on_thread_start(self, tid: int, parent: Optional[int]) -> None:
+        if parent is None:
+            root = self.detector.spawn_root()
+            if root != tid:
+                raise RuntimeError(
+                    f"scheduler root tid {tid} != detector root tid {root}"
+                )
+
+    def on_spawn(self, parent: int, child: int) -> None:
+        self.detector.fork(parent, child)
+
+    def on_join(self, parent: int, child: int) -> None:
+        self.detector.join(parent, child)
+
+    # -- memory (the Figure-2 checks, ordered per Section 4.3) ---------------
+
+    def after_read(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        if self._instrument(private, address):
+            self.detector.check_read(tid, address, size)
+
+    def before_write(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        if self._instrument(private, address):
+            self.detector.check_write(tid, address, size)
+
+    # -- synchronization (vector-clock maintenance) ----------------------------
+
+    def on_acquire(self, tid: int, lock: Lock) -> None:
+        self.detector.acquire(tid, lock)
+
+    def on_release(self, tid: int, lock: Lock) -> None:
+        self.detector.release(tid, lock)
+
+    def on_barrier_arrive(self, tid: int, barrier: Barrier, generation: int) -> None:
+        self.detector.release(tid, (barrier, generation))
+
+    def on_barrier_depart(self, tid: int, barrier: Barrier, generation: int) -> None:
+        self.detector.acquire(tid, (barrier, generation))
+
+    def on_cond_signal(self, tid: int, cond: Condition) -> None:
+        self.detector.release(tid, cond)
+
+    def on_cond_wake(self, tid: int, cond: Condition) -> None:
+        self.detector.acquire(tid, cond)
+
+    def on_sem_post(self, tid: int, sem: Semaphore) -> None:
+        self.detector.release(tid, sem)
+
+    def on_sem_wait(self, tid: int, sem: Semaphore) -> None:
+        self.detector.acquire(tid, sem)
+
+    # -- rollover -----------------------------------------------------------------
+
+    def on_sync_commit(self, tid: int, op: Op) -> None:
+        self._sync_index += 1
+        if self.rollover is not None and self.rollover.should_reset(self.detector):
+            self.rollover.perform_reset(self.detector, self._sync_index)
+
+
+def clean_stack(
+    detect: bool = True,
+    deterministic: bool = True,
+    detector: Optional[CleanDetector] = None,
+    rollover: Optional[RolloverPolicy] = None,
+    max_threads: int = 64,
+    layout: EpochLayout = DEFAULT_LAYOUT,
+    extra: Optional[List[ExecutionMonitor]] = None,
+) -> Tuple[List[ExecutionMonitor], Optional[CleanMonitor], Optional[KendoGate]]:
+    """Build the CLEAN monitor stack.
+
+    Returns ``(monitors, clean_monitor, kendo_gate)`` — the latter two are
+    ``None`` when the corresponding mechanism is disabled, letting
+    callers measure each mechanism in isolation as Figure 6 does.
+    """
+    monitors: List[ExecutionMonitor] = []
+    clean: Optional[CleanMonitor] = None
+    gate: Optional[KendoGate] = None
+    if detect:
+        clean = CleanMonitor(
+            detector=detector,
+            rollover=rollover,
+            max_threads=max_threads,
+            layout=layout,
+        )
+        monitors.append(clean)
+    if deterministic:
+        gate = KendoGate()
+        monitors.append(gate)
+    if extra:
+        monitors.extend(extra)
+    return monitors, clean, gate
+
+
+def run_clean(
+    program: Program,
+    detect: bool = True,
+    deterministic: bool = True,
+    policy: Optional[SchedulingPolicy] = None,
+    detector: Optional[CleanDetector] = None,
+    rollover: Optional[RolloverPolicy] = None,
+    max_threads: int = 64,
+    layout: EpochLayout = DEFAULT_LAYOUT,
+    counter_cost: Optional[Callable] = None,
+    extra_monitors: Optional[List[ExecutionMonitor]] = None,
+    raise_on_race: bool = False,
+) -> ExecutionResult:
+    """Run ``program`` under CLEAN and return its execution result.
+
+    The returned result's ``race`` field carries the
+    :class:`~repro.core.exceptions.RaceException` if the execution was
+    stopped; ``raise_on_race=True`` re-raises it instead.
+    """
+    monitors, _clean, _gate = clean_stack(
+        detect=detect,
+        deterministic=deterministic,
+        detector=detector,
+        rollover=rollover,
+        max_threads=max_threads,
+        layout=layout,
+        extra=extra_monitors,
+    )
+    return program.run(
+        policy=policy,
+        monitors=monitors,
+        max_threads=max_threads,
+        counter_cost=counter_cost if counter_cost is not None else PreciseCounter(),
+        raise_on_race=raise_on_race,
+    )

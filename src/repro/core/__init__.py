@@ -1,0 +1,49 @@
+"""CLEAN's core contribution: precise WAW/RAW race detection via epochs.
+
+Public surface:
+
+* :class:`~repro.core.epoch.EpochLayout` and the stock layouts
+  (:data:`DEFAULT_LAYOUT`, :data:`WIDE_CLOCK_LAYOUT`, :data:`TINY_LAYOUT`)
+* :class:`~repro.core.vector_clock.VectorClock`
+* :class:`~repro.core.shadow.SparseShadow` / :class:`DenseShadow`
+* :class:`~repro.core.detector.CleanDetector` — the Figure-2 check
+* :class:`~repro.core.rollover.RolloverPolicy`
+* the exception vocabulary (:class:`RaceException` and friends)
+"""
+
+from .detector import AccessStats, CleanDetector, ThreadState
+from .epoch import DEFAULT_LAYOUT, TINY_LAYOUT, WIDE_CLOCK_LAYOUT, EpochLayout
+from .exceptions import (
+    CleanError,
+    DeadlockError,
+    MetadataError,
+    RaceException,
+    RawRaceException,
+    TooManyThreadsError,
+    WawRaceException,
+)
+from .rollover import RolloverEvent, RolloverPolicy
+from .shadow import DenseShadow, SparseShadow
+from .vector_clock import VectorClock
+
+__all__ = [
+    "AccessStats",
+    "CleanDetector",
+    "ThreadState",
+    "EpochLayout",
+    "DEFAULT_LAYOUT",
+    "WIDE_CLOCK_LAYOUT",
+    "TINY_LAYOUT",
+    "VectorClock",
+    "SparseShadow",
+    "DenseShadow",
+    "RolloverPolicy",
+    "RolloverEvent",
+    "CleanError",
+    "RaceException",
+    "RawRaceException",
+    "WawRaceException",
+    "MetadataError",
+    "TooManyThreadsError",
+    "DeadlockError",
+]

@@ -1,0 +1,373 @@
+"""The CLEAN race detector: precise WAW and RAW detection via epochs.
+
+This module implements the paper's core mechanism (Sections 3.2 and 4):
+
+* one epoch word per shared byte, holding the last write's
+  ``(tid, clock)`` pair;
+* per-thread and per-lock vector clocks, updated only on synchronization
+  and thread create/join;
+* the Figure-2 check on every shared access: a WAW or RAW race occurred
+  iff the saved epoch's clock exceeds the accessing thread's vector-clock
+  element for the saved epoch's thread;
+* write-side epoch update via compare-and-swap, so concurrent write
+  checks cannot silently lose a WAW race (Section 4.3);
+* the multi-byte fast path of Section 4.4: when all bytes of an access
+  share one epoch, a single comparison (and a single wide update)
+  suffices;
+* the clock-rollover procedure of Section 4.5: when a clock is about to
+  exceed its representation, every epoch and vector clock is reset at a
+  deterministic synchronization boundary.
+
+WAR races are *never* checked — that is the point of CLEAN: reads do not
+update any metadata, and writes are only compared against the last write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .epoch import DEFAULT_LAYOUT, EpochLayout
+from .exceptions import (
+    MetadataError,
+    RawRaceException,
+    TooManyThreadsError,
+    WawRaceException,
+)
+from .shadow import SparseShadow
+from .vector_clock import VectorClock
+
+__all__ = ["AccessStats", "CleanDetector", "ThreadState"]
+
+
+@dataclass
+class AccessStats:
+    """Counters describing the detector's dynamic behaviour.
+
+    These feed the software cost model (Figure 6/8) and the reproduction
+    of the paper's measured access properties: the fraction of accesses
+    that are >= 4 bytes wide and the fraction of multi-byte accesses whose
+    bytes all share one epoch (Section 6.2.3).
+    """
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    written_bytes: int = 0
+    accesses_ge_4_bytes: int = 0
+    multibyte_accesses: int = 0
+    multibyte_uniform_epoch: int = 0
+    epoch_comparisons: int = 0
+    epoch_updates: int = 0
+    cas_failures: int = 0
+    sync_ops: int = 0
+    rollovers: int = 0
+    races_raised: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total checked accesses."""
+        return self.reads + self.writes
+
+    @property
+    def fraction_wide(self) -> float:
+        """Fraction of accesses that are 4 or more bytes wide."""
+        if not self.accesses:
+            return 0.0
+        return self.accesses_ge_4_bytes / self.accesses
+
+    @property
+    def fraction_uniform_epoch(self) -> float:
+        """Fraction of multi-byte accesses with one epoch for all bytes."""
+        if not self.multibyte_accesses:
+            return 0.0
+        return self.multibyte_uniform_epoch / self.multibyte_accesses
+
+
+@dataclass
+class ThreadState:
+    """Per-thread detector state: the tid and its vector clock."""
+
+    tid: int
+    vc: VectorClock
+    alive: bool = True
+    children: Set[int] = field(default_factory=set)
+
+
+class CleanDetector:
+    """Precise WAW/RAW race detector with deterministic rollover resets.
+
+    Parameters
+    ----------
+    max_threads:
+        Arity of every vector clock; also bounds concurrently-live
+        threads.  Thread ids of joined threads are reused (Section 4.5).
+    layout:
+        Epoch bit layout.  The default is the paper's 23-bit-clock
+        configuration; pass :data:`~repro.core.epoch.WIDE_CLOCK_LAYOUT`
+        for the 28-bit Table-1 configuration.
+    shadow:
+        Epoch store; defaults to a fresh :class:`SparseShadow`.
+    vectorized:
+        Enable the Section-4.4 multi-byte fast path.  Disabling it forces
+        one check per byte — the "without vectorization" bar of Figure 8.
+    auto_rollover:
+        Reset metadata automatically when a clock is about to overflow.
+        The runtime integration performs the reset at a globally
+        deterministic synchronization point; standalone use resets at the
+        offending synchronization operation, which in a cooperative
+        execution is itself an SFR boundary.
+    """
+
+    def __init__(
+        self,
+        max_threads: int = 8,
+        layout: EpochLayout = DEFAULT_LAYOUT,
+        shadow: Optional[SparseShadow] = None,
+        vectorized: bool = True,
+        auto_rollover: bool = True,
+    ) -> None:
+        if max_threads < 1:
+            raise ValueError("need at least one thread")
+        if max_threads - 1 > layout.max_tid:
+            raise TooManyThreadsError(
+                f"{max_threads} threads need more than {layout.tid_bits} tid bits"
+            )
+        self.layout = layout
+        self.max_threads = max_threads
+        self.shadow = shadow if shadow is not None else SparseShadow()
+        self.vectorized = vectorized
+        self.auto_rollover = auto_rollover
+        self.stats = AccessStats()
+        self.rollover_pending = False
+        self._threads: Dict[int, ThreadState] = {}
+        self._free_tids: List[int] = list(range(max_threads - 1, -1, -1))
+        self._lock_vcs: Dict[object, VectorClock] = {}
+
+    # -- thread lifecycle --------------------------------------------------
+
+    def spawn_root(self) -> int:
+        """Create the initial (main) thread; returns its tid (always 0)."""
+        if self._threads:
+            raise MetadataError("root thread already exists")
+        tid = self._free_tids.pop()
+        self._threads[tid] = ThreadState(tid, VectorClock(self.max_threads, self.layout))
+        self._threads[tid].vc.increment(tid)
+        return tid
+
+    def fork(self, parent_tid: int, child_tid: Optional[int] = None) -> int:
+        """Create a child thread; establishes parent-happens-before-child.
+
+        The child inherits the parent's vector clock (so everything the
+        parent did so far happens-before everything the child will do),
+        then both advance their own clocks.  ``child_tid`` pins the id
+        (it must be free) so an external thread manager — the runtime
+        scheduler — and the detector agree on thread naming; left to
+        ``None``, ids are allocated LIFO from the free list.
+        """
+        parent = self._thread(parent_tid)
+        if not self._free_tids:
+            raise TooManyThreadsError(
+                f"more than {self.max_threads} concurrently live threads"
+            )
+        if child_tid is None:
+            tid = self._free_tids.pop()
+        else:
+            if child_tid not in self._free_tids:
+                raise MetadataError(f"requested child tid {child_tid} is not free")
+            self._free_tids.remove(child_tid)
+            tid = child_tid
+        child_vc = parent.vc.copy()
+        self._threads[tid] = ThreadState(tid, child_vc)
+        parent.children.add(tid)
+        self._advance(self._threads[tid])
+        self._advance(parent)
+        return tid
+
+    def join(self, parent_tid: int, child_tid: int) -> None:
+        """Join ``child_tid``; establishes child-happens-before-parent.
+
+        The child's tid becomes reusable afterwards.
+        """
+        parent = self._thread(parent_tid)
+        child = self._thread(child_tid)
+        self._advance(child)
+        parent.vc.join(child.vc)
+        child.alive = False
+        parent.children.discard(child_tid)
+        del self._threads[child_tid]
+        self._free_tids.append(child_tid)
+
+    def live_threads(self) -> List[int]:
+        """Tids of all currently live threads."""
+        return sorted(self._threads)
+
+    def thread_vc(self, tid: int) -> VectorClock:
+        """The vector clock of thread ``tid`` (live view, do not mutate)."""
+        return self._thread(tid).vc
+
+    # -- synchronization ---------------------------------------------------
+
+    def release(self, tid: int, sync_key: object) -> None:
+        """Lock release / condition signal / barrier arrival by ``tid``.
+
+        Joins the thread's vector clock into the sync object's and
+        advances the thread's own clock, as in standard vector-clock
+        detectors (Section 2.3).
+        """
+        thread = self._thread(tid)
+        vc = self._lock_vcs.get(sync_key)
+        if vc is None:
+            vc = VectorClock(self.max_threads, self.layout)
+            self._lock_vcs[sync_key] = vc
+        vc.join(thread.vc)
+        self._advance(thread)
+        self.stats.sync_ops += 1
+
+    def acquire(self, tid: int, sync_key: object) -> None:
+        """Lock acquire / condition wait return / barrier departure."""
+        thread = self._thread(tid)
+        vc = self._lock_vcs.get(sync_key)
+        if vc is not None:
+            thread.vc.join(vc)
+        self.stats.sync_ops += 1
+
+    # -- the race check (Figure 2) ------------------------------------------
+
+    def check_read(self, tid: int, address: int, size: int = 1) -> None:
+        """Race-check a ``size``-byte read at ``address`` by ``tid``.
+
+        Raises :class:`RawRaceException` iff the read races with the last
+        write to any accessed byte.  Reads never update metadata.
+        """
+        self._check_access(tid, address, size, is_read=True)
+        self.stats.reads += 1
+        self.stats.read_bytes += size
+        self._note_width(size)
+
+    def check_write(self, tid: int, address: int, size: int = 1) -> None:
+        """Race-check a ``size``-byte write and update the epochs.
+
+        Raises :class:`WawRaceException` iff the write races with the
+        last write to any accessed byte (including the case where the
+        epoch CAS observes a concurrent update, Section 4.3).
+        """
+        self._check_access(tid, address, size, is_read=False)
+        self.stats.writes += 1
+        self.stats.written_bytes += size
+        self._note_width(size)
+
+    def _check_access(self, tid: int, address: int, size: int, is_read: bool) -> None:
+        if size < 1:
+            raise ValueError("access size must be positive")
+        thread = self._thread(tid)
+        new_epoch = thread.vc.element(tid)
+
+        epochs = self.shadow.load_range(address, size)
+        if size > 1:
+            self.stats.multibyte_accesses += 1
+
+        if self.vectorized and size > 1 and epochs.count(epochs[0]) == size:
+            # Fast path (Section 4.4): all bytes share one epoch, so the
+            # race outcome is identical for every byte — one comparison,
+            # and (for writes) one wide update.
+            self.stats.multibyte_uniform_epoch += 1
+            self._compare(epochs[0], thread, address, size, is_read)
+            if not is_read and epochs[0] != new_epoch:
+                self._update_wide(address, size, epochs[0], new_epoch, thread)
+            return
+
+        if size > 1 and epochs.count(epochs[0]) == size:
+            # Record uniformity even when vectorization is off, so the
+            # Figure-8 "without vectorization" run still measures it.
+            self.stats.multibyte_uniform_epoch += 1
+
+        for i, epoch in enumerate(epochs):
+            self._compare(epoch, thread, address + i, 1, is_read)
+            if not is_read and epoch != new_epoch:
+                self._cas_update(address + i, epoch, new_epoch, thread, 1)
+
+    def _compare(
+        self, epoch: int, thread: ThreadState, address: int, size: int, is_read: bool
+    ) -> None:
+        """Line 3 of Figure 2: compare epoch clock with the thread's VC."""
+        self.stats.epoch_comparisons += 1
+        layout = self.layout
+        writer_tid = layout.tid(epoch)
+        writer_clock = layout.clock(epoch)
+        if writer_clock > thread.vc.clock_of(writer_tid):
+            self.stats.races_raised += 1
+            exc = RawRaceException if is_read else WawRaceException
+            raise exc(address, thread.tid, writer_tid, writer_clock, size)
+
+    def _cas_update(
+        self, address: int, expected: int, new_epoch: int, thread: ThreadState, size: int
+    ) -> None:
+        """Line 6 of Figure 2, via CAS so a concurrent update is a WAW race."""
+        if self.shadow.compare_and_swap(address, expected, new_epoch):
+            self.stats.epoch_updates += 1
+            return
+        self.stats.cas_failures += 1
+        self.stats.races_raised += 1
+        actual = self.shadow.load(address)
+        raise WawRaceException(
+            address, thread.tid, self.layout.tid(actual), self.layout.clock(actual), size
+        )
+
+    def _update_wide(
+        self, address: int, size: int, expected: int, new_epoch: int, thread: ThreadState
+    ) -> None:
+        """Wide-CAS update of all epochs of a uniform multi-byte access."""
+        for i in range(size):
+            self._cas_update(address + i, expected, new_epoch, thread, size)
+
+    # -- rollover (Section 4.5) ---------------------------------------------
+
+    def _advance(self, thread: ThreadState) -> None:
+        """Advance a thread's own clock, handling imminent rollover."""
+        if self.layout.would_rollover(thread.vc.clock_of(thread.tid)):
+            self.rollover_pending = True
+            if self.auto_rollover:
+                self.reset_metadata()
+            else:
+                raise OverflowError(
+                    f"thread {thread.tid} clock rollover pending and "
+                    "auto_rollover is disabled; call reset_metadata()"
+                )
+        thread.vc.increment(thread.tid)
+
+    def rollover_imminent(self, slack: int = 1) -> bool:
+        """Whether any live thread is within ``slack`` ticks of rollover."""
+        limit = self.layout.clock_max - slack
+        return any(
+            t.vc.clock_of(t.tid) >= limit for t in self._threads.values()
+        )
+
+    def reset_metadata(self) -> None:
+        """Deterministic global reset of all epochs and vector clocks.
+
+        The paper performs this when all threads are at synchronization
+        operations; races spanning the reset are missed, but SFR
+        isolation, write-atomicity and determinism are preserved because
+        the reset lands on a deterministic SFR boundary.
+        """
+        self.shadow.reset()
+        for thread in self._threads.values():
+            thread.vc.reset()
+            thread.vc.increment(thread.tid)
+        for vc in self._lock_vcs.values():
+            vc.reset()
+        self.rollover_pending = False
+        self.stats.rollovers += 1
+
+    # -- helpers -------------------------------------------------------------
+
+    def _thread(self, tid: int) -> ThreadState:
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise MetadataError(f"unknown or dead thread id {tid}") from None
+
+    def _note_width(self, size: int) -> None:
+        if size >= 4:
+            self.stats.accesses_ge_4_bytes += 1

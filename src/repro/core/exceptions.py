@@ -1,0 +1,95 @@
+"""Exception vocabulary of the CLEAN execution model.
+
+CLEAN's defining behaviour is to *stop* an execution with a race
+exception if and only if a write-after-write (WAW) or a read-after-write
+(RAW) race occurs (Section 3.1).  Write-after-read (WAR) races are, by
+design, never reported.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "CleanError",
+    "RaceException",
+    "WawRaceException",
+    "RawRaceException",
+    "WarRaceException",
+    "MetadataError",
+    "TooManyThreadsError",
+    "DeadlockError",
+]
+
+
+class CleanError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class RaceException(CleanError):
+    """A WAW or RAW data race was detected; the execution must stop.
+
+    Attributes mirror what a hardware race exception would report: the
+    faulting address, the access that trapped, and the epoch of the
+    conflicting prior write.
+    """
+
+    #: ``"WAW"`` or ``"RAW"`` — set by the concrete subclasses.
+    kind: str = "?"
+
+    def __init__(
+        self,
+        address: int,
+        accessing_tid: int,
+        prior_writer_tid: int,
+        prior_writer_clock: int,
+        size: int = 1,
+        region_id: Optional[int] = None,
+    ) -> None:
+        self.address = address
+        self.accessing_tid = accessing_tid
+        self.prior_writer_tid = prior_writer_tid
+        self.prior_writer_clock = prior_writer_clock
+        self.size = size
+        self.region_id = region_id
+        super().__init__(
+            f"{self.kind} race at address {address:#x} (size {size}): thread "
+            f"{accessing_tid} conflicts with write by thread {prior_writer_tid} "
+            f"at clock {prior_writer_clock}"
+        )
+
+
+class WawRaceException(RaceException):
+    """A write raced with a prior write it is not ordered after."""
+
+    kind = "WAW"
+
+
+class RawRaceException(RaceException):
+    """A read raced with a prior write it is not ordered after."""
+
+    kind = "RAW"
+
+
+class WarRaceException(RaceException):
+    """A write raced with a prior read (reported only by the *baseline*
+    precise detectors — CLEAN deliberately never detects WAR races)."""
+
+    kind = "WAR"
+
+
+class MetadataError(CleanError):
+    """Internal inconsistency in epoch metadata (never expected)."""
+
+
+class TooManyThreadsError(CleanError):
+    """More live threads than the epoch tid field can represent."""
+
+
+class DeadlockError(CleanError):
+    """The cooperative scheduler found every runnable thread blocked."""
+
+    def __init__(self, blocked: dict) -> None:
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"T{t}: {why}" for t, why in sorted(self.blocked.items()))
+        super().__init__(f"deadlock: all threads blocked ({detail})")

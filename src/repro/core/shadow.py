@@ -1,0 +1,167 @@
+"""Epoch shadow memory: one epoch word per shared program byte.
+
+Software CLEAN (Section 4.2) reserves a fixed region of the address space
+and places the epoch for data byte ``x`` at ``epochs_base + 4 * x``.  The
+layout is fixed because CLEAN never inflates an epoch into a vector clock,
+so ``EPOCH_ADDRESS`` is a single shift-and-add.
+
+Two interchangeable stores are provided:
+
+* :class:`SparseShadow` — a hash map, pay-as-you-go, mirroring the paper's
+  "only accessed epochs are ever backed by physical memory" property.
+* :class:`DenseShadow` — a flat :mod:`numpy` array over a fixed address
+  window, for workloads with a known footprint (faster, and the natural
+  model for the hardware simulator).
+
+Both support the O(1) *reset* used by the rollover procedure (Section
+4.5): the paper remaps epoch pages to the zero page instead of zeroing
+memory; we swap the underlying store for an empty/zeroed one and count the
+reset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["SparseShadow", "DenseShadow", "EPOCH_BYTES_PER_DATA_BYTE"]
+
+#: The paper's software layout dedicates 4 metadata bytes per data byte.
+EPOCH_BYTES_PER_DATA_BYTE = 4
+
+
+class SparseShadow:
+    """Hash-map epoch store; unwritten locations read as epoch 0."""
+
+    __slots__ = ("_epochs", "resets", "stores", "loads")
+
+    def __init__(self) -> None:
+        self._epochs: Dict[int, int] = {}
+        self.resets = 0
+        self.stores = 0
+        self.loads = 0
+
+    def load(self, address: int) -> int:
+        """Epoch of the byte at ``address`` (0 if never written)."""
+        self.loads += 1
+        return self._epochs.get(address, 0)
+
+    def store(self, address: int, epoch: int) -> None:
+        """Unconditionally set the epoch of the byte at ``address``."""
+        self.stores += 1
+        self._epochs[address] = epoch
+
+    def compare_and_swap(self, address: int, expected: int, new: int) -> bool:
+        """Atomically replace ``expected`` with ``new``; the CAS of §4.3.
+
+        Returns ``False`` (and leaves the epoch untouched) when a
+        concurrent check already replaced the epoch — which software
+        CLEAN interprets as a WAW race.
+        """
+        current = self._epochs.get(address, 0)
+        if current != expected:
+            return False
+        self.stores += 1
+        self._epochs[address] = new
+        return True
+
+    def load_range(self, address: int, size: int) -> List[int]:
+        """Epochs of ``size`` consecutive bytes starting at ``address``."""
+        get = self._epochs.get
+        self.loads += size
+        return [get(address + i, 0) for i in range(size)]
+
+    def store_range(self, address: int, size: int, epoch: int) -> None:
+        """Set ``size`` consecutive bytes' epochs to the same ``epoch``."""
+        self.stores += size
+        for i in range(size):
+            self._epochs[address + i] = epoch
+
+    def reset(self) -> None:
+        """O(1)-style global reset (rollover): drop every epoch."""
+        self._epochs = {}
+        self.resets += 1
+
+    @property
+    def touched_bytes(self) -> int:
+        """Number of data bytes currently holding a non-default epoch."""
+        return len(self._epochs)
+
+    @property
+    def metadata_bytes(self) -> int:
+        """Metadata footprint under the paper's 4-bytes-per-byte layout."""
+        return self.touched_bytes * EPOCH_BYTES_PER_DATA_BYTE
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Iterate over ``(address, epoch)`` pairs with explicit epochs."""
+        return self._epochs.items()
+
+
+class DenseShadow:
+    """Flat array epoch store over the window ``[base, base + size)``."""
+
+    __slots__ = ("base", "size", "_epochs", "resets", "stores", "loads")
+
+    def __init__(self, base: int, size: int) -> None:
+        if size <= 0:
+            raise ValueError("shadow window must be non-empty")
+        self.base = base
+        self.size = size
+        self._epochs = np.zeros(size, dtype=np.uint32)
+        self.resets = 0
+        self.stores = 0
+        self.loads = 0
+
+    def _index(self, address: int) -> int:
+        offset = address - self.base
+        if not 0 <= offset < self.size:
+            raise IndexError(
+                f"address {address:#x} outside shadow window "
+                f"[{self.base:#x}, {self.base + self.size:#x})"
+            )
+        return offset
+
+    def load(self, address: int) -> int:
+        self.loads += 1
+        return int(self._epochs[self._index(address)])
+
+    def store(self, address: int, epoch: int) -> None:
+        self.stores += 1
+        self._epochs[self._index(address)] = epoch
+
+    def compare_and_swap(self, address: int, expected: int, new: int) -> bool:
+        idx = self._index(address)
+        if int(self._epochs[idx]) != expected:
+            return False
+        self.stores += 1
+        self._epochs[idx] = new
+        return True
+
+    def load_range(self, address: int, size: int) -> List[int]:
+        start = self._index(address)
+        self._index(address + size - 1)
+        self.loads += size
+        return [int(e) for e in self._epochs[start : start + size]]
+
+    def store_range(self, address: int, size: int, epoch: int) -> None:
+        start = self._index(address)
+        self._index(address + size - 1)
+        self.stores += size
+        self._epochs[start : start + size] = epoch
+
+    def reset(self) -> None:
+        self._epochs = np.zeros(self.size, dtype=np.uint32)
+        self.resets += 1
+
+    @property
+    def touched_bytes(self) -> int:
+        return int(np.count_nonzero(self._epochs))
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.touched_bytes * EPOCH_BYTES_PER_DATA_BYTE
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        nz = np.nonzero(self._epochs)[0]
+        return ((self.base + int(i), int(self._epochs[i])) for i in nz)

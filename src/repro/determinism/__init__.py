@@ -1,0 +1,6 @@
+"""Deterministic synchronization: Kendo logical clocks and counter models."""
+
+from .counters import InstrumentedCounter, PreciseCounter
+from .kendo import KendoGate
+
+__all__ = ["KendoGate", "PreciseCounter", "InstrumentedCounter"]

@@ -1,0 +1,151 @@
+"""Race diagnostics: turning a race exception into an actionable report.
+
+The paper motivates CLEAN partly as a development-time tool ("possibly
+fast enough to use during development", Section 1) — and a race
+exception is only useful to a developer if it says *which two accesses*
+conflicted.  The bare exception carries the faulting address and the
+epoch of the last write; :class:`RaceContextMonitor` keeps the little
+extra provenance a runtime can cheaply maintain — for every address, who
+last wrote it, at which per-thread operation index, in which
+synchronization-free region — and renders a two-sided report when an
+exception fires.
+
+Attach it *before* the CLEAN monitor in the stack, and ask it for
+:meth:`report` after a stopped run:
+
+    ctx_monitor = RaceContextMonitor()
+    result = program.run(monitors=[ctx_monitor, CleanMonitor(...)])
+    if result.race:
+        print(ctx_monitor.report(result.race))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .core.exceptions import RaceException
+from .runtime.scheduler import ExecutionMonitor
+
+__all__ = ["AccessSite", "RaceContextMonitor", "RaceReport"]
+
+
+@dataclass(frozen=True)
+class AccessSite:
+    """Provenance of one shared access."""
+
+    tid: int
+    op_index: int
+    region_index: int
+    is_write: bool
+    address: int
+    size: int
+
+    def describe(self) -> str:
+        kind = "write" if self.is_write else "read"
+        return (
+            f"thread {self.tid}, operation #{self.op_index} "
+            f"({kind} of {self.size} byte(s) at {self.address:#x}, "
+            f"SFR #{self.region_index})"
+        )
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """Both sides of a detected race, ready to print."""
+
+    kind: str
+    address: int
+    current: AccessSite
+    previous: Optional[AccessSite]
+
+    def render(self) -> str:
+        lines = [
+            f"{self.kind} race on address {self.address:#x}",
+            f"  second access: {self.current.describe()}",
+        ]
+        if self.previous is not None:
+            lines.append(f"  first access:  {self.previous.describe()}")
+            lines.append(
+                "  the two accesses are not ordered by any synchronization"
+            )
+        else:
+            lines.append("  first access:  (no recorded shared write)")
+        return "\n".join(lines)
+
+
+class RaceContextMonitor(ExecutionMonitor):
+    """Tracks per-address last-writer provenance and per-thread progress."""
+
+    def __init__(self) -> None:
+        self._op_index: Dict[int, int] = {}
+        self._region_index: Dict[int, int] = {}
+        self._last_writer: Dict[int, AccessSite] = {}
+        self._current: Optional[AccessSite] = None
+
+    # -- progress tracking ----------------------------------------------------
+
+    def on_thread_start(self, tid: int, parent) -> None:
+        self._op_index[tid] = 0
+        self._region_index[tid] = 0
+
+    def on_sync_commit(self, tid: int, op) -> None:
+        self._op_index[tid] = self._op_index.get(tid, 0) + 1
+        self._region_index[tid] = self._region_index.get(tid, 0) + 1
+
+    def on_compute(self, tid: int, amount: int) -> None:
+        self._op_index[tid] = self._op_index.get(tid, 0) + 1
+
+    def _site(self, tid: int, address: int, size: int, is_write: bool) -> AccessSite:
+        self._op_index[tid] = self._op_index.get(tid, 0) + 1
+        return AccessSite(
+            tid=tid,
+            op_index=self._op_index[tid],
+            region_index=self._region_index.get(tid, 0),
+            is_write=is_write,
+            address=address,
+            size=size,
+        )
+
+    # -- access tracking (runs before CleanMonitor's checks) --------------------
+
+    def before_write(self, tid, address, size, value, private) -> None:
+        if private:
+            return
+        site = self._site(tid, address, size, True)
+        self._current = site
+        # Record as last writer byte by byte *after* noting current, so a
+        # raised exception still sees the previous writer.
+        self._pending_write = site
+
+    def after_write(self, tid, address, size, value, private) -> None:
+        if private:
+            return
+        site = self._pending_write
+        for a in range(address, address + size):
+            self._last_writer[a] = site
+
+    def after_read(self, tid, address, size, value, private) -> None:
+        if private:
+            return
+        self._current = self._site(tid, address, size, False)
+
+    # -- reporting --------------------------------------------------------------
+
+    def report(self, exc: RaceException) -> RaceReport:
+        """Build the two-sided report for a raised race exception."""
+        current = self._current
+        if current is None:
+            current = AccessSite(exc.accessing_tid, -1, -1,
+                                 exc.kind != "RAW", exc.address, exc.size)
+        previous = self._last_writer.get(exc.address)
+        return RaceReport(
+            kind=exc.kind,
+            address=exc.address,
+            current=current,
+            previous=previous,
+        )
+
+    def render(self, exc: RaceException) -> str:
+        """Shortcut: the printable report text."""
+        return self.report(exc).render()

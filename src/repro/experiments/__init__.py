@@ -1,0 +1,21 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+| Module              | Paper artifact                                   |
+|---------------------|--------------------------------------------------|
+| ``sec62_detection`` | §6.2.2 detection & determinism validation        |
+| ``fig6_software``   | Figure 6: software-CLEAN slowdown breakdown      |
+| ``fig7_freq``       | Figure 7: shared-access frequency                |
+| ``fig8_vector``     | Figure 8: vectorization impact                   |
+| ``table1_rollover`` | Table 1: clock-rollover impact                   |
+| ``fig9_hardware``   | Figure 9: hardware detection slowdown            |
+| ``fig10_breakdown`` | Figure 10: access breakdowns                     |
+| ``fig11_epochsize`` | Figure 11: 1B/4B epoch alternatives              |
+| ``report``          | run everything, render all tables                |
+
+Each module exposes ``run(...) -> ExperimentResult`` and a printable
+``main()``.
+"""
+
+from .common import ExperimentResult, geomean, mean_ci, render_table
+
+__all__ = ["ExperimentResult", "geomean", "mean_ci", "render_table"]

@@ -1,0 +1,108 @@
+"""Shared helpers for the experiment harnesses.
+
+Every experiment module exposes ``run(...) -> ExperimentResult`` and a
+``main()`` that prints the paper-style table; ``repro.experiments.report``
+renders all of them for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "ExperimentResult",
+    "geomean",
+    "mean_ci",
+    "render_table",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: header, rows, and summary lines."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    summary: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match ``columns``)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: object) -> List[object]:
+        """The row whose first column equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)
+
+    def render(self) -> str:
+        """The experiment as a printable table."""
+        lines = [f"== {self.experiment}: {self.title} ==", ""]
+        lines.append(render_table(self.columns, self.rows))
+        if self.summary:
+            lines.append("")
+            lines.extend(self.summary)
+        return "\n".join(lines)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (0 on empty input)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> tuple:
+    """Mean and half-width of the normal-approximation CI.
+
+    The paper reports averages with 95% confidence intervals over 10
+    runs; with small n this normal approximation is what error bars in
+    systems papers typically are.
+    """
+    values = list(values)
+    if not values:
+        return (0.0, 0.0)
+    mean = statistics.mean(values)
+    if len(values) < 2:
+        return (mean, 0.0)
+    z = 1.959963984540054 if abs(confidence - 0.95) < 1e-9 else 2.575829
+    half = z * statistics.stdev(values) / math.sqrt(len(values))
+    return (mean, half)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in str_rows)) if str_rows else len(col)
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    sep = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns)))
+        for r in str_rows
+    ]
+    return "\n".join([header, sep, *body])

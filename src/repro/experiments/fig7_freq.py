@@ -1,0 +1,46 @@
+"""Figure 7: the frequency of shared accesses.
+
+The paper's Figure 7 plots shared-access frequency per benchmark and
+notes that detection cost tracks it: lu_cb and lu_ncb access shared data
+far more often than the others, which is why they are the worst
+detection-slowdown benchmarks in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..swclean.runner import run_software_clean
+from ..workloads.suite import ALL_BENCHMARKS
+from .common import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run(scale: str = "test", seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 7: shared accesses per executed instruction."""
+    result = ExperimentResult(
+        experiment="Figure 7",
+        title="Frequency of shared accesses (per executed instruction)",
+        columns=["benchmark", "shared-access density", "detection slowdown"],
+    )
+    for spec in ALL_BENCHMARKS:
+        if spec.style == "lock_free":
+            continue
+        r = run_software_clean(spec, scale=scale, seed=seed)
+        result.add_row(spec.name, r.shared_access_density, r.slowdown_detection)
+    densities = {row[0]: row[1] for row in result.rows}
+    top_two = sorted(densities, key=densities.get, reverse=True)[:2]
+    result.summary = [
+        f"two highest densities: {top_two[0]}, {top_two[1]} "
+        "(paper: lu_cb, lu_ncb)",
+    ]
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Render every experiment, in paper order — the EXPERIMENTS.md generator.
+
+Run as ``python -m repro.experiments.report [--fast]``.  ``--fast`` uses
+reduced scales/run counts for a quick smoke pass; the default settings
+match what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List
+
+from . import (
+    ablations,
+    fig6_software,
+    fig7_freq,
+    fig8_vector,
+    fig9_hardware,
+    fig10_breakdown,
+    fig11_epochsize,
+    sec62_detection,
+    table1_rollover,
+)
+from .common import ExperimentResult
+from .traces import record_all_traces
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(fast: bool = False) -> List[ExperimentResult]:
+    """Run every experiment; returns their results in paper order."""
+    results: List[ExperimentResult] = []
+    # The "test" scale is the calibration point for both the software
+    # cost model and the hardware machine scaling; larger scales keep the
+    # ordering but drift in magnitude (see EXPERIMENTS.md).
+    sw_scale = "test"
+    hw_scale = "test"
+    det_runs = 3 if fast else 10
+
+    results.append(sec62_detection.run(scale="test" if fast else "simsmall",
+                                       runs=det_runs))
+    results.append(fig6_software.run(scale=sw_scale))
+    results.append(fig7_freq.run(scale=sw_scale))
+    results.append(fig8_vector.run(scale=sw_scale))
+    results.append(table1_rollover.run(scale="simsmall" if fast else "simlarge"))
+    traces = record_all_traces(scale=hw_scale)
+    results.append(fig9_hardware.run(traces=traces))
+    results.append(fig10_breakdown.run(traces=traces))
+    # Figure 11 stresses LLC capacity, which needs the larger footprints
+    # of the simsmall-scale traces to materialize.
+    fig11_traces = (
+        traces if fast else record_all_traces(scale="simsmall")
+    )
+    results.append(fig11_epochsize.run(traces=fig11_traces))
+    results.append(ablations.run_war_precision(traces=traces))
+    results.append(ablations.run_atomicity())
+    results.append(ablations.run_clock_width())
+    results.append(ablations.run_instrumentation())
+    return results
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    started = time.time()
+    for result in run_all(fast=fast):
+        print(result.render())
+        print()
+    print(f"[report completed in {time.time() - started:.1f}s]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Section 6.2.2: detected races and determinism.
+
+The paper's two validation experiments:
+
+1. Run the *unmodified* benchmarks 100 times each (simlarge input): all
+   17 racy benchmarks always end with a race exception.
+2. Run the race-free ("modified") versions 100 times: no execution ever
+   raises, and program output, final deterministic counters, and shared
+   access counts are identical across runs — the executions are
+   deterministic.
+
+We additionally verify, as the methodology implies, that a
+ThreadSanitizer-like detector finds races in the racy variants and
+nothing in the race-free ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..baselines.tsanlite import TsanLiteDetector
+from ..clean import CleanMonitor, clean_stack
+from ..core.detector import CleanDetector
+from ..runtime.scheduler import RandomPolicy
+from ..workloads.kernels import build_program
+from ..workloads.suite import ALL_BENCHMARKS, RACY_BENCHMARKS, get_benchmark
+from .common import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def _run_once(spec, scale, racy, schedule_seed, program_seed=0):
+    """One run: the *same* program (fixed ``program_seed``) under a
+    varying schedule — the paper repeats runs of one binary; schedule
+    seeds model its timing variation."""
+    monitors, _clean, _gate = clean_stack(max_threads=24)
+    program = build_program(spec, scale=scale, racy=racy, seed=program_seed)
+    return program.run(
+        policy=RandomPolicy(schedule_seed), monitors=monitors, max_threads=24
+    )
+
+
+def run(scale: str = "simsmall", runs: int = 10) -> ExperimentResult:
+    """Regenerate the Section 6.2.2 validation.
+
+    ``runs`` plays the role of the paper's 100 repetitions (each run uses
+    a distinct scheduling seed, which is *stronger* than the paper's
+    wall-clock timing variation); pass ``runs=100`` for the full-scale
+    version — the benchmark harness uses a smaller default to stay fast.
+    """
+    result = ExperimentResult(
+        experiment="Section 6.2.2",
+        title="Detected races and determinism of exception-free runs",
+        columns=["benchmark", "variant", "runs", "exceptions", "deterministic"],
+    )
+    always_stopped: List[str] = []
+    never_stopped_racefree = True
+    all_deterministic = True
+    for spec in ALL_BENCHMARKS:
+        if spec.racy:
+            exceptions = 0
+            for seed in range(runs):
+                outcome = _run_once(spec, scale, racy=True, schedule_seed=seed)
+                if outcome.race is not None:
+                    exceptions += 1
+            result.add_row(spec.name, "unmodified", runs, exceptions, "-")
+            if exceptions == runs:
+                always_stopped.append(spec.name)
+        if spec.style == "lock_free":
+            continue  # no race-free variant (canneal)
+        fingerprints = set()
+        exceptions = 0
+        for seed in range(runs):
+            outcome = _run_once(spec, scale, racy=False, schedule_seed=seed)
+            if outcome.race is not None:
+                exceptions += 1
+            fingerprints.add(outcome.fingerprint())
+        deterministic = len(fingerprints) == 1 and exceptions == 0
+        result.add_row(
+            spec.name, "race-free", runs, exceptions, str(deterministic)
+        )
+        never_stopped_racefree &= exceptions == 0
+        all_deterministic &= deterministic
+    result.summary = [
+        f"racy benchmarks always stopped: {len(always_stopped)}/"
+        f"{len(RACY_BENCHMARKS)} (paper: 17/17)",
+        f"race-free runs never raised: {never_stopped_racefree} (paper: true)",
+        f"race-free runs deterministic: {all_deterministic} (paper: true)",
+    ]
+    return result
+
+
+def tsan_methodology_check(scale: str = "simsmall", seed: int = 0) -> dict:
+    """The paper's race-removal methodology: the TSan-like detector finds
+    races in every racy variant and none in the race-free variants."""
+    found = {}
+    for spec in ALL_BENCHMARKS:
+        if spec.racy:
+            tsan = TsanLiteDetector(max_threads=24)
+            program = build_program(spec, scale=scale, racy=True, seed=seed)
+            program.run(
+                policy=RandomPolicy(seed),
+                monitors=[CleanMonitor(detector=tsan)],
+                max_threads=24,
+            )
+            found[spec.name] = tsan.racy
+    return found
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

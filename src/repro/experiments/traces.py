@@ -1,0 +1,43 @@
+"""Trace production for the hardware experiments (Figures 9-11).
+
+The hardware evaluation replays per-thread access traces recorded from
+the cooperative runtime, exactly as the paper's Pin-based simulator
+observes the running benchmark.  Traces use the race-free variants (the
+performance experiments cannot tolerate race exceptions) at simsmall
+scale, and facesim is omitted, both as in Section 6.3.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..runtime.scheduler import RoundRobinPolicy
+from ..runtime.trace import Trace, TraceRecorder
+from ..workloads.kernels import build_program
+from ..workloads.spec import BenchmarkSpec
+from ..workloads.suite import HW_BENCHMARKS, get_benchmark
+
+__all__ = ["record_trace", "record_all_traces"]
+
+
+def record_trace(
+    spec: BenchmarkSpec, scale: str = "simsmall", seed: int = 0
+) -> Trace:
+    """Run ``spec``'s race-free variant and record its access trace."""
+    recorder = TraceRecorder()
+    program = build_program(spec, scale=scale, racy=False, seed=seed)
+    program.run(
+        policy=RoundRobinPolicy(),
+        monitors=[recorder],
+        max_threads=16,
+        raise_on_race=True,
+    )
+    return recorder.trace
+
+
+def record_all_traces(scale: str = "simsmall", seed: int = 0) -> Dict[str, Trace]:
+    """Traces of every hardware-experiment benchmark, by name."""
+    return {
+        name: record_trace(get_benchmark(name), scale=scale, seed=seed)
+        for name in HW_BENCHMARKS
+    }

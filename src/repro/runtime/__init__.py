@@ -1,0 +1,102 @@
+"""Cooperative multithreaded runtime: the substrate CLEAN instruments.
+
+Programs are generator threads yielding operations; the scheduler
+interleaves them one operation at a time and reports every event to a
+monitor stack (race detectors, Kendo gates, trace recorders, semantic
+oracles).  See :mod:`repro.runtime.program` for the entry point.
+"""
+
+from .memory import SharedMemory
+from .ops import (
+    Acquire,
+    AtomicRMW,
+    BarrierWait,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Join,
+    Op,
+    Output,
+    Read,
+    Release,
+    SemPost,
+    SemWait,
+    Spawn,
+    Write,
+)
+from .explore import ExplorationStats, explore, explore_results
+from .program import Program
+from .replay import RecordingPolicy, ReplayDivergence, ReplayPolicy
+from .regions import (
+    IsolationOracle,
+    SemanticViolation,
+    SfrTracker,
+    WriteAtomicityOracle,
+)
+from .serializability import ConflictEdge, RegionSerializabilityOracle
+from .scheduler import (
+    ExecutionMonitor,
+    ExecutionResult,
+    RandomPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulingPolicy,
+    ScriptedPolicy,
+    SyncCommit,
+    ThreadStatus,
+)
+from .sync import Barrier, Condition, Lock, Semaphore
+from .trace import READ, SYNC, WRITE, Trace, TraceEvent, TraceRecorder
+
+__all__ = [
+    "SharedMemory",
+    "Op",
+    "Read",
+    "Write",
+    "AtomicRMW",
+    "Acquire",
+    "Release",
+    "BarrierWait",
+    "CondWait",
+    "CondSignal",
+    "CondBroadcast",
+    "SemWait",
+    "SemPost",
+    "Spawn",
+    "Join",
+    "Compute",
+    "Output",
+    "Program",
+    "explore",
+    "explore_results",
+    "ExplorationStats",
+    "ExecutionMonitor",
+    "ExecutionResult",
+    "Scheduler",
+    "SchedulingPolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "ScriptedPolicy",
+    "RecordingPolicy",
+    "ReplayPolicy",
+    "ReplayDivergence",
+    "SyncCommit",
+    "ThreadStatus",
+    "Lock",
+    "Barrier",
+    "Condition",
+    "Semaphore",
+    "SfrTracker",
+    "IsolationOracle",
+    "WriteAtomicityOracle",
+    "SemanticViolation",
+    "RegionSerializabilityOracle",
+    "ConflictEdge",
+    "Trace",
+    "TraceEvent",
+    "TraceRecorder",
+    "READ",
+    "WRITE",
+    "SYNC",
+]

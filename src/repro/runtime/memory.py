@@ -1,0 +1,88 @@
+"""Byte-addressable shared memory for the cooperative runtime.
+
+The runtime gives every program one flat, sparse, byte-addressable
+address space — the moral equivalent of the process address space the
+paper's instrumented Pthread programs run in.  A simple deterministic
+bump allocator hands out disjoint regions so workloads and examples can
+lay out their data without clashing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """Sparse byte-addressable memory with little-endian integer helpers."""
+
+    def __init__(self, alloc_base: int = 0x1000) -> None:
+        self._bytes: Dict[int, int] = {}
+        self._next_alloc = alloc_base
+        self.loads = 0
+        self.stores = 0
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Reserve ``size`` bytes; returns the base address.
+
+        Allocation is a deterministic bump pointer: the same sequence of
+        ``alloc`` calls always yields the same addresses, which keeps
+        address-dependent behaviour (epoch-line sharing, cache indexing)
+        reproducible.
+        """
+        if size < 1:
+            raise ValueError("allocation size must be positive")
+        if align < 1 or align & (align - 1):
+            raise ValueError("alignment must be a positive power of two")
+        base = (self._next_alloc + align - 1) & ~(align - 1)
+        self._next_alloc = base + size
+        return base
+
+    # -- byte access ----------------------------------------------------------
+
+    def load_byte(self, address: int) -> int:
+        """The byte at ``address`` (0 if never written)."""
+        self.loads += 1
+        return self._bytes.get(address, 0)
+
+    def store_byte(self, address: int, value: int) -> None:
+        """Set the byte at ``address`` to ``value & 0xFF``."""
+        self.stores += 1
+        self._bytes[address] = value & 0xFF
+
+    # -- integer access (little-endian) ----------------------------------------
+
+    def load_int(self, address: int, size: int) -> int:
+        """Load a ``size``-byte little-endian unsigned integer."""
+        self.loads += 1
+        get = self._bytes.get
+        value = 0
+        for i in range(size):
+            value |= get(address + i, 0) << (8 * i)
+        return value
+
+    def store_int(self, address: int, size: int, value: int) -> None:
+        """Store a ``size``-byte little-endian unsigned integer."""
+        if value < 0:
+            value &= (1 << (8 * size)) - 1
+        self.stores += 1
+        for i in range(size):
+            self._bytes[address + i] = (value >> (8 * i)) & 0xFF
+
+    # -- inspection --------------------------------------------------------------
+
+    def snapshot(self) -> Dict[int, int]:
+        """A copy of every explicitly-written byte (address -> value)."""
+        return dict(self._bytes)
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        """Iterate ``(address, byte)`` pairs of explicitly-written bytes."""
+        return self._bytes.items()
+
+    @property
+    def footprint(self) -> int:
+        """Number of bytes ever written."""
+        return len(self._bytes)

@@ -1,0 +1,117 @@
+"""Schedule recording and exact replay.
+
+The paper's Section 3.1.2 sketches a debugging workflow: when a CLEAN
+execution stops with a race exception, re-run the program with a
+*precise* detector alongside to enumerate every race systematically.
+For that to be useful the re-run must reproduce the interleaving that
+raced — which is exactly what recording the scheduler's choices enables.
+
+:class:`RecordingPolicy` wraps any policy and logs the index it picked
+among the schedulable candidates at every step; :class:`ReplayPolicy`
+replays such a log bit-for-bit.  Because the runtime is deterministic
+given the choice sequence, a replayed run reproduces the original
+execution exactly — same interleaving, same race, same everything — no
+matter which monitors are attached (monitors observe, they never
+schedule).
+
+    recording = RecordingPolicy(RandomPolicy(1234))
+    first = program.run(policy=recording, monitors=[CleanMonitor(...)])
+    if first.race is not None:
+        replay = ReplayPolicy(recording.log)
+        oracle = FastTrackDetector(record_only=True, ...)
+        program2.run(policy=replay, monitors=[CleanMonitor(detector=oracle)])
+        print(oracle.race_kinds())   # ALL races of that interleaving
+
+Logs are JSON-serializable (a list of small integers), so a failing
+schedule can be stored next to a bug report.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from .scheduler import RoundRobinPolicy, SchedulingPolicy
+
+__all__ = ["RecordingPolicy", "ReplayPolicy"]
+
+
+class RecordingPolicy(SchedulingPolicy):
+    """Delegates to ``inner`` while logging every choice it makes."""
+
+    def __init__(self, inner: Optional[SchedulingPolicy] = None) -> None:
+        self.inner = inner if inner is not None else RoundRobinPolicy()
+        #: the replayable log: chosen candidate *index* per step.
+        self.log: List[int] = []
+
+    def pick(self, candidates: Sequence[int], step: int) -> int:
+        choice = self.inner.pick(candidates, step)
+        self.log.append(candidates.index(choice))
+        return choice
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the log as JSON."""
+        Path(path).write_text(json.dumps(self.log))
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Replays a :class:`RecordingPolicy` log exactly.
+
+    The candidate sets of a replayed run match the original step for
+    step (the runtime is deterministic given the choices), so indices
+    resolve to the same threads.  A divergence — a log index out of
+    range, or the log running out while threads still need scheduling —
+    means the replayed program is not the recorded one, and raises
+    :class:`ReplayDivergence` rather than silently misscheduling.
+    """
+
+    def __init__(
+        self,
+        log: Sequence[int],
+        fallback: Optional[SchedulingPolicy] = None,
+    ) -> None:
+        """``fallback`` takes over once the log is exhausted.
+
+        This is deliberate for the Section-3.1.2 workflow: a log recorded
+        from a run that CLEAN *stopped* covers only the racy prefix; a
+        replay with a record-only precise detector needs to continue past
+        the stopping point, and any policy will do from there (the races
+        of interest already happened inside the replayed prefix).
+        Without a fallback, running off the log raises.
+        """
+        self.log = list(log)
+        self.fallback = fallback
+        self._step = 0
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        fallback: Optional[SchedulingPolicy] = None,
+    ) -> "ReplayPolicy":
+        """Load a log persisted by :meth:`RecordingPolicy.save`."""
+        return cls(json.loads(Path(path).read_text()), fallback=fallback)
+
+    def pick(self, candidates: Sequence[int], step: int) -> int:
+        if self._step >= len(self.log):
+            if self.fallback is not None:
+                return self.fallback.pick(candidates, step)
+            raise ReplayDivergence(
+                f"schedule log exhausted at step {self._step}: the replayed "
+                "program made more scheduling decisions than the recording "
+                "(pass a fallback policy to continue past a stopped run)"
+            )
+        index = self.log[self._step]
+        self._step += 1
+        if index >= len(candidates):
+            raise ReplayDivergence(
+                f"log index {index} out of range for {len(candidates)} "
+                f"candidates at step {self._step - 1}: the replayed program "
+                "diverged from the recording"
+            )
+        return candidates[index]
+
+
+class ReplayDivergence(RuntimeError):
+    """The program being replayed is not the one that was recorded."""

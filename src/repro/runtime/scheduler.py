@@ -1,0 +1,804 @@
+"""Cooperative interleaving scheduler: the runtime's execution engine.
+
+Threads are generators yielding :mod:`~repro.runtime.ops` operations; the
+scheduler completes one operation per step, choosing which thread steps
+next through a pluggable :class:`SchedulingPolicy`.  Every completed
+operation is visible to a stack of :class:`ExecutionMonitor` objects —
+this is the moral equivalent of compiler instrumentation in the paper:
+the race detector, the Kendo gate, the trace recorder and the SFR oracle
+are all monitors.
+
+Blocking semantics (locks, barriers, condition variables, semaphores,
+join) are implemented here: an operation that cannot complete *parks* its
+thread, and the thread becomes schedulable again once the operation is
+feasible.  Synchronization operations are additionally *gated*: a monitor
+may veto them via :meth:`ExecutionMonitor.may_sync` until it is the
+thread's deterministic turn (Kendo, Section 2.4/3.3).  When every thread
+is stalled and at least one is merely gate-blocked, the scheduler runs
+the Kendo *pump*: it advances the deterministic counter of the
+minimum-turn thread whose operation is infeasible, exactly like Kendo's
+spin-with-increment, until some thread can proceed.  Because pumping only
+happens when nothing else can run and each bump is a pure function of the
+counter state, the committed synchronization order is independent of the
+scheduling policy — the property the determinism tests verify.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.exceptions import DeadlockError, RaceException
+from .memory import SharedMemory
+from .ops import (
+    Acquire,
+    AtomicRMW,
+    BarrierWait,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Join,
+    Op,
+    Output,
+    Read,
+    Release,
+    SemPost,
+    SemWait,
+    Spawn,
+    Write,
+)
+from .sync import Barrier, Condition, Lock, Semaphore
+
+__all__ = [
+    "ExecutionMonitor",
+    "ExecutionResult",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "Scheduler",
+    "SchedulingPolicy",
+    "ScriptedPolicy",
+    "SyncCommit",
+    "ThreadStatus",
+]
+
+
+class ThreadStatus(Enum):
+    """Lifecycle state of a runtime thread."""
+
+    RUNNABLE = "runnable"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+@dataclass
+class _ThreadRecord:
+    tid: int
+    gen: Any
+    status: ThreadStatus = ThreadStatus.RUNNABLE
+    inbox: Any = None
+    pending: Optional[Op] = None
+    blocked_reason: str = ""
+    det_counter: int = 0
+    output: List[Any] = field(default_factory=list)
+    result: Any = None
+    parent: Optional[int] = None
+    reacquire_after_cond: Optional[Tuple[Condition, Lock]] = None
+
+
+@dataclass(frozen=True)
+class SyncCommit:
+    """One committed synchronization operation (the deterministic log)."""
+
+    index: int
+    tid: int
+    kind: str
+    target: str
+    counter: int
+
+
+class ExecutionMonitor:
+    """Base monitor: every hook is a no-op.  Subclass what you need.
+
+    Hooks that observe memory run in the order required by Section 4.3:
+    ``before_write`` fires before the store, ``after_read`` fires right
+    after the load.  Any hook may raise
+    :class:`~repro.core.exceptions.RaceException` to stop the execution.
+    """
+
+    def attach(self, scheduler: "Scheduler") -> None:
+        """Called once when the scheduler adopts this monitor."""
+
+    def on_thread_start(self, tid: int, parent: Optional[int]) -> None:
+        """A thread (root or spawned) began execution."""
+
+    def on_thread_exit(self, tid: int) -> None:
+        """A thread's generator finished."""
+
+    def on_join(self, parent: int, child: int) -> None:
+        """``parent`` completed a join on finished thread ``child``."""
+
+    def before_read(self, tid: int, address: int, size: int, private: bool) -> None:
+        """About to load ``size`` bytes at ``address``."""
+
+    def after_read(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        """Loaded ``value`` from ``address`` (race check point for reads)."""
+
+    def before_write(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        """About to store ``value`` (race check point for writes)."""
+
+    def after_write(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        """Store completed."""
+
+    def on_acquire(self, tid: int, lock: Lock) -> None:
+        """``tid`` acquired ``lock`` (happens-after its last releaser)."""
+
+    def on_release(self, tid: int, lock: Lock) -> None:
+        """``tid`` released ``lock``."""
+
+    def on_barrier_arrive(self, tid: int, barrier: Barrier, generation: int) -> None:
+        """``tid`` arrived at ``barrier`` in episode ``generation``."""
+
+    def on_barrier_depart(self, tid: int, barrier: Barrier, generation: int) -> None:
+        """``tid`` left ``barrier`` after episode ``generation`` tripped."""
+
+    def on_cond_signal(self, tid: int, cond: Condition) -> None:
+        """``tid`` signalled (or broadcast) ``cond``."""
+
+    def on_cond_wake(self, tid: int, cond: Condition) -> None:
+        """``tid`` woke from a wait on ``cond`` (after reacquiring its lock)."""
+
+    def on_sem_post(self, tid: int, sem: Semaphore) -> None:
+        """``tid`` posted ``sem``."""
+
+    def on_sem_wait(self, tid: int, sem: Semaphore) -> None:
+        """``tid`` completed a wait on ``sem``."""
+
+    def on_spawn(self, parent: int, child: int) -> None:
+        """``parent`` spawned ``child`` (parent-happens-before-child)."""
+
+    def on_compute(self, tid: int, amount: int) -> None:
+        """``tid`` executed ``amount`` non-memory instructions."""
+
+    def may_sync(self, tid: int, op: Op) -> bool:
+        """Gate: may ``tid`` commit synchronization operation ``op`` now?"""
+        return True
+
+    def on_sync_commit(self, tid: int, op: Op) -> None:
+        """A synchronization operation committed (rollover hook point)."""
+
+    def on_finish(self, result: "ExecutionResult") -> None:
+        """The whole execution finished (normally or with a race)."""
+
+
+class SchedulingPolicy:
+    """Chooses which schedulable thread performs the next step."""
+
+    def pick(self, candidates: Sequence[int], step: int) -> int:
+        """Return one tid from ``candidates`` (non-empty, sorted)."""
+        raise NotImplementedError
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Rotate through threads in tid order."""
+
+    def __init__(self) -> None:
+        self._last = -1
+
+    def pick(self, candidates: Sequence[int], step: int) -> int:
+        for tid in candidates:
+            if tid > self._last:
+                self._last = tid
+                return tid
+        self._last = candidates[0]
+        return candidates[0]
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Uniformly random choice from a seeded generator.
+
+    Different seeds explore different interleavings — the tool the
+    property tests use to show CLEAN's guarantees hold on *every*
+    schedule, not just a lucky one.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def pick(self, candidates: Sequence[int], step: int) -> int:
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class ScriptedPolicy(SchedulingPolicy):
+    """Follow an explicit tid script; fall back to the lowest candidate.
+
+    Lets tests construct an exact interleaving (e.g. "the write lands
+    between the read and its check") without fighting randomness.
+    """
+
+    def __init__(self, script: Sequence[int]) -> None:
+        self._script = list(script)
+        self._pos = 0
+
+    def pick(self, candidates: Sequence[int], step: int) -> int:
+        while self._pos < len(self._script):
+            wanted = self._script[self._pos]
+            self._pos += 1
+            if wanted in candidates:
+                return wanted
+        return candidates[0]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything observable about one finished execution."""
+
+    memory: SharedMemory
+    outputs: Dict[int, List[Any]]
+    thread_results: Dict[int, Any]
+    det_counters: Dict[int, int]
+    sync_log: List[SyncCommit]
+    steps: int
+    shared_reads: int
+    shared_writes: int
+    race: Optional[RaceException] = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the execution ran to completion without a race."""
+        return self.race is None
+
+    def fingerprint(self) -> Tuple:
+        """A hashable digest of the observable outcome.
+
+        Two executions of a race-free program under deterministic
+        synchronization must produce equal fingerprints — this is the
+        determinism oracle of Section 6.2.2 (program output, final
+        deterministic counters, shared access counts, memory state).
+        """
+        return (
+            tuple(sorted(self.memory.snapshot().items())),
+            tuple((t, tuple(o)) for t, o in sorted(self.outputs.items())),
+            tuple(sorted(self.det_counters.items())),
+            self.shared_reads,
+            self.shared_writes,
+            tuple((c.tid, c.kind, c.target) for c in self.sync_log),
+        )
+
+
+class Scheduler:
+    """Interleaves generator threads one operation at a time."""
+
+    def __init__(
+        self,
+        memory: Optional[SharedMemory] = None,
+        monitors: Optional[Sequence[ExecutionMonitor]] = None,
+        policy: Optional[SchedulingPolicy] = None,
+        max_threads: int = 64,
+        max_steps: int = 50_000_000,
+        counter_cost: Optional[Callable[[Op], int]] = None,
+    ) -> None:
+        self.memory = memory if memory is not None else SharedMemory()
+        self.monitors: List[ExecutionMonitor] = list(monitors or [])
+        self.policy = policy if policy is not None else RoundRobinPolicy()
+        self.max_threads = max_threads
+        self.max_steps = max_steps
+        self.counter_cost = counter_cost if counter_cost is not None else _default_cost
+        self._threads: Dict[int, _ThreadRecord] = {}
+        # Records of every thread that ever ran; tid reuse keeps only the
+        # latest occupant of a tid, which is what the result reports.
+        self._records_ever: Dict[int, _ThreadRecord] = {}
+        self._free_tids: List[int] = list(range(max_threads - 1, -1, -1))
+        self._finished_unjoined: Dict[int, Any] = {}
+        self._sync_log: List[SyncCommit] = []
+        self._steps = 0
+        self._shared_reads = 0
+        self._shared_writes = 0
+        self._ctx = _Context(self)
+        for monitor in self.monitors:
+            monitor.attach(self)
+
+    # -- public API -----------------------------------------------------------
+
+    def start(self, fn: Callable[..., Any], *args: Any) -> int:
+        """Create the root thread running ``fn(ctx, *args)``."""
+        if self._threads:
+            raise RuntimeError("root thread already started")
+        return self._create_thread(fn, args, parent=None)
+
+    def run(self, raise_on_race: bool = False) -> ExecutionResult:
+        """Drive the execution to completion; returns the result.
+
+        A :class:`RaceException` from a monitor stops the execution; it
+        is recorded on the result (and re-raised if ``raise_on_race``).
+        """
+        race: Optional[RaceException] = None
+        try:
+            while self._live_tids():
+                self._step()
+        except RaceException as exc:
+            race = exc
+        result = ExecutionResult(
+            memory=self.memory,
+            outputs={t: r.output for t, r in self._all_records().items()},
+            thread_results={t: r.result for t, r in self._all_records().items()},
+            det_counters={t: r.det_counter for t, r in self._all_records().items()},
+            sync_log=self._sync_log,
+            steps=self._steps,
+            shared_reads=self._shared_reads,
+            shared_writes=self._shared_writes,
+            race=race,
+        )
+        for monitor in self.monitors:
+            monitor.on_finish(result)
+        if race is not None and raise_on_race:
+            raise race
+        return result
+
+    def det_counter(self, tid: int) -> int:
+        """Current deterministic counter of live thread ``tid``."""
+        return self._threads[tid].det_counter
+
+    def live_counters(self) -> Dict[int, int]:
+        """Deterministic counters of all live threads."""
+        return {t: r.det_counter for t, r in self._threads.items()}
+
+    # -- scheduling loop -------------------------------------------------------
+
+    def _live_tids(self) -> List[int]:
+        return sorted(self._threads)
+
+    def _all_records(self) -> Dict[int, _ThreadRecord]:
+        return dict(self._records_ever)
+
+    def _step(self) -> None:
+        if self._steps >= self.max_steps:
+            raise RuntimeError(f"exceeded step budget of {self.max_steps}")
+        candidates = self._schedulable()
+        if not candidates:
+            self._pump()
+            candidates = self._schedulable()
+            if not candidates:
+                raise DeadlockError(
+                    {t: r.blocked_reason for t, r in self._threads.items()}
+                )
+        tid = self.policy.pick(candidates, self._steps)
+        self._steps += 1
+        record = self._threads[tid]
+        if record.pending is not None:
+            self._complete(record, record.pending)
+        else:
+            self._advance_generator(record)
+
+    def _schedulable(self) -> List[int]:
+        ready = []
+        for tid in sorted(self._threads):
+            record = self._threads[tid]
+            if record.status is ThreadStatus.RUNNABLE:
+                ready.append(tid)
+            elif record.pending is not None and self._can_complete(record):
+                ready.append(tid)
+        return ready
+
+    def _can_complete(self, record: _ThreadRecord) -> bool:
+        op = record.pending
+        assert op is not None
+        if not self._feasible(record, op):
+            return False
+        if op.is_sync and not self._gate_open(record.tid, op):
+            return False
+        return True
+
+    def _gate_open(self, tid: int, op: Op) -> bool:
+        return all(m.may_sync(tid, op) for m in self.monitors)
+
+    def _pump(self) -> None:
+        """Kendo pump: resolve a global stall by spin-with-increment.
+
+        Only runs when every live thread is blocked.  In Kendo, a thread
+        holding the deterministic turn whose operation cannot complete
+        (lock held, barrier not full, ...) increments its own counter by
+        one and cedes the turn; during a global stall these +1 bumps
+        repeat until the first thread with a *feasible* operation becomes
+        the minimum.  Because nothing else can run meanwhile, the limit
+        of that dynamics has a closed form, applied here directly: every
+        infeasible thread ahead of the first feasible thread ``F`` in
+        turn order climbs to ``F``'s counter (plus one if its tid would
+        still win the tie-break).  The result is a pure function of the
+        stall state, so the committed sync order stays schedule-
+        independent.
+        """
+        feasible: List[Tuple[int, int]] = []  # (counter, tid)
+        for tid, record in self._threads.items():
+            op = record.pending
+            if op is not None and self._feasible(record, op):
+                feasible.append((record.det_counter, tid))
+        if not feasible:
+            return  # true deadlock; _step raises
+        threshold, winner_tid = min(feasible)
+        for tid, record in self._threads.items():
+            if tid == winner_tid:
+                continue
+            op = record.pending
+            if op is None or self._feasible(record, op):
+                continue
+            if (record.det_counter, tid) < (threshold, winner_tid):
+                record.det_counter = threshold if tid > winner_tid else threshold + 1
+
+    def _feasible(self, record: _ThreadRecord, op: Op) -> bool:
+        """Whether ``op`` can complete now, ignoring the sync gate."""
+        if isinstance(op, Acquire):
+            return not op.lock.held
+        if isinstance(op, _Reacquire):
+            return not op.lock.held
+        if isinstance(op, BarrierWait):
+            # Arrival itself always "completes"; the thread then waits in
+            # the barrier's internal list until the barrier trips.
+            return True
+        if isinstance(op, _BarrierSleep):
+            return op.barrier.generation > op.generation
+        if isinstance(op, _CondSleep):
+            return op.woken
+        if isinstance(op, SemWait):
+            return op.sem.value > 0
+        if isinstance(op, Join):
+            return op.tid in self._finished_unjoined
+        return True
+
+    # -- generator driving -----------------------------------------------------
+
+    def _advance_generator(self, record: _ThreadRecord) -> None:
+        try:
+            op = record.gen.send(record.inbox)
+        except StopIteration as stop:
+            self._finish_thread(record, stop.value)
+            return
+        record.inbox = None
+        if not isinstance(op, Op):
+            raise TypeError(
+                f"thread {record.tid} yielded {op!r}; expected an Op instance"
+            )
+        if self._can_complete_fresh(record, op):
+            self._complete(record, op)
+        else:
+            self._park(record, op)
+
+    def _can_complete_fresh(self, record: _ThreadRecord, op: Op) -> bool:
+        if not self._feasible(record, op):
+            return False
+        if op.is_sync and not self._gate_open(record.tid, op):
+            return False
+        return True
+
+    def _park(self, record: _ThreadRecord, op: Op) -> None:
+        record.pending = op
+        record.status = ThreadStatus.BLOCKED
+        record.blocked_reason = _describe_block(op)
+
+    def _unpark(self, record: _ThreadRecord, inbox: Any = None) -> None:
+        record.pending = None
+        record.status = ThreadStatus.RUNNABLE
+        record.blocked_reason = ""
+        record.inbox = inbox
+
+    # -- operation completion ----------------------------------------------------
+
+    def _complete(self, record: _ThreadRecord, op: Op) -> None:
+        record.pending = None
+        record.status = ThreadStatus.RUNNABLE
+        record.blocked_reason = ""
+        handler = self._HANDLERS[type(op)]
+        handler(self, record, op)
+
+    def _charge(self, record: _ThreadRecord, op: Op) -> None:
+        record.det_counter += self.counter_cost(op)
+
+    def _commit_sync(self, record: _ThreadRecord, op: Op, target: str) -> None:
+        self._charge(record, op)
+        self._sync_log.append(
+            SyncCommit(
+                index=len(self._sync_log),
+                tid=record.tid,
+                kind=type(op).__name__,
+                target=target,
+                counter=record.det_counter,
+            )
+        )
+        for monitor in self.monitors:
+            monitor.on_sync_commit(record.tid, op)
+
+    def _do_read(self, record: _ThreadRecord, op: Read) -> None:
+        for monitor in self.monitors:
+            monitor.before_read(record.tid, op.address, op.size, op.private)
+        value = self.memory.load_int(op.address, op.size)
+        for monitor in self.monitors:
+            monitor.after_read(record.tid, op.address, op.size, value, op.private)
+        if not op.private:
+            self._shared_reads += 1
+        self._charge(record, op)
+        record.inbox = value
+
+    def _do_write(self, record: _ThreadRecord, op: Write) -> None:
+        for monitor in self.monitors:
+            monitor.before_write(record.tid, op.address, op.size, op.value, op.private)
+        self.memory.store_int(op.address, op.size, op.value)
+        for monitor in self.monitors:
+            monitor.after_write(record.tid, op.address, op.size, op.value, op.private)
+        if not op.private:
+            self._shared_writes += 1
+        self._charge(record, op)
+
+    def _do_rmw(self, record: _ThreadRecord, op: AtomicRMW) -> None:
+        for monitor in self.monitors:
+            monitor.before_read(record.tid, op.address, op.size, False)
+        old = self.memory.load_int(op.address, op.size)
+        for monitor in self.monitors:
+            monitor.after_read(record.tid, op.address, op.size, old, False)
+        new = op.fn(old)
+        for monitor in self.monitors:
+            monitor.before_write(record.tid, op.address, op.size, new, False)
+        self.memory.store_int(op.address, op.size, new)
+        for monitor in self.monitors:
+            monitor.after_write(record.tid, op.address, op.size, new, False)
+        self._shared_reads += 1
+        self._shared_writes += 1
+        self._charge(record, op)
+        record.inbox = old
+
+    def _do_acquire(self, record: _ThreadRecord, op: Acquire) -> None:
+        assert not op.lock.held
+        op.lock.holder = record.tid
+        for monitor in self.monitors:
+            monitor.on_acquire(record.tid, op.lock)
+        self._commit_sync(record, op, op.lock.name)
+
+    def _do_release(self, record: _ThreadRecord, op: Release) -> None:
+        if op.lock.holder != record.tid:
+            raise RuntimeError(
+                f"thread {record.tid} released {op.lock.name} held by "
+                f"{op.lock.holder}"
+            )
+        for monitor in self.monitors:
+            monitor.on_release(record.tid, op.lock)
+        op.lock.holder = None
+        self._commit_sync(record, op, op.lock.name)
+
+    def _do_barrier(self, record: _ThreadRecord, op: BarrierWait) -> None:
+        barrier = op.barrier
+        generation = barrier.generation
+        barrier.waiting.append(record.tid)
+        for monitor in self.monitors:
+            monitor.on_barrier_arrive(record.tid, barrier, generation)
+        self._commit_sync(record, op, barrier.name)
+        if len(barrier.waiting) >= barrier.parties:
+            barrier.generation += 1
+            departing = list(barrier.waiting)
+            barrier.waiting.clear()
+            for tid in departing:
+                departer = self._threads[tid]
+                for monitor in self.monitors:
+                    monitor.on_barrier_depart(tid, barrier, generation)
+                if tid != record.tid:
+                    self._unpark(departer)
+        else:
+            self._park(record, _BarrierSleep(barrier, generation))
+
+    def _do_barrier_sleep(self, record: _ThreadRecord, op: "_BarrierSleep") -> None:
+        # Departure hooks already ran when the barrier tripped; waking the
+        # thread is all that is left.
+        record.inbox = None
+
+    def _do_cond_wait(self, record: _ThreadRecord, op: CondWait) -> None:
+        if op.lock.holder != record.tid:
+            raise RuntimeError(
+                f"thread {record.tid} waited on {op.cond.name} without "
+                f"holding {op.lock.name}"
+            )
+        for monitor in self.monitors:
+            monitor.on_release(record.tid, op.lock)
+        op.lock.holder = None
+        self._commit_sync(record, op, op.cond.name)
+        sleep = _CondSleep(op.cond, op.lock)
+        op.cond.waiting.append(record.tid)
+        self._park(record, sleep)
+
+    def _do_cond_sleep(self, record: _ThreadRecord, op: "_CondSleep") -> None:
+        # Woken: now reacquire the lock before returning from the wait.
+        self._park(record, _Reacquire(op.lock, op.cond))
+
+    def _do_reacquire(self, record: _ThreadRecord, op: "_Reacquire") -> None:
+        assert not op.lock.held
+        op.lock.holder = record.tid
+        for monitor in self.monitors:
+            monitor.on_acquire(record.tid, op.lock)
+            monitor.on_cond_wake(record.tid, op.cond)
+        self._commit_sync(record, op, op.lock.name)
+
+    def _do_cond_signal(self, record: _ThreadRecord, op: CondSignal) -> None:
+        for monitor in self.monitors:
+            monitor.on_cond_signal(record.tid, op.cond)
+        if op.cond.waiting:
+            tid = op.cond.waiting.pop(0)
+            sleeper = self._threads[tid]
+            assert isinstance(sleeper.pending, _CondSleep)
+            sleeper.pending.woken = True
+        self._commit_sync(record, op, op.cond.name)
+
+    def _do_cond_broadcast(self, record: _ThreadRecord, op: CondBroadcast) -> None:
+        for monitor in self.monitors:
+            monitor.on_cond_signal(record.tid, op.cond)
+        for tid in op.cond.waiting:
+            sleeper = self._threads[tid]
+            assert isinstance(sleeper.pending, _CondSleep)
+            sleeper.pending.woken = True
+        op.cond.waiting.clear()
+        self._commit_sync(record, op, op.cond.name)
+
+    def _do_sem_wait(self, record: _ThreadRecord, op: SemWait) -> None:
+        assert op.sem.value > 0
+        op.sem.value -= 1
+        for monitor in self.monitors:
+            monitor.on_sem_wait(record.tid, op.sem)
+        self._commit_sync(record, op, op.sem.name)
+
+    def _do_sem_post(self, record: _ThreadRecord, op: SemPost) -> None:
+        op.sem.value += 1
+        for monitor in self.monitors:
+            monitor.on_sem_post(record.tid, op.sem)
+        self._commit_sync(record, op, op.sem.name)
+
+    def _do_spawn(self, record: _ThreadRecord, op: Spawn) -> None:
+        child = self._create_thread(op.fn, op.args, parent=record.tid)
+        self._commit_sync(record, op, f"spawn:{child}")
+        record.inbox = child
+
+    def _do_join(self, record: _ThreadRecord, op: Join) -> None:
+        assert op.tid in self._finished_unjoined
+        result = self._finished_unjoined.pop(op.tid)
+        for monitor in self.monitors:
+            monitor.on_join(record.tid, op.tid)
+        self._free_tids.append(op.tid)
+        self._commit_sync(record, op, f"join:{op.tid}")
+        record.inbox = result
+
+    def _do_compute(self, record: _ThreadRecord, op: Compute) -> None:
+        for monitor in self.monitors:
+            monitor.on_compute(record.tid, op.amount)
+        self._charge(record, op)
+
+    def _do_output(self, record: _ThreadRecord, op: Output) -> None:
+        record.output.append(op.value)
+        self._charge(record, op)
+
+    # -- thread lifecycle ----------------------------------------------------------
+
+    def _create_thread(
+        self, fn: Callable[..., Any], args: Tuple[Any, ...], parent: Optional[int]
+    ) -> int:
+        if not self._free_tids:
+            raise RuntimeError(f"more than {self.max_threads} live threads")
+        tid = self._free_tids.pop()
+        gen = fn(self._ctx, *args)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"thread function {fn!r} must be a generator function")
+        record = _ThreadRecord(tid=tid, gen=gen, parent=parent)
+        if parent is not None:
+            record.det_counter = self._threads[parent].det_counter
+        self._threads[tid] = record
+        self._records_ever[tid] = record
+        for monitor in self.monitors:
+            monitor.on_thread_start(tid, parent)
+        if parent is not None:
+            for monitor in self.monitors:
+                monitor.on_spawn(parent, tid)
+        return tid
+
+    def _finish_thread(self, record: _ThreadRecord, result: Any) -> None:
+        record.result = result
+        record.status = ThreadStatus.DONE
+        for monitor in self.monitors:
+            monitor.on_thread_exit(record.tid)
+        del self._threads[record.tid]
+        self._finished_unjoined[record.tid] = result
+
+    _HANDLERS: Dict[type, Callable] = {}
+
+
+class _Context:
+    """Handle passed as the first argument to every thread function."""
+
+    def __init__(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+
+    @property
+    def memory(self) -> SharedMemory:
+        """The shared memory of the running program."""
+        return self._scheduler.memory
+
+    def alloc(self, size: int, align: int = 8) -> int:
+        """Allocate shared memory (deterministic bump allocator)."""
+        return self._scheduler.memory.alloc(size, align)
+
+
+class _InternalOp:
+    """Base of scheduler-private continuation ops (never user-yielded)."""
+
+    cost = 0
+    is_sync = False
+
+
+class _BarrierSleep(_InternalOp):
+    """Internal: parked inside a barrier, waiting for it to trip."""
+
+    def __init__(self, barrier: Barrier, generation: int) -> None:
+        self.barrier = barrier
+        self.generation = generation
+
+
+class _CondSleep(_InternalOp):
+    """Internal: parked on a condition variable until signalled."""
+
+    def __init__(self, cond: Condition, lock: Lock) -> None:
+        self.cond = cond
+        self.lock = lock
+        self.woken = False
+
+
+class _Reacquire(_InternalOp):
+    """Internal: reacquiring the lock after a condition wait."""
+
+    is_sync = True
+
+    def __init__(self, lock: Lock, cond: Condition) -> None:
+        self.lock = lock
+        self.cond = cond
+
+
+def _describe_block(op: Op) -> str:
+    if isinstance(op, (Acquire, _Reacquire)):
+        return f"acquiring {op.lock.name}"
+    if isinstance(op, _BarrierSleep):
+        return f"inside {op.barrier.name}"
+    if isinstance(op, BarrierWait):
+        return f"arriving at {op.barrier.name}"
+    if isinstance(op, _CondSleep):
+        return f"waiting on {op.cond.name}"
+    if isinstance(op, SemWait):
+        return f"waiting on {op.sem.name}"
+    if isinstance(op, Join):
+        return f"joining thread {op.tid}"
+    return f"gated {type(op).__name__}"
+
+
+def _default_cost(op: Op) -> int:
+    return op.cost
+
+
+Scheduler._HANDLERS = {
+    Read: Scheduler._do_read,
+    Write: Scheduler._do_write,
+    AtomicRMW: Scheduler._do_rmw,
+    Acquire: Scheduler._do_acquire,
+    Release: Scheduler._do_release,
+    BarrierWait: Scheduler._do_barrier,
+    _BarrierSleep: Scheduler._do_barrier_sleep,
+    CondWait: Scheduler._do_cond_wait,
+    _CondSleep: Scheduler._do_cond_sleep,
+    _Reacquire: Scheduler._do_reacquire,
+    CondSignal: Scheduler._do_cond_signal,
+    CondBroadcast: Scheduler._do_cond_broadcast,
+    SemWait: Scheduler._do_sem_wait,
+    SemPost: Scheduler._do_sem_post,
+    Spawn: Scheduler._do_spawn,
+    Join: Scheduler._do_join,
+    Compute: Scheduler._do_compute,
+    Output: Scheduler._do_output,
+}

@@ -1,0 +1,89 @@
+"""Synchronization objects for the cooperative runtime.
+
+These are thin identity-carrying objects; their blocking semantics are
+implemented by the scheduler, which owns all waiting/waking.  Each object
+has a stable ``name`` (used in error messages and as the vector-clock key
+inside detectors) and deterministic state so that executions are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+__all__ = ["Lock", "Barrier", "Condition", "Semaphore"]
+
+_ids = itertools.count()
+
+
+class Lock:
+    """A mutual-exclusion lock (Pthread mutex equivalent)."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name if name is not None else f"lock{next(_ids)}"
+        #: tid of the current holder, or None.
+        self.holder: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        """Whether some thread currently holds the lock."""
+        return self.holder is not None
+
+    def __repr__(self) -> str:
+        return f"Lock({self.name!r}, holder={self.holder})"
+
+
+class Barrier:
+    """An N-party barrier (Pthread barrier equivalent).
+
+    ``generation`` increments every time the barrier trips, so the
+    detector can key each barrier episode's vector clock separately.
+    """
+
+    def __init__(self, parties: int, name: Optional[str] = None) -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.name = name if name is not None else f"barrier{next(_ids)}"
+        self.generation = 0
+        #: tids currently waiting (arrival order, deterministic under Kendo).
+        self.waiting: List[int] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"Barrier({self.name!r}, parties={self.parties}, "
+            f"waiting={len(self.waiting)}, gen={self.generation})"
+        )
+
+
+class Condition:
+    """A condition variable used with an external :class:`Lock`."""
+
+    def __init__(self, name: Optional[str] = None) -> None:
+        self.name = name if name is not None else f"cond{next(_ids)}"
+        #: tids blocked in CondWait, in arrival order.
+        self.waiting: List[int] = []
+        #: number of pending wakeups not yet consumed.
+        self.signals = 0
+
+    def __repr__(self) -> str:
+        return f"Condition({self.name!r}, waiting={len(self.waiting)})"
+
+
+class Semaphore:
+    """A counting semaphore, built by workloads from a lock + condition.
+
+    Provided for completeness of the Pthread-style API surface; the
+    scheduler treats it natively (acquire decrements, release increments)
+    so pipeline workloads can express bounded queues directly.
+    """
+
+    def __init__(self, value: int = 0, name: Optional[str] = None) -> None:
+        if value < 0:
+            raise ValueError("semaphore value must be non-negative")
+        self.name = name if name is not None else f"sem{next(_ids)}"
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Semaphore({self.name!r}, value={self.value})"

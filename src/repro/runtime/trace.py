@@ -1,0 +1,181 @@
+"""Access traces: the interface between the runtime and the hardware sim.
+
+The paper's hardware evaluation is driven by a Pin-based simulator that
+observes every memory access of the running benchmark (Section 6.3.1).
+Our equivalent: a :class:`TraceRecorder` monitor captures each thread's
+stream of memory and synchronization events while a workload runs on the
+cooperative runtime; the resulting :class:`Trace` is then replayed by the
+trace-driven multicore simulator in :mod:`repro.hardware`.
+
+Events deliberately carry the same information Pin provides the paper's
+simulator: address, size, read/write, a stack/private flag ("potentially
+shared" is approximated as non-stack, Section 6.3.1), and an instruction
+weight for the non-memory work between accesses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .scheduler import ExecutionMonitor
+
+__all__ = ["TraceEvent", "Trace", "TraceRecorder", "READ", "WRITE", "SYNC"]
+
+READ = "R"
+WRITE = "W"
+SYNC = "S"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One event of one thread's trace.
+
+    ``kind`` is :data:`READ`, :data:`WRITE` or :data:`SYNC`.  ``gap``
+    counts the non-memory instructions executed since the thread's
+    previous event (the simulator charges them one cycle each).
+    """
+
+    kind: str
+    address: int = 0
+    size: int = 0
+    private: bool = False
+    gap: int = 0
+    sync_name: str = ""
+
+
+@dataclass
+class Trace:
+    """Per-thread event streams of one execution."""
+
+    per_thread: Dict[int, List[TraceEvent]] = field(default_factory=dict)
+
+    def thread_ids(self) -> List[int]:
+        """Sorted tids present in the trace."""
+        return sorted(self.per_thread)
+
+    def events(self, tid: int) -> List[TraceEvent]:
+        """The event list of thread ``tid``."""
+        return self.per_thread.get(tid, [])
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for tid in self.thread_ids():
+            yield from self.per_thread[tid]
+
+    @property
+    def total_events(self) -> int:
+        """Total number of events across all threads."""
+        return sum(len(v) for v in self.per_thread.values())
+
+    @property
+    def total_accesses(self) -> int:
+        """Total number of memory (non-sync) events."""
+        return sum(
+            1
+            for events in self.per_thread.values()
+            for e in events
+            if e.kind != SYNC
+        )
+
+    def shared_accesses(self) -> int:
+        """Memory events not marked private."""
+        return sum(
+            1
+            for events in self.per_thread.values()
+            for e in events
+            if e.kind != SYNC and not e.private
+        )
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as JSON-lines: one line per thread.
+
+        The format is stable and self-describing, so traces recorded
+        once (an expensive workload run) can be replayed through many
+        simulator configurations, or shared between machines.
+        """
+        with open(path, "w") as fh:
+            for tid in self.thread_ids():
+                events = [
+                    [e.kind, e.address, e.size, int(e.private), e.gap, e.sync_name]
+                    for e in self.per_thread[tid]
+                ]
+                fh.write(json.dumps({"tid": tid, "events": events}) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        per_thread: Dict[int, List[TraceEvent]] = {}
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                per_thread[int(record["tid"])] = [
+                    TraceEvent(
+                        kind=kind,
+                        address=address,
+                        size=size,
+                        private=bool(private),
+                        gap=gap,
+                        sync_name=sync_name,
+                    )
+                    for kind, address, size, private, gap, sync_name in record[
+                        "events"
+                    ]
+                ]
+        return cls(per_thread=per_thread)
+
+
+class TraceRecorder(ExecutionMonitor):
+    """Monitor that builds a :class:`Trace` while a program runs."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+        self._gap: Dict[int, int] = {}
+
+    def _emit(self, tid: int, event: TraceEvent) -> None:
+        self.trace.per_thread.setdefault(tid, []).append(event)
+
+    def _take_gap(self, tid: int) -> int:
+        gap = self._gap.get(tid, 0)
+        self._gap[tid] = 0
+        return gap
+
+    def on_compute(self, tid: int, amount: int) -> None:
+        """Accumulate non-memory instruction work for ``tid``."""
+        self._gap[tid] = self._gap.get(tid, 0) + amount
+
+    def on_thread_start(self, tid: int, parent: Optional[int]) -> None:
+        self.trace.per_thread.setdefault(tid, [])
+        self._gap[tid] = 0
+
+    def after_read(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        self._emit(
+            tid,
+            TraceEvent(READ, address, size, private, gap=self._take_gap(tid)),
+        )
+
+    def after_write(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        self._emit(
+            tid,
+            TraceEvent(WRITE, address, size, private, gap=self._take_gap(tid)),
+        )
+
+    def on_sync_commit(self, tid: int, op: object) -> None:
+        self._emit(
+            tid,
+            TraceEvent(
+                SYNC,
+                gap=self._take_gap(tid),
+                sync_name=type(op).__name__,
+            ),
+        )

@@ -1,0 +1,19 @@
+"""Software-only CLEAN: measured detector events priced by a cost model."""
+
+from .costmodel import (
+    DEFAULT_PARAMS,
+    DetectionCost,
+    SoftwareCostParams,
+    SyncCost,
+)
+from .runner import INSTRUCTIONS_PER_SECOND, SwCleanRun, run_software_clean
+
+__all__ = [
+    "SoftwareCostParams",
+    "DEFAULT_PARAMS",
+    "DetectionCost",
+    "SyncCost",
+    "SwCleanRun",
+    "run_software_clean",
+    "INSTRUCTIONS_PER_SECOND",
+]

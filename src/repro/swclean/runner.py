@@ -1,0 +1,192 @@
+"""Run a workload under software CLEAN and price its overheads.
+
+One call executes the benchmark's race-free variant on the cooperative
+runtime with the real detector and Kendo gate attached, then converts the
+measured event counts into modelled execution times:
+
+* ``t0`` — baseline parallel time: the slowest thread's executed
+  instructions (no CLEAN).
+* ``t_detection`` — baseline plus the priced WAW/RAW detection work.
+* ``t_detsync`` — baseline plus the priced deterministic-synchronization
+  work (Kendo alone, as in Figure 6's middle bars).
+* ``t_full`` — detection and deterministic synchronization composed
+  multiplicatively: detection stretches every thread, which stretches
+  deterministic waits by the same factor.
+
+Rollover accounting (Table 1) uses a deliberately narrow clock layout so
+the scaled-down workloads exercise the reset machinery the way the
+paper's native runs exercise the 23-bit clock; see
+:mod:`repro.experiments.table1_rollover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..clean import CleanMonitor
+from ..core.detector import AccessStats, CleanDetector
+from ..core.epoch import DEFAULT_LAYOUT, EpochLayout
+from ..core.rollover import RolloverPolicy
+from ..determinism.kendo import KendoGate
+from ..runtime.ops import Compute
+from ..runtime.scheduler import ExecutionResult, RoundRobinPolicy
+from ..workloads.kernels import N_THREADS, build_program
+from ..workloads.spec import BenchmarkSpec
+from .costmodel import DEFAULT_PARAMS, DetectionCost, SoftwareCostParams, SyncCost
+
+__all__ = ["SwCleanRun", "run_software_clean"]
+
+#: Modelled instructions per simulated second: the paper's 2.2 GHz cores
+#: scaled to our shrunken workloads so per-second quantities (Table 1)
+#: land in a comparable range.
+INSTRUCTIONS_PER_SECOND = 50_000.0
+
+
+@dataclass
+class SwCleanRun:
+    """Measured and modelled results of one software-CLEAN execution."""
+
+    benchmark: str
+    scale: str
+    vectorized: bool
+    t0: float
+    t_detection: float
+    t_detsync: float
+    t_full: float
+    stats: AccessStats
+    sync_commits: int
+    rollovers: int
+    shared_accesses: int
+    result: ExecutionResult
+
+    @property
+    def slowdown_detection(self) -> float:
+        """Race-detection-only slowdown (Figure 6 middle / Figure 8)."""
+        return self.t_detection / self.t0
+
+    @property
+    def slowdown_detsync(self) -> float:
+        """Deterministic-synchronization-only slowdown (Figure 6)."""
+        return self.t_detsync / self.t0
+
+    @property
+    def slowdown_full(self) -> float:
+        """Full CLEAN slowdown (Figure 6 main bars)."""
+        return self.t_full / self.t0
+
+    @property
+    def total_instructions(self) -> float:
+        """Executed instructions summed over all threads."""
+        return float(sum(self.result.det_counters.values()))
+
+    @property
+    def shared_access_density(self) -> float:
+        """Measured shared accesses per executed instruction (Figure 7)."""
+        total = self.total_instructions
+        return self.shared_accesses / total if total else 0.0
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Baseline run time in simulated seconds."""
+        return self.t0 / INSTRUCTIONS_PER_SECOND
+
+    @property
+    def rollovers_per_second(self) -> float:
+        """Deterministic resets per simulated second (Table 1)."""
+        seconds = self.simulated_seconds
+        return self.rollovers / seconds if seconds else 0.0
+
+
+class _TrackingCounter:
+    """Counts every op fully, while recording what basic-block
+    instrumentation below ``cutoff`` would have skipped (Section 6.2.1)."""
+
+    def __init__(self, cutoff: int = 8) -> None:
+        self.cutoff = cutoff
+        self.skipped = 0
+        self.compute_total = 0
+
+    def __call__(self, op: object) -> int:
+        cost = getattr(op, "cost", 0)
+        if isinstance(op, Compute):
+            self.compute_total += op.amount
+            if op.amount < self.cutoff:
+                self.skipped += op.amount
+        return cost
+
+
+def run_software_clean(
+    spec: BenchmarkSpec,
+    scale: str = "simsmall",
+    seed: int = 0,
+    params: SoftwareCostParams = DEFAULT_PARAMS,
+    vectorized: bool = True,
+    layout: EpochLayout = DEFAULT_LAYOUT,
+    rollover_slack: int = 32,
+    n_threads: int = N_THREADS,
+    atomicity: str = "cas",
+    instrument_private_fraction: float = 0.0,
+) -> SwCleanRun:
+    """Execute ``spec``'s race-free variant under CLEAN and price it.
+
+    ``atomicity`` selects the check-atomicity scheme priced by the cost
+    model: CLEAN's lock-free CAS (default) or the lock-based alternative
+    (the Section-4.3 ablation).
+    """
+    program = build_program(spec, scale=scale, racy=False, seed=seed,
+                            n_threads=n_threads)
+    detector = CleanDetector(
+        max_threads=n_threads + 8, layout=layout, vectorized=vectorized
+    )
+    rollover = RolloverPolicy(slack=rollover_slack)
+    clean = CleanMonitor(
+        detector=detector,
+        rollover=rollover,
+        instrument_private_fraction=instrument_private_fraction,
+    )
+    gate = KendoGate()
+    counter = _TrackingCounter()
+    result = program.run(
+        policy=RoundRobinPolicy(),
+        monitors=[clean, gate],
+        max_threads=n_threads + 8,
+        counter_cost=counter,
+        raise_on_race=True,
+    )
+
+    t0 = float(max(result.det_counters.values()))
+    stats = detector.stats
+    detection = DetectionCost.from_stats(stats, params, vectorized, atomicity)
+    sync = SyncCost.compute(
+        params,
+        baseline=t0,
+        sync_commits=len(result.sync_log),
+        # Global sums attributed per thread: t0 is per-thread time.
+        compute_instructions=counter.compute_total / n_threads,
+        imbalance=spec.imbalance,
+        skipped_counter_work=counter.skipped / n_threads,
+        blocking_sync=spec.blocking_sync,
+        n_threads=n_threads,
+    )
+    detection_per_thread = detection.added_instructions / n_threads
+    rollover_cost = rollover.count * params.rollover_cost
+    t_detection = t0 + detection_per_thread + rollover_cost
+    t_detsync = max(t0 * 0.5, t0 + sync.added_instructions)
+    # Full system: detection stretches the threads, deterministic waits
+    # stretch with them.
+    t_full = t_detection * (t_detsync / t0)
+    return SwCleanRun(
+        benchmark=spec.name,
+        scale=scale,
+        vectorized=vectorized,
+        t0=t0,
+        t_detection=t_detection,
+        t_detsync=t_detsync,
+        t_full=t_full,
+        stats=stats,
+        sync_commits=len(result.sync_log),
+        rollovers=rollover.count,
+        shared_accesses=result.shared_reads + result.shared_writes,
+        result=result,
+    )

@@ -1,0 +1,43 @@
+"""Workload models: SPLASH-2/PARSEC kernels, microbenchmarks, generators."""
+
+from .characterize import Characteristics, characterize, characterize_suite
+from .kernels import N_THREADS, build_program
+from .microbench import (
+    BRANCH_TABLE_SIZE,
+    spilled_switch_program,
+    torn_write_program,
+)
+from .randprog import RandomProgramPlan, make_random_program
+from .spec import SCALES, BenchmarkSpec, Scale
+from .suite import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    HW_BENCHMARKS,
+    RACE_FREE_VARIANTS,
+    RACY_BENCHMARKS,
+    ROLLOVER_BENCHMARKS,
+    get_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "Scale",
+    "SCALES",
+    "build_program",
+    "N_THREADS",
+    "characterize",
+    "characterize_suite",
+    "Characteristics",
+    "ALL_BENCHMARKS",
+    "BENCHMARKS",
+    "RACY_BENCHMARKS",
+    "RACE_FREE_VARIANTS",
+    "HW_BENCHMARKS",
+    "ROLLOVER_BENCHMARKS",
+    "get_benchmark",
+    "make_random_program",
+    "RandomProgramPlan",
+    "spilled_switch_program",
+    "torn_write_program",
+    "BRANCH_TABLE_SIZE",
+]

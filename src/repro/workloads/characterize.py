@@ -1,0 +1,107 @@
+"""Workload characterization: measure what the specs promise.
+
+The benchmark specs in :mod:`repro.workloads.suite` are calibrated
+*inputs*; this module closes the loop by measuring the corresponding
+properties from actual executions — shared-access density, width mix,
+write fraction, synchronization rate, footprint — so drift between spec
+and behaviour is visible (and testable).
+
+Used by ``python -m repro list --measured`` style tooling and by the
+suite self-consistency tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..runtime.scheduler import RoundRobinPolicy
+from ..runtime.trace import SYNC, TraceRecorder, WRITE
+from .kernels import build_program
+from .spec import BenchmarkSpec
+
+__all__ = ["Characteristics", "characterize"]
+
+
+@dataclass(frozen=True)
+class Characteristics:
+    """Measured properties of one workload execution."""
+
+    benchmark: str
+    scale: str
+    threads: int
+    instructions: int
+    shared_accesses: int
+    private_accesses: int
+    sync_ops: int
+    write_fraction: float
+    wide_fraction: float
+    byte_write_fraction: float
+    footprint_bytes: int
+
+    @property
+    def shared_density(self) -> float:
+        """Shared accesses per executed instruction (the Fig-7 quantity)."""
+        return self.shared_accesses / self.instructions if self.instructions else 0.0
+
+    @property
+    def sync_density(self) -> float:
+        """Sync operations per executed instruction."""
+        return self.sync_ops / self.instructions if self.instructions else 0.0
+
+
+def characterize(
+    spec: BenchmarkSpec, scale: str = "test", seed: int = 0
+) -> Characteristics:
+    """Run ``spec``'s runnable variant bare and measure its properties."""
+    racy = spec.style == "lock_free"  # canneal has only the racy variant
+    recorder = TraceRecorder()
+    program = build_program(spec, scale=scale, racy=racy, seed=seed)
+    result = program.run(
+        policy=RoundRobinPolicy(), monitors=[recorder], max_threads=24
+    )
+    trace = recorder.trace
+
+    shared = private = syncs = writes = wide = byte_writes = 0
+    instructions = 0
+    touched = set()
+    for event in trace:
+        instructions += event.gap
+        if event.kind == SYNC:
+            syncs += 1
+            instructions += 1
+            continue
+        instructions += 1
+        if event.private:
+            private += 1
+            continue
+        shared += 1
+        if event.kind == WRITE:
+            writes += 1
+            if event.size == 1:
+                byte_writes += 1
+        if event.size >= 4:
+            wide += 1
+        for a in range(event.address, event.address + event.size):
+            touched.add(a)
+
+    return Characteristics(
+        benchmark=spec.name,
+        scale=scale,
+        threads=len(trace.thread_ids()),
+        instructions=instructions,
+        shared_accesses=shared,
+        private_accesses=private,
+        sync_ops=syncs,
+        write_fraction=writes / shared if shared else 0.0,
+        wide_fraction=wide / shared if shared else 0.0,
+        byte_write_fraction=byte_writes / writes if writes else 0.0,
+        footprint_bytes=len(touched),
+    )
+
+
+def characterize_suite(
+    specs, scale: str = "test", seed: int = 0
+) -> Dict[str, Characteristics]:
+    """Characterize many specs; returns a name-indexed mapping."""
+    return {spec.name: characterize(spec, scale, seed) for spec in specs}

@@ -1,0 +1,84 @@
+"""Figure-1 microbenchmarks: the motivating pathologies of the paper.
+
+Two tiny programs reproduce the surprising behaviours the introduction
+uses to motivate SFR isolation and write-atomicity:
+
+* :func:`spilled_switch_program` — Figure 1a: thread 1 loads a shared
+  variable, validates it, and later *reloads* it (modelling a compiler
+  spilling the register and re-reading memory); thread 2's racy write in
+  between makes the validated value stale, so the branch-table index is
+  out of bounds.  Under CLEAN, the reload of racy data is a RAW race and
+  the execution stops before the wild branch.
+* :func:`torn_write_program` — Figure 1b: a 64-bit store is performed as
+  two 32-bit halves; two threads storing concurrently can leave a value
+  (``0x100000001``) that appears in neither thread's code.  Under CLEAN
+  the second thread's half-store is a WAW race.
+"""
+
+from __future__ import annotations
+
+from ..runtime.ops import Compute, Join, Output, Read, Spawn, Write
+from ..runtime.program import Program
+
+__all__ = [
+    "spilled_switch_program",
+    "torn_write_program",
+    "BRANCH_TABLE_SIZE",
+]
+
+#: Size of the Figure-1a branch table; valid switch indices are 0 and 1.
+BRANCH_TABLE_SIZE = 2
+
+
+def spilled_switch_program(racy_value: int = 5) -> Program:
+    """Figure 1a: bounds-check on a value that a racy write invalidates.
+
+    Thread 1's output is ``("branch", index)``; an index outside
+    ``range(BRANCH_TABLE_SIZE)`` is the out-of-thin-air wild branch.
+    """
+
+    def thread2(ctx, x_addr):
+        yield Write(x_addr, 4, racy_value)
+
+    def main(ctx):
+        x_addr = ctx.alloc(4)
+        yield Write(x_addr, 4, 1)  # initially valid
+        kid = yield Spawn(thread2, (x_addr,))
+        a = yield Read(x_addr, 4)  # unsigned a = x
+        if a < 2:
+            # "Complex code forcing a to be spilled": the compiler
+            # re-reads x instead of keeping a in a register.
+            yield Compute(50)
+            a = yield Read(x_addr, 4)  # the reload — races with thread 2
+            # The switch's bounds check was removed because a "must" be
+            # 0 or 1; a racy write makes the table index wild.
+            yield Output(("branch", a))
+        yield Join(kid)
+        return a
+
+    return Program(main)
+
+
+def torn_write_program() -> Program:
+    """Figure 1b: 64-bit stores issued as two 32-bit halves.
+
+    Thread 1 stores ``0x1_0000_0000``, thread 2 stores ``0x1``; a torn
+    interleaving leaves ``x == 0x1_0000_0001``, a value neither thread
+    wrote.  The main thread outputs the final 64-bit value.
+    """
+
+    def store64(ctx, addr, value):
+        yield Write(addr + 4, 4, (value >> 32) & 0xFFFFFFFF)  # high half
+        yield Write(addr, 4, value & 0xFFFFFFFF)              # low half
+
+    def main(ctx):
+        addr = ctx.alloc(8)
+        t1 = yield Spawn(store64, (addr, 0x1_0000_0000))
+        t2 = yield Spawn(store64, (addr, 0x1))
+        yield Join(t1)
+        yield Join(t2)
+        value = yield Read(addr, 8)
+        yield Output(("x", value))
+        return value
+
+    return Program(main)

@@ -1,0 +1,136 @@
+"""Tests for the ablation experiments and their mechanisms."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.traces import record_trace
+from repro.hardware import SimConfig, simulate_trace
+from repro.hardware.precise_unit import PreciseCheckUnit
+from repro.hardware.hierarchy import MemoryHierarchy
+from repro.hardware.metadata import MetadataLayout
+from repro.swclean import run_software_clean
+from repro.workloads import get_benchmark
+
+
+class TestPreciseUnitMechanics:
+    def make(self):
+        hierarchy = MemoryHierarchy(n_cores=2)
+        unit = PreciseCheckUnit(hierarchy, MetadataLayout("clean"), n_threads=3)
+        unit.set_thread(0, tid=1, clock=1)
+        unit.set_thread(1, tid=2, clock=1)
+        return unit
+
+    def test_reads_update_read_metadata(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 4, is_write=False, private=False)
+        assert unit.stats.read_meta_updates == 1
+
+    def test_concurrent_reads_inflate(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 4, is_write=False, private=False)
+        unit.check(1, 0x1000, 4, is_write=False, private=False)
+        assert unit.stats.inflations == 1
+
+    def test_same_thread_rereads_do_not_inflate(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 4, is_write=False, private=False)
+        unit.check(0, 0x1000, 4, is_write=False, private=False)
+        assert unit.stats.inflations == 0
+
+    def test_write_scans_and_clears_inflated_vc(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 4, is_write=False, private=False)
+        unit.check(1, 0x1000, 4, is_write=False, private=False)
+        unit.check(0, 0x1000, 4, is_write=True, private=False)
+        assert unit.stats.read_vc_scans == 1
+        # a later pair of concurrent reads inflates again from scratch
+        unit.check(0, 0x1000, 4, is_write=False, private=False)
+        unit.check(1, 0x1000, 4, is_write=False, private=False)
+        assert unit.stats.inflations == 2
+
+    def test_private_accesses_skip_read_side(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 4, is_write=False, private=True)
+        assert unit.stats.read_meta_updates == 0
+
+    def test_precise_costs_at_least_clean(self):
+        """On the same trace, the precise unit's machine is never faster
+        than CLEAN's (it does a superset of the work)."""
+        trace = record_trace(get_benchmark("fft"), scale="test")
+        clean = simulate_trace(trace, SimConfig(detection=True))
+        precise = simulate_trace(
+            trace, SimConfig(detection=True, check_unit="precise")
+        )
+        assert precise.cycles >= clean.cycles
+
+    def test_unknown_unit_rejected(self):
+        trace = record_trace(get_benchmark("fft"), scale="test")
+        with pytest.raises(ValueError):
+            simulate_trace(trace, SimConfig(detection=True, check_unit="odd"))
+
+
+class TestAtomicityPricing:
+    def test_lock_mode_costs_more(self):
+        spec = get_benchmark("fft")
+        cas = run_software_clean(spec, scale="test", atomicity="cas")
+        lock = run_software_clean(spec, scale="test", atomicity="lock")
+        assert lock.slowdown_detection > cas.slowdown_detection
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            run_software_clean(
+                get_benchmark("fft"), scale="test", atomicity="hopeful"
+            )
+
+
+class TestAblationExperiments:
+    def test_a1_precision_always_costs(self):
+        result = ablations.run_war_precision(scale="test")
+        for row in result.rows:
+            assert row[2] >= row[1], row[0]
+        # the paper's RADISH contrast: precise reaches 2-3x somewhere
+        assert max(result.column("precise")) > 2.0
+
+    def test_a2_locking_share_in_paper_band(self):
+        result = ablations.run_atomicity(scale="test")
+        shares = [float(row[3].rstrip("%")) for row in result.rows]
+        assert sum(shares) / len(shares) > 30.0  # paper: >40% cited
+
+    def test_a3_rollovers_monotone_in_clock_width(self):
+        result = ablations.run_clock_width(scale="test")
+        rollovers = result.column("rollovers")
+        assert rollovers == sorted(rollovers, reverse=True)
+        assert rollovers[0] > 0          # narrow clock rolls over
+        assert rollovers[-1] == 0        # wide clock never does
+        slowdowns = result.column("full slowdown")
+        assert slowdowns[0] >= slowdowns[-1]
+
+
+class TestInstrumentationAblation:
+    def test_conservative_instrumentation_costs_more(self):
+        from repro.experiments.ablations import run_instrumentation
+
+        result = run_instrumentation(scale="test")
+        for row in result.rows:
+            name, exact, half, full, waste = row
+            assert exact <= half <= full, name
+            assert waste >= 1.0
+
+    def test_instrumented_private_accesses_never_race(self):
+        """Checking private accesses is wasteful but harmless: a thread's
+        own stack accesses cannot race."""
+        from repro.swclean import run_software_clean
+        from repro.workloads import get_benchmark
+
+        run = run_software_clean(
+            get_benchmark("fft"), scale="test",
+            instrument_private_fraction=1.0,
+        )
+        assert run.result.race is None
+        assert run.stats.races_raised == 0
+
+    def test_fraction_validated(self):
+        from repro.clean import CleanMonitor
+
+        with pytest.raises(ValueError):
+            CleanMonitor(instrument_private_fraction=1.5)

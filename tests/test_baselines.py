@@ -1,0 +1,269 @@
+"""Tests for the baseline detectors (vector-clock, FastTrack, TSan-like)."""
+
+import pytest
+
+from repro.baselines import (
+    FastTrackDetector,
+    TsanLiteDetector,
+    VcRaceDetector,
+)
+from repro.core.exceptions import (
+    RawRaceException,
+    WarRaceException,
+    WawRaceException,
+)
+
+
+def fresh(cls, **kw):
+    d = cls(max_threads=8, **kw)
+    d.spawn_root()
+    return d
+
+
+@pytest.fixture(params=[VcRaceDetector, FastTrackDetector])
+def precise(request):
+    return fresh(request.param, record_only=False)
+
+
+class TestPreciseDetectors:
+    def test_waw(self, precise):
+        child = precise.fork(0)
+        precise.check_write(child, 100)
+        with pytest.raises(WawRaceException):
+            precise.check_write(0, 100)
+
+    def test_raw(self, precise):
+        child = precise.fork(0)
+        precise.check_write(child, 100)
+        with pytest.raises(RawRaceException):
+            precise.check_read(0, 100)
+
+    def test_war_detected_unlike_clean(self, precise):
+        child = precise.fork(0)
+        precise.check_read(child, 100)
+        with pytest.raises(WarRaceException):
+            precise.check_write(0, 100)
+
+    def test_lock_ordering_suppresses(self, precise):
+        child = precise.fork(0)
+        precise.check_write(0, 10)
+        precise.release(0, "L")
+        precise.acquire(child, "L")
+        precise.check_write(child, 10)  # ordered
+
+    def test_join_ordering_suppresses(self, precise):
+        child = precise.fork(0)
+        precise.check_read(child, 10)
+        precise.join(0, child)
+        precise.check_write(0, 10)  # ordered via join; no WAR
+
+    def test_same_thread_silent(self, precise):
+        precise.check_write(0, 5)
+        precise.check_read(0, 5)
+        precise.check_write(0, 5)
+
+    def test_concurrent_reads_no_race(self, precise):
+        a = precise.fork(0)
+        b = precise.fork(0)
+        precise.check_read(a, 7)
+        precise.check_read(b, 7)  # read-read never races
+
+
+class TestVcFastTrackAgreement:
+    """On identical access sequences, the two precise detectors agree."""
+
+    SCENARIOS = [
+        # (ops, expected kind or None); ops: (action, tid_slot, addr)
+        ([("w", 1, 0), ("w", 0, 0)], "WAW"),
+        ([("w", 1, 0), ("r", 0, 0)], "RAW"),
+        ([("r", 1, 0), ("w", 0, 0)], "WAR"),
+        ([("r", 1, 0), ("r", 0, 0)], None),
+        ([("w", 0, 0), ("rel", 0, 0), ("acq", 1, 0), ("w", 1, 0)], None),
+        ([("r", 0, 0), ("r", 1, 0), ("w", 0, 0)], "WAR"),
+        ([("w", 0, 0), ("r", 0, 0), ("rel", 0, 0), ("acq", 1, 0), ("r", 1, 0)], None),
+    ]
+
+    @pytest.mark.parametrize("ops,expected", SCENARIOS)
+    def test_agreement(self, ops, expected):
+        outcomes = []
+        for cls in (VcRaceDetector, FastTrackDetector):
+            d = fresh(cls, record_only=True)
+            child = d.fork(0)
+            tids = {0: 0, 1: child}
+            for action, slot, addr in ops:
+                tid = tids[slot]
+                if action == "w":
+                    d.check_write(tid, addr)
+                elif action == "r":
+                    d.check_read(tid, addr)
+                elif action == "rel":
+                    d.release(tid, "L")
+                elif action == "acq":
+                    d.acquire(tid, "L")
+            kinds = set(d.race_kinds())
+            outcomes.append(kinds)
+        assert outcomes[0] == outcomes[1]
+        if expected is None:
+            assert outcomes[0] == set()
+        else:
+            assert expected in outcomes[0]
+
+
+class TestFastTrackSpecifics:
+    def test_read_inflation_on_concurrent_reads(self):
+        d = fresh(FastTrackDetector)
+        a = d.fork(0)
+        b = d.fork(0)
+        d.check_read(a, 9)
+        d.check_read(b, 9)
+        assert d.read_inflations == 1
+
+    def test_no_inflation_for_ordered_reads(self):
+        d = fresh(FastTrackDetector)
+        a = d.fork(0)
+        d.check_read(0, 9)
+        d.release(0, "L")
+        d.acquire(a, "L")
+        d.check_read(a, 9)
+        assert d.read_inflations == 0
+
+    def test_inflated_read_vc_catches_older_reader(self):
+        """The case FastTrack keeps read VCs for: a write racing with a
+        non-last read."""
+        d = fresh(FastTrackDetector, record_only=True)
+        a = d.fork(0)
+        b = d.fork(0)
+        d.check_read(a, 9)
+        d.check_read(b, 9)
+        # order b's read before the write, but not a's
+        d.release(b, "L")
+        d.acquire(0, "L")
+        d.check_write(0, 9)
+        assert "WAR" in d.race_kinds()
+
+    def test_same_epoch_read_fast_path(self):
+        d = fresh(FastTrackDetector)
+        d.check_read(0, 3)
+        d.check_read(0, 3)
+        assert d.same_epoch_reads >= 1
+
+    def test_write_resets_read_metadata(self):
+        d = fresh(FastTrackDetector)
+        d.check_read(0, 3)
+        d.check_write(0, 3)
+        assert d._meta[3].read == 0
+
+    def test_metadata_words_grow_with_inflation(self):
+        d = fresh(FastTrackDetector)
+        a = d.fork(0)
+        d.check_read(0, 3)
+        before = d.metadata_words()
+        d.check_read(a, 3)
+        assert d.metadata_words() > before
+
+
+class TestTsanLite:
+    def test_reports_simple_race_without_stopping(self):
+        d = fresh(TsanLiteDetector)
+        child = d.fork(0)
+        d.check_write(child, 64)
+        d.check_write(0, 64)  # no exception
+        assert d.racy
+        assert d.race_kinds() == {"WAW": 1}
+
+    def test_race_kind_classification(self):
+        d = fresh(TsanLiteDetector)
+        child = d.fork(0)
+        d.check_write(child, 64)
+        d.check_read(0, 64)
+        assert "RAW" in d.race_kinds()
+
+    def test_silent_on_synchronized_accesses(self):
+        d = fresh(TsanLiteDetector)
+        child = d.fork(0)
+        d.check_write(0, 64)
+        d.release(0, "L")
+        d.acquire(child, "L")
+        d.check_write(child, 64)
+        assert not d.racy
+
+    def test_misses_race_after_eviction(self):
+        """The precision/size trade-off: with k=1 an older conflicting
+        access is evicted and its race silently missed."""
+        d = TsanLiteDetector(max_threads=8, k=1)
+        d.spawn_root()
+        a = d.fork(0)
+        b = d.fork(0)
+        d.check_write(a, 64)       # slot: a's write
+        d.check_write(0, 72)       # same granule? no: 72 is next granule
+        d.check_read(b, 64)        # races with a's write -> reported
+        assert d.racy
+        d2 = TsanLiteDetector(max_threads=8, k=1)
+        d2.spawn_root()
+        a = d2.fork(0)
+        b = d2.fork(0)
+        d2.check_write(a, 64)
+        d2.check_write(b, 64)      # evicts a's slot (k=1) AND reports WAW
+        waw_only = d2.race_kinds()
+        d2.release(b, "L")
+        d2.acquire(0, "L")         # reader ordered after b, NOT after a
+        d2.check_read(0, 64)       # races with a's evicted write: missed
+        assert d2.race_kinds() == waw_only
+
+    def test_clean_detects_what_tsan_missed(self):
+        """CLEAN's epoch metadata keeps the *last write* exactly, so the
+        eviction miss above cannot happen for WAW/RAW."""
+        from repro.core import CleanDetector, RawRaceException
+
+        d = CleanDetector(max_threads=8)
+        d.spawn_root()
+        a = d.fork(0)
+        b = d.fork(0)
+        d.check_write(a, 64)
+        with pytest.raises(WawRaceException):
+            d.check_write(b, 64)
+
+    def test_byte_masks_avoid_false_positives(self):
+        """Disjoint bytes of one granule do not race."""
+        d = fresh(TsanLiteDetector)
+        a = d.fork(0)
+        d.check_write(0, 64, 2)
+        d.check_write(a, 66, 2)
+        assert not d.racy
+
+    def test_multigranule_access(self):
+        d = fresh(TsanLiteDetector)
+        a = d.fork(0)
+        d.check_write(0, 60, 8)  # spans granules 56 and 64
+        d.check_read(a, 63, 1)
+        assert d.racy
+
+    def test_deduplicated_reports(self):
+        d = fresh(TsanLiteDetector)
+        a = d.fork(0)
+        d.check_write(0, 64)
+        d.check_read(a, 64)
+        d.check_read(a, 64)
+        assert len(d.reports) == 1
+
+
+class TestMetadataCostComparison:
+    def test_clean_metadata_smaller_than_fasttrack(self):
+        """Section 4.6: CLEAN's metadata is strictly no larger than
+        FastTrack's for the same access pattern (no read metadata)."""
+        from repro.core import CleanDetector
+
+        clean = CleanDetector(max_threads=8)
+        clean.spawn_root()
+        ft = fresh(FastTrackDetector)
+        ca = clean.fork(0)
+        fa = ft.fork(0)
+        # many concurrent reads: FastTrack inflates, CLEAN stores nothing
+        for addr in range(0, 64):
+            clean.check_read(0, addr)
+            clean.check_read(ca, addr)
+            ft.check_read(0, addr)
+            ft.check_read(fa, addr)
+        clean_words = clean.shadow.metadata_bytes // 4
+        assert clean_words == 0  # reads never allocate epochs
+        assert ft.metadata_words() > 0

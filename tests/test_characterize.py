@@ -1,0 +1,86 @@
+"""Tests closing the loop between benchmark specs and measured behaviour."""
+
+import pytest
+
+from repro.workloads import ALL_BENCHMARKS, get_benchmark
+from repro.workloads.characterize import characterize, characterize_suite
+
+
+class TestCharacterize:
+    def test_basic_measurement(self):
+        c = characterize(get_benchmark("fft"), scale="test")
+        assert c.threads == 9  # main + 8 workers
+        assert c.shared_accesses > 0
+        assert c.private_accesses > 0
+        assert c.sync_ops > 0
+        assert 0 < c.shared_density < 1
+        assert c.footprint_bytes > 0
+
+    def test_canneal_uses_racy_variant(self):
+        c = characterize(get_benchmark("canneal"), scale="test")
+        assert c.shared_accesses > 0
+
+    def test_measured_density_tracks_spec(self):
+        """Measured shared density is within 2x of the spec's analytic
+        density (the calibration contract).  Byte-granular pipelines are
+        excluded: their buffer traffic is per-byte, which the analytic
+        per-item formula deliberately does not capture."""
+        for spec in ALL_BENCHMARKS:
+            if spec.byte_granular:
+                continue
+            c = characterize(spec, scale="test")
+            analytic = spec.shared_access_density
+            measured = c.shared_density
+            assert measured == pytest.approx(analytic, rel=1.0), (
+                f"{spec.name}: analytic {analytic:.3f} vs measured "
+                f"{measured:.3f}"
+            )
+
+    def test_lu_measured_densities_highest(self):
+        """The Figure-7 ordering holds in measurement, not just in spec."""
+        measured = characterize_suite(ALL_BENCHMARKS, scale="test")
+        ranked = sorted(
+            measured.values(), key=lambda c: c.shared_density, reverse=True
+        )
+        assert {ranked[0].benchmark, ranked[1].benchmark} == {
+            "lu_cb",
+            "lu_ncb",
+        }
+
+    def test_dedup_byte_writes_dominate(self):
+        c = characterize(get_benchmark("dedup"), scale="test")
+        assert c.byte_write_fraction > 0.8
+
+    def test_non_byte_benchmarks_avoid_byte_writes(self):
+        c = characterize(get_benchmark("fft"), scale="test")
+        assert c.byte_write_fraction < 0.05
+
+    def test_wide_fraction_matches_paper_property(self):
+        """>=91.9% of shared accesses are 4+ bytes wide on average."""
+        widths = [
+            characterize(spec, scale="test").wide_fraction
+            for spec in ALL_BENCHMARKS
+            if not spec.byte_granular
+        ]
+        assert sum(widths) / len(widths) > 0.88
+
+    def test_sync_count_ordering_for_rollover_roster(self):
+        """The five Table-1 benchmarks execute the five highest
+        synchronization counts per thread per run — the emergent quantity
+        that decides who rolls a bounded clock over."""
+        measured = characterize_suite(
+            [b for b in ALL_BENCHMARKS if b.style != "lock_free"],
+            scale="simsmall",
+        )
+        ranked = sorted(
+            measured.values(),
+            key=lambda c: c.sync_ops / c.threads,
+            reverse=True,
+        )
+        top5 = {c.benchmark for c in ranked[:5]}
+        assert top5 == {"barnes", "fmm", "radiosity", "facesim", "fluidanimate"}
+
+    def test_footprint_scales_with_input(self):
+        small = characterize(get_benchmark("ocean_cp"), scale="test")
+        large = characterize(get_benchmark("ocean_cp"), scale="simsmall")
+        assert large.footprint_bytes > small.footprint_bytes

@@ -1,0 +1,153 @@
+"""Tests for the top-level CLEAN façade (repro.clean / repro package)."""
+
+import pytest
+
+import repro
+from repro import CleanDetector, RaceException, run_clean
+from repro.baselines import FastTrackDetector
+from repro.clean import CleanMonitor, clean_stack
+from repro.core.rollover import RolloverPolicy
+from repro.core.epoch import EpochLayout
+from repro.runtime import Program, RandomPolicy, Read, Spawn, Join, Write
+
+
+def racy_program():
+    def racer(ctx, addr):
+        yield Write(addr, 4, 7)
+
+    def main(ctx):
+        addr = ctx.alloc(4)
+        kid = yield Spawn(racer, (addr,))
+        yield Write(addr, 4, 1)
+        yield Join(kid)
+
+    return Program(main)
+
+
+def quiet_program():
+    def main(ctx):
+        addr = ctx.alloc(4)
+        yield Write(addr, 4, 7)
+        return (yield Read(addr, 4))
+
+    return Program(main)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_docstring_flow(self):
+        result = run_clean(racy_program())
+        assert isinstance(result.race, RaceException)
+
+
+class TestRunClean:
+    def test_raise_on_race(self):
+        with pytest.raises(RaceException):
+            run_clean(racy_program(), raise_on_race=True)
+
+    def test_race_recorded_by_default(self):
+        result = run_clean(racy_program())
+        assert result.race is not None
+        assert result.race.kind == "WAW"
+
+    def test_detection_can_be_disabled(self):
+        result = run_clean(racy_program(), detect=False)
+        assert result.race is None  # nothing watching
+
+    def test_determinism_can_be_disabled(self):
+        result = run_clean(quiet_program(), deterministic=False)
+        assert result.race is None
+
+    def test_custom_detector_passed_through(self):
+        detector = CleanDetector(max_threads=8)
+        result = run_clean(racy_program(), detector=detector, max_threads=8)
+        assert result.race is not None
+        assert detector.stats.races_raised == 1
+
+    def test_baseline_detector_via_monitor(self):
+        """Any detector with the common API plugs into the same adapter."""
+        ft = FastTrackDetector(max_threads=8, record_only=True)
+        result = racy_program().run(
+            monitors=[CleanMonitor(detector=ft)], max_threads=8
+        )
+        assert result.race is None  # record_only never raises
+        assert "WAW" in ft.race_kinds()
+
+    def test_rollover_policy_wired(self):
+        layout = EpochLayout(clock_bits=4, tid_bits=4)
+        detector = CleanDetector(max_threads=8, layout=layout)
+        rollover = RolloverPolicy(slack=2)
+
+        def chatty(ctx):
+            from repro.runtime import Acquire, Release, Lock
+
+            lock = Lock()
+            for _ in range(40):
+                yield Acquire(lock)
+                yield Release(lock)
+
+        result = run_clean(
+            Program(chatty),
+            detector=detector,
+            rollover=rollover,
+            layout=layout,
+            max_threads=8,
+        )
+        assert result.race is None
+        assert rollover.count >= 1
+
+
+class TestCleanStack:
+    def test_full_stack(self):
+        monitors, clean, gate = clean_stack()
+        assert clean is not None and gate is not None
+        assert monitors == [clean, gate]
+
+    def test_detection_only(self):
+        monitors, clean, gate = clean_stack(deterministic=False)
+        assert gate is None
+        assert monitors == [clean]
+
+    def test_determinism_only(self):
+        monitors, clean, gate = clean_stack(detect=False)
+        assert clean is None
+        assert monitors == [gate]
+
+    def test_extra_monitors_appended(self):
+        from repro.runtime import SfrTracker
+
+        tracker = SfrTracker()
+        monitors, _, _ = clean_stack(extra=[tracker])
+        assert monitors[-1] is tracker
+
+
+class TestMonitorAdapter:
+    def test_root_tid_mismatch_detected(self):
+        monitor = CleanMonitor()
+        monitor.detector.spawn_root()  # occupy tid 0 behind the adapter's back
+        with pytest.raises(Exception):
+            monitor.on_thread_start(0, None)
+
+    def test_sync_keys_are_distinct_per_barrier_generation(self):
+        """Each barrier episode gets its own vector clock, so a slow
+        thread can never acquire ordering from a *future* episode."""
+        from repro.runtime import Barrier
+
+        monitor = CleanMonitor(max_threads=8)
+        monitor.on_thread_start(0, None)
+        monitor.on_spawn(0, 1)
+        barrier = Barrier(2)
+        monitor.on_barrier_arrive(0, barrier, 0)
+        monitor.on_barrier_arrive(1, barrier, 0)
+        monitor.on_barrier_depart(0, barrier, 0)
+        monitor.on_barrier_depart(1, barrier, 0)
+        keys = set(monitor.detector._lock_vcs)
+        assert (barrier, 0) in keys
+        monitor.on_barrier_arrive(0, barrier, 1)
+        assert (barrier, 1) in set(monitor.detector._lock_vcs)

@@ -1,0 +1,316 @@
+"""Unit tests for the CLEAN detector (the Figure-2 check and Section 4)."""
+
+import pytest
+
+from repro.core import (
+    CleanDetector,
+    MetadataError,
+    RawRaceException,
+    TooManyThreadsError,
+    WawRaceException,
+)
+from repro.core.epoch import EpochLayout
+
+
+@pytest.fixture
+def det():
+    d = CleanDetector(max_threads=8)
+    d.spawn_root()
+    return d
+
+
+class TestThreadLifecycle:
+    def test_root_is_zero(self):
+        d = CleanDetector()
+        assert d.spawn_root() == 0
+
+    def test_double_root_rejected(self, det):
+        with pytest.raises(MetadataError):
+            det.spawn_root()
+
+    def test_fork_allocates_sequential(self, det):
+        assert det.fork(0) == 1
+        assert det.fork(0) == 2
+
+    def test_fork_pinned_tid(self, det):
+        assert det.fork(0, child_tid=5) == 5
+
+    def test_fork_pinned_busy_tid_rejected(self, det):
+        det.fork(0, child_tid=3)
+        with pytest.raises(MetadataError):
+            det.fork(0, child_tid=3)
+
+    def test_join_frees_tid(self, det):
+        child = det.fork(0)
+        det.join(0, child)
+        assert det.fork(0) == child  # reused
+
+    def test_too_many_threads(self):
+        d = CleanDetector(max_threads=2)
+        d.spawn_root()
+        d.fork(0)
+        with pytest.raises(TooManyThreadsError):
+            d.fork(0)
+
+    def test_layout_bounds_threads(self):
+        with pytest.raises(TooManyThreadsError):
+            CleanDetector(max_threads=300)  # default tid_bits=8 -> max 256
+
+    def test_dead_thread_access_rejected(self, det):
+        child = det.fork(0)
+        det.join(0, child)
+        with pytest.raises(MetadataError):
+            det.check_read(child, 0)
+
+
+class TestRaceDetection:
+    def test_waw_between_unordered_threads(self, det):
+        child = det.fork(0)
+        det.check_write(child, 100)
+        with pytest.raises(WawRaceException):
+            det.check_write(0, 100)
+
+    def test_raw_between_unordered_threads(self, det):
+        child = det.fork(0)
+        det.check_write(child, 100)
+        with pytest.raises(RawRaceException):
+            det.check_read(0, 100)
+
+    def test_no_war_detection(self, det):
+        """CLEAN's defining omission: a write after an unordered read is
+        silent."""
+        child = det.fork(0)
+        det.check_read(child, 100)
+        det.check_write(0, 100)  # must NOT raise
+        assert det.stats.races_raised == 0
+
+    def test_same_thread_never_races(self, det):
+        det.check_write(0, 50)
+        det.check_write(0, 50)
+        det.check_read(0, 50)
+        assert det.stats.races_raised == 0
+
+    def test_fork_orders_parent_past(self, det):
+        det.check_write(0, 10)
+        child = det.fork(0)
+        det.check_read(child, 10)  # ordered: no race
+        det.check_write(child, 10)
+        assert det.stats.races_raised == 0
+
+    def test_parent_write_after_fork_races_with_child(self, det):
+        child = det.fork(0)
+        det.check_write(0, 10)
+        with pytest.raises(RawRaceException):
+            det.check_read(child, 10)
+
+    def test_join_orders_child_past(self, det):
+        child = det.fork(0)
+        det.check_write(child, 10)
+        det.join(0, child)
+        det.check_read(0, 10)  # ordered via join: no race
+        assert det.stats.races_raised == 0
+
+    def test_lock_transfer_orders_accesses(self, det):
+        child = det.fork(0)
+        det.check_write(0, 10)
+        det.release(0, "L")
+        det.acquire(child, "L")
+        det.check_write(child, 10)  # ordered via lock: no race
+        assert det.stats.races_raised == 0
+
+    def test_unrelated_lock_does_not_order(self, det):
+        child = det.fork(0)
+        det.check_write(0, 10)
+        det.release(0, "L1")
+        det.acquire(child, "L2")
+        with pytest.raises(WawRaceException):
+            det.check_write(child, 10)
+
+    def test_release_before_write_does_not_order(self, det):
+        child = det.fork(0)
+        det.release(0, "L")
+        det.check_write(0, 10)  # after the release: not covered by it
+        det.acquire(child, "L")
+        with pytest.raises(RawRaceException):
+            det.check_read(child, 10)
+
+    def test_race_exception_details(self, det):
+        child = det.fork(0)
+        det.check_write(child, 0x200, 4)
+        with pytest.raises(WawRaceException) as info:
+            det.check_write(0, 0x200, 4)
+        exc = info.value
+        assert exc.address == 0x200
+        assert exc.accessing_tid == 0
+        assert exc.prior_writer_tid == child
+        assert exc.kind == "WAW"
+
+    def test_partial_overlap_races(self, det):
+        child = det.fork(0)
+        det.check_write(child, 100, 8)
+        with pytest.raises(WawRaceException):
+            det.check_write(0, 104, 2)  # overlaps bytes 104-105
+
+
+class TestMultiByte:
+    def test_uniform_epoch_fast_path_counted(self, det):
+        det.check_write(0, 64, 8)
+        det.check_read(0, 64, 8)
+        assert det.stats.multibyte_accesses == 2
+        assert det.stats.multibyte_uniform_epoch == 2
+
+    def test_mixed_epochs_slow_path(self, det):
+        child = det.fork(0)
+        det.check_write(child, 64, 4)
+        det.release(child, "L")
+        det.acquire(0, "L")
+        det.check_write(0, 68, 4)
+        # bytes 64..71 now have two different epochs
+        det.check_read(0, 64, 8)
+        assert det.stats.multibyte_uniform_epoch < det.stats.multibyte_accesses
+
+    def test_vectorized_and_scalar_agree(self):
+        """With and without the Section-4.4 fast path, detection outcome
+        and final metadata are identical."""
+        for vectorized in (True, False):
+            d = CleanDetector(vectorized=vectorized)
+            d.spawn_root()
+            child = d.fork(0)
+            d.check_write(child, 0, 8)
+            with pytest.raises(WawRaceException):
+                d.check_write(0, 4, 8)
+
+    def test_wide_fraction_stat(self, det):
+        det.check_write(0, 0, 8)
+        det.check_write(0, 8, 1)
+        det.check_read(0, 0, 4)
+        assert det.stats.accesses_ge_4_bytes == 2
+        assert det.stats.accesses == 3
+        assert det.stats.fraction_wide == pytest.approx(2 / 3)
+
+    def test_zero_size_rejected(self, det):
+        with pytest.raises(ValueError):
+            det.check_read(0, 0, 0)
+
+
+class TestCasAtomicity:
+    def test_concurrent_epoch_change_is_waw(self, det):
+        """Section 4.3: if the epoch changed between the check's load and
+        its update, the CAS fails and a WAW race is raised."""
+        child = det.fork(0)
+
+        class RacingShadow:
+            """Simulates a concurrent check completing between load and CAS."""
+
+            def __init__(self, inner):
+                self.inner = inner
+                self.interfere_at = None
+
+            def load_range(self, address, size):
+                return self.inner.load_range(address, size)
+
+            def load(self, address):
+                return self.inner.load(address)
+
+            def compare_and_swap(self, address, expected, new):
+                if self.interfere_at == address:
+                    self.inner.store(address, 0xDEAD0001)
+                    self.interfere_at = None
+                return self.inner.compare_and_swap(address, expected, new)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        racing = RacingShadow(det.shadow)
+        det.shadow = racing
+        racing.interfere_at = 500
+        with pytest.raises(WawRaceException):
+            det.check_write(0, 500, 1)
+        assert det.stats.cas_failures == 1
+
+
+class TestRollover:
+    def make_small(self, auto=True):
+        layout = EpochLayout(clock_bits=4, tid_bits=3)
+        d = CleanDetector(max_threads=4, layout=layout, auto_rollover=auto)
+        d.spawn_root()
+        return d
+
+    def test_auto_reset_on_overflow(self):
+        d = self.make_small()
+        for _ in range(40):  # far beyond 2**4 sync ops
+            d.release(0, "L")
+        assert d.stats.rollovers >= 1
+
+    def test_manual_mode_raises(self):
+        d = self.make_small(auto=False)
+        with pytest.raises(OverflowError):
+            for _ in range(40):
+                d.release(0, "L")
+
+    def test_reset_clears_shadow(self):
+        d = self.make_small()
+        d.check_write(0, 77)
+        d.reset_metadata()
+        assert d.shadow.load(77) == 0
+
+    def test_no_false_positive_after_reset(self):
+        """Pre-reset ordering is forgotten but never misreported: ordered
+        accesses after a reset stay silent."""
+        d = self.make_small()
+        child = d.fork(0)
+        d.check_write(0, 10)
+        d.release(0, "L")
+        d.acquire(child, "L")
+        d.reset_metadata()
+        d.check_read(child, 10)  # would be ordered anyway; no exception
+        assert d.stats.races_raised == 0
+
+    def test_post_reset_races_still_caught(self):
+        """A race entirely after the reset must still be detected."""
+        d = self.make_small()
+        child = d.fork(0)
+        d.reset_metadata()
+        d.check_write(child, 10)
+        with pytest.raises(WawRaceException):
+            d.check_write(0, 10)
+
+    def test_race_spanning_reset_is_missed(self):
+        """The documented limitation: the record of the earlier access is
+        lost at the reset, so the race is not reported."""
+        d = self.make_small()
+        child = d.fork(0)
+        d.check_write(child, 10)
+        d.reset_metadata()
+        d.check_write(0, 10)  # racy in reality, but silent by design
+        assert d.stats.races_raised == 0
+
+    def test_rollover_imminent(self):
+        d = self.make_small()
+        assert not d.rollover_imminent(slack=2)
+        for _ in range(13):
+            d.release(0, "L")
+        assert d.rollover_imminent(slack=2)
+
+
+class TestStats:
+    def test_counts(self, det):
+        det.check_write(0, 0, 4)
+        det.check_read(0, 0, 4)
+        det.check_read(0, 4, 1)
+        s = det.stats
+        assert s.writes == 1
+        assert s.reads == 2
+        assert s.written_bytes == 4
+        assert s.read_bytes == 5
+
+    def test_epoch_updates_only_on_change(self, det):
+        det.check_write(0, 0, 4)
+        updates = det.stats.epoch_updates
+        det.check_write(0, 0, 4)  # same epoch: no update needed
+        assert det.stats.epoch_updates == updates
+
+    def test_sync_ops_counted(self, det):
+        det.release(0, "L")
+        det.acquire(0, "L")
+        assert det.stats.sync_ops == 2

@@ -1,0 +1,158 @@
+"""Differential property tests of the Figure-2 algorithm itself.
+
+The program-level property tests exercise CLEAN through the runtime;
+these go one level lower and drive the *detectors* directly with random
+access/sync scripts, comparing:
+
+* CLEAN vs FastTrack: CLEAN raises exactly when FastTrack's WAW/RAW side
+  fires (CLEAN is "FastTrack minus the read metadata", so their
+  write-epoch behaviour must be identical);
+* CLEAN vectorized vs scalar: the Section-4.4 fast path is a pure
+  optimization — same exceptions, same final epoch state;
+* CLEAN vs the classical vector-clock detector's WAW/RAW projection.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FastTrackDetector, VcRaceDetector
+from repro.core import CleanDetector, RaceException
+
+N_THREADS = 4
+N_ADDRS = 6  # 8-byte slots
+LOCKS = ("L0", "L1")
+
+# One action: (kind, actor, target, size_or_lock)
+actions = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("read"),
+            st.integers(0, N_THREADS - 1),
+            st.integers(0, N_ADDRS - 1),
+            st.sampled_from([1, 2, 4, 8]),
+        ),
+        st.tuples(
+            st.just("write"),
+            st.integers(0, N_THREADS - 1),
+            st.integers(0, N_ADDRS - 1),
+            st.sampled_from([1, 2, 4, 8]),
+        ),
+        st.tuples(
+            st.just("release"),
+            st.integers(0, N_THREADS - 1),
+            st.integers(0, len(LOCKS) - 1),
+            st.just(0),
+        ),
+        st.tuples(
+            st.just("acquire"),
+            st.integers(0, N_THREADS - 1),
+            st.integers(0, len(LOCKS) - 1),
+            st.just(0),
+        ),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def spawn_all(detector):
+    """Root plus three children, all concurrent siblings of the root."""
+    detector.spawn_root()
+    for _ in range(N_THREADS - 1):
+        detector.fork(0)
+    return detector
+
+
+def drive(detector, script):
+    """Run the script; returns ("raise", step, kind) or ("done", ...)."""
+    for step, (kind, actor, target, extra) in enumerate(script):
+        try:
+            if kind == "read":
+                detector.check_read(actor, target * 8, extra)
+            elif kind == "write":
+                detector.check_write(actor, target * 8, extra)
+            elif kind == "release":
+                detector.release(actor, LOCKS[target])
+            else:
+                detector.acquire(actor, LOCKS[target])
+        except RaceException as exc:
+            return ("raise", step, exc.kind)
+    return ("done", None, None)
+
+
+class TestCleanVsFastTrack:
+    @settings(max_examples=150, deadline=None)
+    @given(script=actions)
+    def test_same_waw_raw_behaviour(self, script):
+        """CLEAN stops at the same step, with the same kind, as the first
+        WAW/RAW FastTrack records (FastTrack's extra WAR reports are
+        filtered out of the comparison)."""
+        clean = spawn_all(CleanDetector(max_threads=N_THREADS))
+        clean_outcome = drive(clean, script)
+
+        ft_first = None
+        # Drive FastTrack step by step to find its first WAW/RAW report.
+        ft2 = spawn_all(
+            FastTrackDetector(max_threads=N_THREADS, record_only=True)
+        )
+        for step, (kind, actor, target, extra) in enumerate(script):
+            before = sum(
+                1 for e in ft2.reported if e.kind in ("WAW", "RAW")
+            )
+            if kind == "read":
+                ft2.check_read(actor, target * 8, extra)
+            elif kind == "write":
+                ft2.check_write(actor, target * 8, extra)
+            elif kind == "release":
+                ft2.release(actor, LOCKS[target])
+            else:
+                ft2.acquire(actor, LOCKS[target])
+            after = [e for e in ft2.reported if e.kind in ("WAW", "RAW")]
+            if len(after) > before:
+                ft_first = ("raise", step, after[before].kind)
+                break
+        if ft_first is None:
+            ft_first = ("done", None, None)
+
+        assert clean_outcome == ft_first, (
+            f"CLEAN {clean_outcome} vs FastTrack-WAW/RAW {ft_first}"
+        )
+
+
+class TestVectorizedEquivalence:
+    @settings(max_examples=150, deadline=None)
+    @given(script=actions)
+    def test_vectorization_is_pure_optimization(self, script):
+        vec = spawn_all(CleanDetector(max_threads=N_THREADS, vectorized=True))
+        scalar = spawn_all(
+            CleanDetector(max_threads=N_THREADS, vectorized=False)
+        )
+        assert drive(vec, script) == drive(scalar, script)
+        assert dict(vec.shadow.items()) == dict(scalar.shadow.items())
+
+
+class TestCleanVsVectorClock:
+    @settings(max_examples=100, deadline=None)
+    @given(script=actions)
+    def test_agrees_with_classical_detector_projection(self, script):
+        clean = spawn_all(CleanDetector(max_threads=N_THREADS))
+        clean_outcome = drive(clean, script)
+
+        vc = spawn_all(VcRaceDetector(max_threads=N_THREADS, record_only=True))
+        vc_first = ("done", None, None)
+        for step, (kind, actor, target, extra) in enumerate(script):
+            before = sum(1 for e in vc.reported if e.kind in ("WAW", "RAW"))
+            if kind == "read":
+                vc.check_read(actor, target * 8, extra)
+            elif kind == "write":
+                vc.check_write(actor, target * 8, extra)
+            elif kind == "release":
+                vc.release(actor, LOCKS[target])
+            else:
+                vc.acquire(actor, LOCKS[target])
+            after = [e for e in vc.reported if e.kind in ("WAW", "RAW")]
+            if len(after) > before:
+                vc_first = ("raise", step, after[before].kind)
+                break
+        assert clean_outcome == vc_first

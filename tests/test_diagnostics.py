@@ -1,0 +1,120 @@
+"""Tests for the race-diagnostics monitor."""
+
+import pytest
+
+from repro.clean import CleanMonitor
+from repro.core import CleanDetector
+from repro.diagnostics import RaceContextMonitor
+from repro.runtime import (
+    Acquire,
+    Compute,
+    Join,
+    Lock,
+    Program,
+    Read,
+    Release,
+    ScriptedPolicy,
+    Spawn,
+    Write,
+)
+
+
+def run_with_context(main, policy=None):
+    context = RaceContextMonitor()
+    clean = CleanMonitor(detector=CleanDetector(max_threads=8))
+    result = Program(main).run(
+        policy=policy, monitors=[context, clean], max_threads=8
+    )
+    return result, context
+
+
+class TestRaceReports:
+    def waw_program(self):
+        def writer(ctx, addr):
+            yield Write(addr, 4, 7)
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kid = yield Spawn(writer, (addr,))
+            yield Compute(3)
+            yield Write(addr, 4, 1)
+            yield Join(kid)
+
+        return main
+
+    def test_waw_report_names_both_sides(self):
+        result, context = run_with_context(
+            self.waw_program(), ScriptedPolicy([0, 1, 0, 0])
+        )
+        assert result.race is not None
+        report = context.report(result.race)
+        assert report.kind == "WAW"
+        assert report.current.tid == 0
+        assert report.current.is_write
+        assert report.previous is not None
+        assert report.previous.tid == 1
+        assert report.previous.is_write
+
+    def test_raw_report_current_is_read(self):
+        def writer(ctx, addr):
+            yield Write(addr, 4, 7)
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kid = yield Spawn(writer, (addr,))
+            yield Read(addr, 4)
+            yield Join(kid)
+
+        result, context = run_with_context(main, ScriptedPolicy([0, 1, 0]))
+        assert result.race is not None and result.race.kind == "RAW"
+        report = context.report(result.race)
+        assert not report.current.is_write
+        assert report.previous.is_write
+
+    def test_render_mentions_address_and_threads(self):
+        result, context = run_with_context(
+            self.waw_program(), ScriptedPolicy([0, 1, 0, 0])
+        )
+        text = context.render(result.race)
+        assert f"{result.race.address:#x}" in text
+        assert "thread 1" in text and "thread 0" in text
+        assert "not ordered" in text
+
+    def test_region_indices_reflect_sync(self):
+        lock = Lock()
+
+        def victim(ctx, addr):
+            yield Acquire(lock)
+            yield Release(lock)
+            yield Write(addr, 4, 9)  # in its SFR #2
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kid = yield Spawn(victim, (addr,))
+            yield Write(addr, 4, 1)
+            yield Join(kid)
+
+        # let the victim run through its lock + write first, then main
+        result, context = run_with_context(
+            main, ScriptedPolicy([0, 1, 1, 1, 0])
+        )
+        assert result.race is not None
+        report = context.report(result.race)
+        assert report.previous.region_index == 2
+
+    def test_no_race_no_current_access_needed(self):
+        def main(ctx):
+            addr = ctx.alloc(4)
+            yield Write(addr, 4, 5)
+            yield Read(addr, 4)
+
+        result, context = run_with_context(main)
+        assert result.race is None
+
+    def test_private_accesses_not_tracked(self):
+        def main(ctx):
+            addr = ctx.alloc(4)
+            yield Write(addr, 4, 5, private=True)
+
+        result, context = run_with_context(main)
+        assert context._last_writer == {}

@@ -1,0 +1,327 @@
+"""Tests for the hardware simulation stack (caches, MESI, metadata,
+race-check unit, trace-driven simulator)."""
+
+import pytest
+
+from repro.hardware import (
+    LINE_SIZE,
+    AccessClass,
+    Cache,
+    Latencies,
+    MemoryHierarchy,
+    MetadataLayout,
+    MulticoreSim,
+    RaceCheckUnit,
+    SimConfig,
+    simulate_trace,
+)
+from repro.hardware.cache import MESI_E, MESI_M, MESI_S
+from repro.hardware.metadata import EPOCHS_BASE, EXPANDED_BASE
+from repro.runtime.trace import READ, SYNC, WRITE, Trace, TraceEvent
+
+
+class TestCache:
+    def test_hit_after_insert(self):
+        cache = Cache("c", 8 * 1024, 8)
+        cache.insert(0x1000, MESI_E)
+        assert cache.lookup(0x1000) == MESI_E
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = Cache("c", 8 * 1024, 8)
+        assert cache.lookup(0x1000) is None
+        assert cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = Cache("c", 2 * 64 * 4, 2)  # 4 sets, 2-way
+        lines = [i * 4 * 64 for i in range(3)]  # all map to set 0
+        cache.insert(lines[0], MESI_E)
+        cache.insert(lines[1], MESI_E)
+        cache.lookup(lines[0])  # make line 0 MRU
+        victim = cache.insert(lines[2], MESI_E)
+        assert victim == (lines[1], MESI_E)
+
+    def test_set_indexing_uses_line_number(self):
+        """Regression: adjacent lines must land in adjacent sets."""
+        cache = Cache("c", 64 * 1024, 8)
+        sets = {(line // 64) % cache.n_sets for line in range(0, 64 * 64, 64)}
+        assert len(sets) == 64  # 64 consecutive lines -> 64 distinct sets
+        for i in range(9):
+            cache.insert(i * 64, MESI_E)
+        assert cache.evictions == 0
+
+    def test_invalidate(self):
+        cache = Cache("c", 8 * 1024, 8)
+        cache.insert(0, MESI_S)
+        assert cache.invalidate(0)
+        assert not cache.invalidate(0)
+        assert cache.probe(0) is None
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("c", 1000, 3)
+
+
+class TestHierarchy:
+    def make(self):
+        return MemoryHierarchy(n_cores=2)
+
+    def test_first_access_is_memory(self):
+        h = self.make()
+        assert h.access(0, 0x1000, 8, False) == Latencies().memory
+
+    def test_second_access_is_l1(self):
+        h = self.make()
+        h.access(0, 0x1000, 8, False)
+        assert h.access(0, 0x1000, 8, False) == Latencies().l1_hit
+
+    def test_remote_hit(self):
+        h = self.make()
+        h.access(0, 0x1000, 8, False)
+        assert h.access(1, 0x1000, 8, False) == Latencies().l2_remote
+
+    def test_write_invalidates_sharers(self):
+        h = self.make()
+        h.access(0, 0x1000, 8, False)
+        h.access(1, 0x1000, 8, False)
+        h.access(0, 0x1000, 8, True)  # write: invalidates core 1
+        assert h.stats.invalidations == 1
+        assert h.access(1, 0x1000, 8, False) == Latencies().l2_remote
+
+    def test_write_hit_in_exclusive_is_fast(self):
+        h = self.make()
+        h.access(0, 0x1000, 8, False)  # E
+        assert h.access(0, 0x1000, 8, True) == Latencies().l1_hit
+        assert h.l1[0].probe(0x1000) == MESI_M
+
+    def test_upgrade_from_shared(self):
+        h = self.make()
+        h.access(0, 0x1000, 8, False)
+        h.access(1, 0x1000, 8, False)  # both S
+        latency = h.access(0, 0x1000, 8, True)
+        assert latency == Latencies().l2_local
+        assert h.stats.upgrades == 1
+
+    def test_multi_line_access_pays_each_line(self):
+        h = self.make()
+        latency = h.access(0, LINE_SIZE - 4, 8, False)  # spans 2 lines
+        assert latency == 2 * Latencies().memory
+
+    def test_invalidation_callback_carries_byte_range(self):
+        h = self.make()
+        seen = []
+        h.on_invalidate = lambda core, line, lo, hi: seen.append(
+            (core, line, lo, hi)
+        )
+        h.access(0, 0x1000, 8, False)
+        h.access(1, 0x1000, 8, False)
+        h.access(0, 0x1008, 4, True)
+        assert seen == [(1, 0x1000, 8, 12)]
+
+
+class TestMetadataLayout:
+    def test_fresh_lines_are_compact(self):
+        m = MetadataLayout("clean")
+        assert not m.is_expanded(0x1000)
+
+    def test_full_group_write_stays_compact(self):
+        m = MetadataLayout("clean")
+        plan = m.apply_write(0x1000, 8, epoch=5)
+        assert not plan.expansion
+        assert m.epochs_for(0x1000, 8) == [5] * 8
+
+    def test_partial_write_same_epoch_stays_compact(self):
+        m = MetadataLayout("clean")
+        m.apply_write(0x1000, 4, epoch=5)
+        plan = m.apply_write(0x1001, 1, epoch=5)
+        assert not plan.expansion
+
+    def test_partial_write_new_epoch_expands(self):
+        """Section 5.3: a byte write with a different epoch forces the
+        per-byte representation."""
+        m = MetadataLayout("clean")
+        m.apply_write(0x1000, 4, epoch=5)
+        plan = m.apply_write(0x1001, 1, epoch=9)
+        assert plan.expansion
+        assert m.is_expanded(0x1000)
+        assert m.epochs_for(0x1000, 4) == [5, 9, 5, 5]
+
+    def test_expansion_preserves_group_epochs(self):
+        m = MetadataLayout("clean")
+        m.apply_write(0x1000, 4, epoch=5)
+        m.apply_write(0x1004, 4, epoch=7)
+        m.apply_write(0x1001, 1, epoch=9)
+        assert m.epochs_for(0x1004, 4) == [7, 7, 7, 7]
+
+    def test_expanded_plan_flags_miscalculation(self):
+        m = MetadataLayout("clean")
+        m.apply_write(0x1000, 4, epoch=5)
+        m.apply_write(0x1001, 1, epoch=9)
+        plan = m.plan_read_check(0x1000, 4)
+        assert plan.expanded
+        assert plan.miscalculated
+
+    def test_compact_plan_reads_one_range(self):
+        m = MetadataLayout("clean")
+        plan = m.plan_read_check(0x1000, 8)
+        assert len(plan.reads) == 1
+        address, size = plan.reads[0]
+        assert address >= EPOCHS_BASE
+        assert size == 8  # 2 groups x 4-byte epochs
+
+    def test_expanded_addresses_in_expanded_region(self):
+        m = MetadataLayout("clean")
+        assert m.expanded_address(0x1000) >= EXPANDED_BASE
+
+    def test_flat_modes_never_expand(self):
+        for mode in ("epoch1", "epoch4"):
+            m = MetadataLayout(mode)
+            m.apply_write(0x1000, 4, epoch=5)
+            plan = m.apply_write(0x1001, 1, epoch=9)
+            assert not plan.expansion
+            assert m.epochs_for(0x1000, 4) == [5, 9, 5, 5]
+
+    def test_epoch4_metadata_is_4x(self):
+        m = MetadataLayout("epoch4")
+        plan = m.plan_read_check(0x1000, 8)
+        assert plan.reads == [(m.flat_address(0x1000), 32)]
+
+    def test_epoch1_metadata_is_1x(self):
+        m = MetadataLayout("epoch1")
+        plan = m.plan_read_check(0x1000, 8)
+        assert plan.reads == [(m.flat_address(0x1000), 8)]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataLayout("epoch2")
+
+
+class TestRaceCheckUnit:
+    def make(self):
+        hierarchy = MemoryHierarchy(n_cores=2)
+        metadata = MetadataLayout("clean")
+        unit = RaceCheckUnit(hierarchy, metadata)
+        unit.set_thread(0, tid=1, clock=1)
+        unit.set_thread(1, tid=2, clock=1)
+        return unit
+
+    def test_private_access_free(self):
+        unit = self.make()
+        outcome = unit.check(0, 0x1000, 8, is_write=False, private=True)
+        assert outcome.access_class == AccessClass.PRIVATE
+        assert outcome.check_latency == 0
+
+    def test_first_write_updates(self):
+        """A first write to virgin memory needs no VC element (a zero
+        clock cannot race) — it is a plain epoch update."""
+        unit = self.make()
+        outcome = unit.check(0, 0x1000, 8, is_write=True, private=False)
+        assert outcome.access_class == AccessClass.UPDATE
+
+    def test_rewrite_same_epoch_is_fast(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 8, is_write=True, private=False)
+        outcome = unit.check(0, 0x1000, 8, is_write=True, private=False)
+        assert outcome.access_class == AccessClass.FAST
+
+    def test_own_read_is_fast(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 8, is_write=True, private=False)
+        outcome = unit.check(0, 0x1000, 8, is_write=False, private=False)
+        assert outcome.access_class == AccessClass.FAST
+
+    def test_foreign_read_loads_vc(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 8, is_write=True, private=False)
+        outcome = unit.check(1, 0x1000, 8, is_write=False, private=False)
+        assert outcome.access_class == AccessClass.VC_LOAD
+
+    def test_write_after_own_sync_updates(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 8, is_write=True, private=False)
+        unit.set_thread(0, tid=1, clock=2)  # synchronization advanced
+        outcome = unit.check(0, 0x1000, 8, is_write=True, private=False)
+        assert outcome.access_class == AccessClass.UPDATE
+
+    def test_byte_write_by_other_thread_expands(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 8, is_write=True, private=False)
+        outcome = unit.check(1, 0x1001, 1, is_write=True, private=False)
+        assert outcome.access_class == AccessClass.EXPAND
+        assert unit.metadata.is_expanded(0x1000)
+
+    def test_stats_accumulate(self):
+        unit = self.make()
+        unit.check(0, 0x1000, 8, is_write=True, private=False)
+        unit.check(0, 0x1000, 8, is_write=False, private=False)
+        unit.check(0, 0x2000, 8, is_write=False, private=True)
+        stats = unit.stats
+        assert stats.total == 3
+        assert stats.by_class[AccessClass.PRIVATE] == 1
+        assert 0 < stats.quick_fraction <= 1
+
+
+def make_trace(events_by_tid):
+    return Trace(per_thread=events_by_tid)
+
+
+class TestSimulator:
+    def simple_trace(self):
+        return make_trace(
+            {
+                1: [
+                    TraceEvent(WRITE, 0x1000, 8, gap=10),
+                    TraceEvent(READ, 0x1000, 8, gap=5),
+                    TraceEvent(SYNC, gap=2, sync_name="Release"),
+                    TraceEvent(WRITE, 0x1000, 8, gap=1),
+                ],
+                2: [
+                    TraceEvent(READ, 0x2000, 8, gap=8),
+                    TraceEvent(WRITE, 0x2000, 8, gap=0),
+                ],
+            }
+        )
+
+    def test_runs_to_completion(self):
+        result = simulate_trace(self.simple_trace(), SimConfig(detection=False))
+        assert result.cycles > 0
+        assert result.data_accesses == 5
+
+    def test_detection_not_cheaper(self):
+        trace = self.simple_trace()
+        base = simulate_trace(trace, SimConfig(detection=False))
+        det = simulate_trace(trace, SimConfig(detection=True))
+        assert det.cycles >= base.cycles
+        assert det.check_stats is not None
+        assert det.check_stats.total == 5
+
+    def test_warmup_reduces_cycles(self):
+        trace = self.simple_trace()
+        sim_cold = MulticoreSim(SimConfig(detection=False))
+        cold = sim_cold.run(trace, warmup=False)
+        sim_warm = MulticoreSim(SimConfig(detection=False))
+        warm = sim_warm.run(trace, warmup=True)
+        assert warm.cycles < cold.cycles
+
+    def test_sync_advances_thread_clock(self):
+        """The write after the sync needs an epoch update (new clock)."""
+        result = simulate_trace(self.simple_trace(), SimConfig(detection=True))
+        stats = result.check_stats
+        assert stats.by_class[AccessClass.UPDATE] >= 1
+
+    def test_private_events_skip_checks(self):
+        trace = make_trace(
+            {1: [TraceEvent(READ, 0x1000, 8, private=True, gap=0)]}
+        )
+        result = simulate_trace(trace, SimConfig(detection=True))
+        assert result.check_stats.by_class[AccessClass.PRIVATE] == 1
+
+    def test_deterministic_across_runs(self):
+        trace = self.simple_trace()
+        a = simulate_trace(trace, SimConfig(detection=True))
+        b = simulate_trace(trace, SimConfig(detection=True))
+        assert a.cycles == b.cycles
+
+    def test_empty_trace(self):
+        result = simulate_trace(make_trace({}), SimConfig(detection=False))
+        assert result.cycles == 0

@@ -1,0 +1,168 @@
+"""Property tests for the hardware substrate.
+
+Hypothesis drives random access sequences and checks structural
+invariants of the cache coherence model and the metadata layouts — the
+things a trace-driven study silently depends on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import MemoryHierarchy, MetadataLayout
+from repro.hardware.cache import LINE_SIZE, MESI_E, MESI_M, MESI_S
+
+# Random access programs: (core, slot, size_exp, is_write)
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=3),    # core
+        st.integers(min_value=0, max_value=31),   # slot (8B)
+        st.sampled_from([1, 2, 4, 8]),            # size
+        st.booleans(),                            # write?
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def run_accesses(ops):
+    hierarchy = MemoryHierarchy(n_cores=4)
+    for core, slot, size, is_write in ops:
+        offset = 0 if size == 8 else size * (slot % (8 // size))
+        hierarchy.access(core, 0x1000 + slot * 8 + offset, size, is_write)
+    return hierarchy
+
+
+class TestCoherenceInvariants:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=accesses)
+    def test_single_writer(self, ops):
+        """SWMR: a line in M (or E) state in one cache is in no other."""
+        hierarchy = run_accesses(ops)
+        lines = {}
+        for core, l1 in enumerate(hierarchy.l1):
+            for line, state in l1.resident_lines().items():
+                lines.setdefault(line, []).append((core, state))
+        for line, holders in lines.items():
+            exclusive = [c for c, s in holders if s in (MESI_M, MESI_E)]
+            if exclusive:
+                assert len(holders) == 1, (
+                    f"line {line:#x} exclusive in core {exclusive} but "
+                    f"present in {holders}"
+                )
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=accesses)
+    def test_l1_implies_l2(self, ops):
+        """Private-cache inclusion: every L1 line is in the same core's L2."""
+        hierarchy = run_accesses(ops)
+        for core in range(hierarchy.n_cores):
+            l2_lines = set(hierarchy.l2[core].resident_lines())
+            for line in hierarchy.l1[core].resident_lines():
+                assert line in l2_lines
+
+    @settings(max_examples=80, deadline=None)
+    @given(ops=accesses)
+    def test_directory_covers_caches(self, ops):
+        """Every privately-cached line is known to the directory."""
+        hierarchy = run_accesses(ops)
+        for core, l1 in enumerate(hierarchy.l1):
+            for line in l1.resident_lines():
+                assert core in hierarchy._sharers.get(line, set()), (
+                    f"core {core} caches {line:#x} but is not a sharer"
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=accesses)
+    def test_latency_is_from_the_fixed_menu(self, ops):
+        hierarchy = MemoryHierarchy(n_cores=4)
+        menu = {1, 10, 15, 35, 120}
+        for core, slot, size, is_write in ops:
+            offset = 0 if size == 8 else size * (slot % (8 // size))
+            latency = hierarchy.access(
+                core, 0x1000 + slot * 8 + offset, size, is_write
+            )
+            assert latency in menu  # single-line accesses only here
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=accesses)
+    def test_repeat_read_hits_l1(self, ops):
+        """Determinacy: immediately repeating a read is always an L1 hit."""
+        hierarchy = MemoryHierarchy(n_cores=4)
+        for core, slot, size, is_write in ops:
+            address = 0x1000 + slot * 8
+            hierarchy.access(core, address, 1, is_write)
+            assert hierarchy.access(core, address, 1, False) == 1
+
+
+# Metadata write scripts: (offset-in-region, size, epoch)
+write_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255),
+        st.sampled_from([1, 2, 4, 8]),
+        st.integers(min_value=1, max_value=2**22),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class ReferenceEpochs:
+    """The obviously-correct model: one epoch per byte, no layout."""
+
+    def __init__(self):
+        self.bytes = {}
+
+    def write(self, address, size, epoch):
+        for a in range(address, address + size):
+            self.bytes[a] = epoch
+
+    def read(self, address, size):
+        return [self.bytes.get(a, 0) for a in range(address, address + size)]
+
+
+class TestMetadataFunctionalEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(script=write_scripts, mode=st.sampled_from(["clean", "epoch1", "epoch4"]))
+    def test_all_layouts_track_reference(self, script, mode):
+        """Whatever compact/expanded transitions happen, the epochs every
+        layout reports are exactly the per-byte reference."""
+        layout = MetadataLayout(mode)
+        reference = ReferenceEpochs()
+        base = 0x4000
+        for offset, size, epoch in script:
+            address = base + offset
+            layout.apply_write(address, size, epoch)
+            reference.write(address, size, epoch)
+        for offset, size, _ in script:
+            address = base + offset
+            assert layout.epochs_for(address, size) == reference.read(
+                address, size
+            ), f"mode={mode} at {address:#x}"
+
+    @settings(max_examples=80, deadline=None)
+    @given(script=write_scripts)
+    def test_expansion_is_monotone(self, script):
+        """A line never silently collapses back to compact."""
+        layout = MetadataLayout("clean")
+        base = 0x4000
+        expanded = set()
+        for offset, size, epoch in script:
+            layout.apply_write(base + offset, size, epoch)
+            line = (base + offset) - ((base + offset) % LINE_SIZE)
+            if layout.is_expanded(line):
+                expanded.add(line)
+            for seen in expanded:
+                assert layout.is_expanded(seen)
+
+    @settings(max_examples=80, deadline=None)
+    @given(script=write_scripts)
+    def test_aligned_word_writes_never_expand(self, script):
+        """Writes covering whole 4-byte groups keep every line compact."""
+        layout = MetadataLayout("clean")
+        base = 0x4000
+        for offset, size, epoch in script:
+            aligned = base + (offset & ~7)
+            size = 8 if size >= 4 else 4
+            plan = layout.apply_write(aligned, size, epoch)
+            assert not plan.expansion
+        assert layout.expansions == 0

@@ -1,0 +1,136 @@
+"""Unit tests for shared memory and the operation vocabulary."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.memory import SharedMemory
+from repro.runtime.ops import (
+    Acquire,
+    AtomicRMW,
+    BarrierWait,
+    Compute,
+    CondBroadcast,
+    CondSignal,
+    CondWait,
+    Join,
+    Output,
+    Read,
+    Release,
+    SemPost,
+    SemWait,
+    Spawn,
+    Write,
+)
+from repro.runtime.sync import Barrier, Condition, Lock, Semaphore
+
+
+class TestSharedMemory:
+    def test_default_zero(self):
+        mem = SharedMemory()
+        assert mem.load_byte(123) == 0
+        assert mem.load_int(123, 8) == 0
+
+    def test_byte_roundtrip(self):
+        mem = SharedMemory()
+        mem.store_byte(5, 0x1FF)  # masked to 0xFF
+        assert mem.load_byte(5) == 0xFF
+
+    def test_little_endian_layout(self):
+        mem = SharedMemory()
+        mem.store_int(0, 4, 0x0A0B0C0D)
+        assert [mem.load_byte(i) for i in range(4)] == [0x0D, 0x0C, 0x0B, 0x0A]
+
+    def test_negative_values_wrap(self):
+        mem = SharedMemory()
+        mem.store_int(0, 4, -1)
+        assert mem.load_int(0, 4) == 0xFFFFFFFF
+
+    def test_partial_overwrite(self):
+        mem = SharedMemory()
+        mem.store_int(0, 8, 0xAAAAAAAAAAAAAAAA)
+        mem.store_int(2, 2, 0xBBBB)
+        assert mem.load_int(0, 8) == 0xAAAAAAAABBBBAAAA
+
+    @given(
+        address=st.integers(min_value=0, max_value=1000),
+        size=st.sampled_from([1, 2, 4, 8]),
+        value=st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    def test_roundtrip_property(self, address, size, value):
+        mem = SharedMemory()
+        masked = value & ((1 << (8 * size)) - 1)
+        mem.store_int(address, size, value)
+        assert mem.load_int(address, size) == masked
+
+    def test_alloc_alignment(self):
+        mem = SharedMemory()
+        a = mem.alloc(3, align=64)
+        b = mem.alloc(3, align=64)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b >= a + 3
+
+    def test_alloc_validation(self):
+        mem = SharedMemory()
+        with pytest.raises(ValueError):
+            mem.alloc(0)
+        with pytest.raises(ValueError):
+            mem.alloc(8, align=3)
+
+    def test_snapshot_and_footprint(self):
+        mem = SharedMemory()
+        mem.store_int(0, 4, 0x01020304)
+        snap = mem.snapshot()
+        assert len(snap) == 4
+        assert mem.footprint == 4
+        mem.store_byte(0, 9)
+        assert snap[0] == 0x04  # snapshot is a copy
+
+    def test_access_counters(self):
+        mem = SharedMemory()
+        mem.store_int(0, 8, 1)
+        mem.load_int(0, 8)
+        mem.load_byte(0)
+        assert mem.stores == 1
+        assert mem.loads == 2
+
+
+class TestOpProperties:
+    def test_costs(self):
+        assert Read(0, 4).cost == 1
+        assert Write(0, 4, 1).cost == 1
+        assert Compute(17).cost == 17
+        assert AtomicRMW(0, 4, lambda v: v).cost == 2
+        assert Read(0, 4, weight=5).cost == 5
+
+    def test_sync_classification(self):
+        lock, barrier = Lock(), Barrier(2)
+        cond, sem = Condition(), Semaphore()
+        sync_ops = [
+            Acquire(lock), Release(lock), BarrierWait(barrier),
+            CondWait(cond, lock), CondSignal(cond), CondBroadcast(cond),
+            SemWait(sem), SemPost(sem), Spawn(lambda ctx: None), Join(1),
+        ]
+        for op in sync_ops:
+            assert op.is_sync, op
+        for op in [Read(0), Write(0), Compute(), Output(),
+                   AtomicRMW(0, 4, lambda v: v)]:
+            assert not op.is_sync, op
+
+    def test_ops_are_frozen(self):
+        op = Read(0, 4)
+        with pytest.raises(Exception):
+            op.address = 5
+
+    def test_sync_objects_have_stable_names(self):
+        assert Lock("mine").name == "mine"
+        assert Barrier(2, "b").name == "b"
+        assert Lock().name != Lock().name  # generated names are unique
+
+    def test_barrier_validation(self):
+        with pytest.raises(ValueError):
+            Barrier(0)
+
+    def test_semaphore_validation(self):
+        with pytest.raises(ValueError):
+            Semaphore(-1)

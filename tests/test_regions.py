@@ -1,0 +1,231 @@
+"""Tests for SFR tracking and the isolation/write-atomicity oracles."""
+
+from repro.runtime import (
+    Acquire,
+    Compute,
+    IsolationOracle,
+    Join,
+    Lock,
+    Program,
+    Read,
+    Release,
+    ScriptedPolicy,
+    SfrTracker,
+    Spawn,
+    Write,
+    WriteAtomicityOracle,
+)
+
+
+def run_with_oracles(main, policy=None):
+    tracker = SfrTracker()
+    isolation = IsolationOracle(tracker)
+    atomicity = WriteAtomicityOracle(tracker)
+    result = Program(main).run(
+        policy=policy, monitors=[tracker, isolation, atomicity]
+    )
+    return result, isolation, atomicity
+
+
+class TestSfrTracker:
+    def test_regions_advance_on_sync(self):
+        tracker = SfrTracker()
+        lock = Lock()
+
+        def main(ctx):
+            yield Compute(1)
+            yield Acquire(lock)
+            yield Compute(1)
+            yield Release(lock)
+
+        Program(main).run(monitors=[tracker])
+        # initial region + one per sync commit (acquire, release)
+        assert tracker.regions_started == 3
+
+    def test_current_region_changes(self):
+        tracker = SfrTracker()
+        seen = []
+        lock = Lock()
+
+        def main(ctx):
+            seen.append(tracker.current_region(0))
+            yield Acquire(lock)
+            seen.append(tracker.current_region(0))
+            yield Release(lock)
+            seen.append(tracker.current_region(0))
+
+        Program(main).run(monitors=[tracker])
+        assert seen == [(0, 0), (0, 1), (0, 2)]
+
+    def test_overlap_of_concurrent_regions(self):
+        tracker = SfrTracker()
+        regions = {}
+
+        def child(ctx):
+            regions["child"] = tracker.current_region(1)
+            yield Compute(1)
+            tracker.tick()
+            yield Compute(1)
+
+        def main(ctx):
+            regions["pre"] = tracker.current_region(0)
+            kid = yield Spawn(child)
+            regions["main"] = tracker.current_region(0)
+            tracker.tick()
+            yield Join(kid)
+
+        Program(main).run(monitors=[tracker])
+        assert tracker.overlapped(regions["main"], regions["child"])
+
+
+class TestIsolationOracle:
+    def test_racy_read_of_open_region_write_flagged(self):
+        def child(ctx, addr):
+            yield Write(addr, 4, 7)
+            yield Compute(50)  # keep the region open
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kid = yield Spawn(child, (addr,))
+            yield Read(addr, 4)
+            yield Join(kid)
+
+        # spawn, child writes, then main reads while child's SFR is open
+        _, isolation, _ = run_with_oracles(main, ScriptedPolicy([0, 1, 0]))
+        assert any(v.kind == "isolation" for v in isolation.violations)
+
+    def test_synchronized_handoff_not_flagged(self):
+        lock = Lock()
+
+        def child(ctx, addr):
+            yield Acquire(lock)
+            yield Write(addr, 4, 7)
+            yield Release(lock)
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kid = yield Spawn(child, (addr,))
+            yield Join(kid)
+            yield Acquire(lock)
+            yield Read(addr, 4)
+            yield Release(lock)
+
+        _, isolation, _ = run_with_oracles(main)
+        assert isolation.violations == []
+
+    def test_own_writes_never_flagged(self):
+        def main(ctx):
+            addr = ctx.alloc(4)
+            yield Write(addr, 4, 1)
+            yield Read(addr, 4)
+
+        _, isolation, _ = run_with_oracles(main)
+        assert isolation.violations == []
+
+    def test_private_accesses_ignored(self):
+        def child(ctx, addr):
+            yield Write(addr, 4, 7, private=True)
+            yield Compute(50)
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kid = yield Spawn(child, (addr,))
+            yield Read(addr, 4, private=True)
+            yield Join(kid)
+
+        _, isolation, _ = run_with_oracles(
+            main, ScriptedPolicy([0, 0, 1, 0, 1, 1, 0])
+        )
+        assert isolation.violations == []
+
+
+class TestWriteAtomicityOracle:
+    def torn_program(self):
+        """Figure 1b: two SFRs write both halves of an 8-byte variable; a
+        reader can see one half from each."""
+
+        def writer_a(ctx, addr):
+            yield Write(addr, 4, 0x11111111)      # low half
+            yield Write(addr + 4, 4, 0x11111111)  # high half
+
+        def writer_b(ctx, addr):
+            yield Write(addr, 4, 0x22222222)
+            yield Write(addr + 4, 4, 0x22222222)
+
+        def main(ctx):
+            addr = ctx.alloc(8)
+            a = yield Spawn(writer_a, (addr,))
+            b = yield Spawn(writer_b, (addr,))
+            value = yield Read(addr, 8)
+            yield Join(a)
+            yield Join(b)
+            return value
+
+        return main
+
+    def test_half_half_outcome_flagged(self):
+        """Every schedule producing a Figure-1b torn value is flagged.
+
+        A torn read arises two ways, matching the paper's two
+        write-atomicity conditions: observing an *in-progress* region's
+        writes (condition i — the isolation oracle flags it) or mixing
+        two temporally-overlapping writers (condition ii — the atomicity
+        oracle flags it).  Either flag counts.
+        """
+        from repro.runtime import RandomPolicy
+
+        torn_values = {0x1111111122222222, 0x2222222211111111}
+        saw_torn = False
+        for seed in range(40):
+            result, isolation, atomicity = run_with_oracles(
+                self.torn_program(), RandomPolicy(seed)
+            )
+            value = result.thread_results[0]
+            if value in torn_values:
+                saw_torn = True
+                flagged = isolation.violations or any(
+                    v.kind == "write-atomicity" for v in atomicity.violations
+                )
+                assert flagged, f"torn value {value:#x} not flagged (seed {seed})"
+        assert saw_torn, "no schedule produced the Figure-1b torn outcome"
+
+    def test_serialized_writers_not_flagged(self):
+        def writer(ctx, addr, pattern):
+            yield Write(addr, 4, pattern)
+            yield Write(addr + 4, 4, pattern)
+
+        def main(ctx):
+            addr = ctx.alloc(8)
+            a = yield Spawn(writer, (addr, 0x11111111))
+            yield Join(a)
+            b = yield Spawn(writer, (addr, 0x22222222))
+            yield Join(b)
+            value = yield Read(addr, 8)
+            return value
+
+        result, _, atomicity = run_with_oracles(main)
+        assert result.thread_results[0] == 0x2222222222222222
+        assert atomicity.violations == []
+
+    def test_intentional_partial_update_not_flagged(self):
+        """A later region updating only half of the data is legitimate —
+        the interval check must not misreport it."""
+
+        def full_writer(ctx, addr):
+            yield Write(addr, 4, 0x11111111)
+            yield Write(addr + 4, 4, 0x11111111)
+
+        def half_writer(ctx, addr):
+            yield Write(addr, 4, 0x33333333)
+
+        def main(ctx):
+            addr = ctx.alloc(8)
+            a = yield Spawn(full_writer, (addr,))
+            yield Join(a)
+            b = yield Spawn(half_writer, (addr,))
+            yield Join(b)
+            return (yield Read(addr, 8))
+
+        result, _, atomicity = run_with_oracles(main)
+        assert result.thread_results[0] == 0x1111111133333333
+        assert atomicity.violations == []

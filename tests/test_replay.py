@@ -1,0 +1,139 @@
+"""Tests for schedule record/replay and the §3.1.2 debugging workflow."""
+
+import pytest
+
+from repro.baselines import FastTrackDetector, VcRaceDetector
+from repro.clean import CleanMonitor
+from repro.core import CleanDetector
+from repro.runtime import Program, RandomPolicy, Read, Spawn, Join, Write, Compute
+from repro.runtime.replay import RecordingPolicy, ReplayDivergence, ReplayPolicy
+from repro.workloads.randprog import make_random_program
+
+
+def racy_program():
+    def toucher(ctx, addr):
+        yield Compute(2)
+        value = yield Read(addr, 4)
+        yield Write(addr, 4, value + 1)
+
+    def main(ctx):
+        addr = ctx.alloc(4)
+        a = yield Spawn(toucher, (addr,))
+        b = yield Spawn(toucher, (addr,))
+        yield Join(a)
+        yield Join(b)
+        return (yield Read(addr, 4))
+
+    return Program(main)
+
+
+class TestRecordReplay:
+    def test_replay_reproduces_fingerprint(self):
+        recording = RecordingPolicy(RandomPolicy(7))
+        first = racy_program().run(policy=recording, max_threads=8)
+        second = racy_program().run(
+            policy=ReplayPolicy(recording.log), max_threads=8
+        )
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_replay_reproduces_race(self):
+        for seed in range(10):
+            recording = RecordingPolicy(RandomPolicy(seed))
+            first = racy_program().run(
+                policy=recording,
+                monitors=[CleanMonitor(detector=CleanDetector(max_threads=8))],
+                max_threads=8,
+            )
+            replayed = racy_program().run(
+                policy=ReplayPolicy(recording.log),
+                monitors=[CleanMonitor(detector=CleanDetector(max_threads=8))],
+                max_threads=8,
+            )
+            if first.race is None:
+                assert replayed.race is None
+            else:
+                assert replayed.race is not None
+                assert replayed.race.kind == first.race.kind
+                assert replayed.race.address == first.race.address
+
+    def test_sec312_workflow(self):
+        """The paper's workflow: CLEAN stops an execution; replaying the
+        same schedule with a precise detector enumerates every race of
+        that interleaving (including the WARs CLEAN skipped)."""
+        raced = None
+        for seed in range(30):
+            recording = RecordingPolicy(RandomPolicy(seed))
+            result = racy_program().run(
+                policy=recording,
+                monitors=[CleanMonitor(detector=CleanDetector(max_threads=8))],
+                max_threads=8,
+            )
+            if result.race is not None:
+                raced = (recording.log, result.race)
+                break
+        assert raced is not None, "no seed raced"
+        log, race = raced
+        oracle = VcRaceDetector(max_threads=8, record_only=True)
+        from repro.runtime import RoundRobinPolicy
+
+        # the log covers only the prefix CLEAN allowed to run; continue
+        # past the stopping point with any policy.
+        racy_program().run(
+            policy=ReplayPolicy(log, fallback=RoundRobinPolicy()),
+            monitors=[CleanMonitor(detector=oracle)],
+            max_threads=8,
+        )
+        kinds = oracle.race_kinds()
+        assert race.kind in kinds  # the stopping race is among them
+        assert sum(kinds.values()) >= 1
+
+    def test_replay_works_across_detector_swaps(self):
+        """Monitors never influence scheduling, so the log replays under
+        a different (heavier) detector."""
+        recording = RecordingPolicy(RandomPolicy(3))
+        first = racy_program().run(policy=recording, max_threads=8)
+        ft = FastTrackDetector(max_threads=8, record_only=True)
+        second = racy_program().run(
+            policy=ReplayPolicy(recording.log),
+            monitors=[CleanMonitor(detector=ft)],
+            max_threads=8,
+        )
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_save_load(self, tmp_path):
+        recording = RecordingPolicy(RandomPolicy(5))
+        first = racy_program().run(policy=recording, max_threads=8)
+        path = tmp_path / "schedule.json"
+        recording.save(path)
+        second = racy_program().run(
+            policy=ReplayPolicy.load(path), max_threads=8
+        )
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_divergence_detected_on_wrong_program(self):
+        recording = RecordingPolicy(RandomPolicy(1))
+        racy_program().run(policy=recording, max_threads=8)
+
+        def different(ctx):
+            for _ in range(50):
+                yield Compute(1)
+
+        with pytest.raises(ReplayDivergence):
+            Program(different).run(
+                policy=ReplayPolicy(recording.log), max_threads=8
+            )
+
+    def test_random_programs_replay_exactly(self):
+        for pseed in range(5):
+            program, _ = make_random_program(
+                pseed, n_threads=3, ops_per_thread=8, race_probability=0.3
+            )
+            recording = RecordingPolicy(RandomPolicy(pseed))
+            first = program.run(policy=recording, max_threads=8)
+            program2, _ = make_random_program(
+                pseed, n_threads=3, ops_per_thread=8, race_probability=0.3
+            )
+            second = program2.run(
+                policy=ReplayPolicy(recording.log), max_threads=8
+            )
+            assert first.fingerprint() == second.fingerprint()

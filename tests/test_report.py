@@ -1,0 +1,27 @@
+"""Integration: the all-experiments report generator (fast mode)."""
+
+from repro.experiments.report import run_all
+
+
+class TestReport:
+    def test_fast_report_produces_all_experiments(self):
+        results = run_all(fast=True)
+        names = [r.experiment for r in results]
+        assert names == [
+            "Section 6.2.2",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+            "Table 1",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Ablation A1",
+            "Ablation A2",
+            "Ablation A3",
+            "Ablation A4",
+        ]
+        for result in results:
+            assert result.rows, result.experiment
+            rendered = result.render()
+            assert result.title in rendered

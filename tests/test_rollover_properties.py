@@ -1,0 +1,130 @@
+"""Workload-level properties of the clock-rollover machinery (§4.5).
+
+The paper's claim: deterministic metadata resets preserve SFR isolation,
+write-atomicity and determinism, even though races spanning a reset are
+missed.  We verify on real workloads and random programs:
+
+* race-free workloads under a clock narrow enough to force many resets
+  still never raise, and remain deterministic across schedules;
+* the oracle-checked guarantee (no isolation/atomicity violations in
+  completed runs) survives resets;
+* narrowing the clock can only ever *lose* exceptions relative to the
+  wide clock (missed spans), never invent them.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clean import CleanMonitor
+from repro.core import CleanDetector
+from repro.core.epoch import DEFAULT_LAYOUT, EpochLayout
+from repro.core.rollover import RolloverPolicy
+from repro.determinism import KendoGate
+from repro.runtime import (
+    IsolationOracle,
+    RandomPolicy,
+    SfrTracker,
+    WriteAtomicityOracle,
+)
+from repro.workloads import build_program, get_benchmark
+from repro.workloads.randprog import make_random_program
+
+NARROW = EpochLayout(clock_bits=4, tid_bits=5, reserve_expanded_bit=True)
+
+
+def run_with_layout(program, layout, seed, slack=2, extra=None):
+    detector = CleanDetector(max_threads=24, layout=layout)
+    rollover = RolloverPolicy(slack=slack)
+    monitors = [CleanMonitor(detector=detector, rollover=rollover), KendoGate()]
+    if extra:
+        monitors.extend(extra)
+    result = program.run(
+        policy=RandomPolicy(seed), monitors=monitors, max_threads=24
+    )
+    return result, rollover
+
+
+class TestRolloverOnWorkloads:
+    def test_race_free_workload_survives_many_resets(self):
+        spec = get_benchmark("radiosity")
+        program = build_program(spec, scale="test", racy=False, seed=0)
+        result, rollover = run_with_layout(program, NARROW, seed=0)
+        assert rollover.count >= 1, "the narrow clock must force resets"
+        assert result.race is None
+
+    def test_determinism_preserved_across_resets(self):
+        """Fingerprints identical across schedules despite resets — the
+        per-phase argument of Section 4.5."""
+        fingerprints = set()
+        reset_counts = set()
+        for seed in range(4):
+            program = build_program(
+                get_benchmark("radiosity"), scale="test", racy=False, seed=0
+            )
+            result, rollover = run_with_layout(program, NARROW, seed=seed)
+            assert result.race is None
+            fingerprints.add(result.fingerprint())
+            reset_counts.add(rollover.count)
+        assert len(fingerprints) == 1
+        assert reset_counts != {0}
+
+    def test_reset_points_are_deterministic(self):
+        """The sync index at which each reset lands is the same on every
+        schedule (they land on the Kendo-ordered sync sequence)."""
+        reset_points = set()
+        for seed in range(4):
+            program = build_program(
+                get_benchmark("fluidanimate"), scale="test", racy=False, seed=0
+            )
+            _, rollover = run_with_layout(program, NARROW, seed=seed)
+            reset_points.add(tuple(e.sync_index for e in rollover.events))
+        assert len(reset_points) == 1
+
+    def test_oracles_silent_across_resets(self):
+        tracker = SfrTracker()
+        isolation = IsolationOracle(tracker)
+        atomicity = WriteAtomicityOracle(tracker)
+        program = build_program(
+            get_benchmark("radiosity"), scale="test", racy=False, seed=1
+        )
+        result, rollover = run_with_layout(
+            program, NARROW, seed=2, extra=[tracker, isolation, atomicity]
+        )
+        assert rollover.count >= 1
+        assert result.race is None
+        assert isolation.violations == []
+        assert atomicity.violations == []
+
+
+class TestRolloverOnRandomPrograms:
+    @settings(max_examples=25, deadline=None)
+    @given(pseed=st.integers(min_value=0, max_value=5000))
+    def test_race_free_random_programs_never_raise_under_narrow_clock(
+        self, pseed
+    ):
+        program, _ = make_random_program(
+            pseed, n_threads=3, ops_per_thread=14, race_probability=0.0
+        )
+        result, _ = run_with_layout(program, NARROW, seed=0)
+        assert result.race is None
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        pseed=st.integers(min_value=0, max_value=5000),
+        sseed=st.integers(min_value=0, max_value=100),
+    )
+    def test_narrow_clock_never_invents_exceptions(self, pseed, sseed):
+        """If the narrow-clock run raises, the wide-clock run of the same
+        program on the same schedule raises too (resets only *lose*
+        information)."""
+        program, _ = make_random_program(
+            pseed, n_threads=3, ops_per_thread=12, race_probability=0.5
+        )
+        narrow_result, _ = run_with_layout(program, NARROW, seed=sseed)
+        program2, _ = make_random_program(
+            pseed, n_threads=3, ops_per_thread=12, race_probability=0.5
+        )
+        wide_result, _ = run_with_layout(program2, DEFAULT_LAYOUT, seed=sseed)
+        if narrow_result.race is not None:
+            assert wide_result.race is not None

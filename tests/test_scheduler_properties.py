@@ -1,0 +1,215 @@
+"""Property tests for the cooperative scheduler's synchronization
+semantics, over randomly generated sync-heavy programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import DeadlockError
+from repro.determinism import KendoGate
+from repro.runtime import (
+    Acquire,
+    Barrier,
+    BarrierWait,
+    Compute,
+    ExecutionMonitor,
+    Join,
+    Lock,
+    Output,
+    Program,
+    RandomPolicy,
+    Read,
+    Release,
+    Semaphore,
+    SemPost,
+    SemWait,
+    Spawn,
+    Write,
+)
+
+
+class SyncInvariantMonitor(ExecutionMonitor):
+    """Checks structural synchronization invariants as they happen."""
+
+    def __init__(self):
+        self.errors = []
+        self._held = {}
+        self._sem_balance = {}
+
+    def on_acquire(self, tid, lock):
+        holder = self._held.get(lock.name)
+        if holder is not None:
+            self.errors.append(
+                f"lock {lock.name} acquired by {tid} while held by {holder}"
+            )
+        self._held[lock.name] = tid
+
+    def on_release(self, tid, lock):
+        if self._held.get(lock.name) != tid:
+            self.errors.append(
+                f"lock {lock.name} released by {tid}, holder was "
+                f"{self._held.get(lock.name)}"
+            )
+        self._held[lock.name] = None
+
+    def on_sem_wait(self, tid, sem):
+        balance = self._sem_balance.setdefault(sem.name, 0)
+        self._sem_balance[sem.name] = balance - 1
+
+    def on_sem_post(self, tid, sem):
+        self._sem_balance[sem.name] = self._sem_balance.get(sem.name, 0) + 1
+
+    def check_sem_floor(self, initial_values):
+        for name, balance in self._sem_balance.items():
+            if balance + initial_values.get(name, 0) < 0:
+                self.errors.append(f"semaphore {name} went negative")
+
+
+def producer_consumer_program(n_producers, n_consumers, items_each):
+    """Producers push tokens through a semaphore; consumers pop them.
+
+    Race-free by construction: each producer writes only its own cell
+    (consumers tally token counts, not payload), so the only shared
+    state is the semaphore itself.
+    """
+    sem = Semaphore(0, "tokens")
+
+    def producer(ctx, cell):
+        for i in range(items_each):
+            yield Compute(1)
+            yield Write(cell, 4, i)
+            yield SemPost(sem)
+
+    def consumer(ctx, quota):
+        taken = 0
+        for _ in range(quota):
+            yield SemWait(sem)
+            taken += 1
+        yield Output(taken)
+        return taken
+
+    total_items = n_producers * items_each
+    per_consumer = total_items // n_consumers
+
+    def main(ctx):
+        kids = []
+        for _ in range(n_producers):
+            cell = ctx.alloc(4)  # one private-to-producer cell each
+            kids.append((yield Spawn(producer, (cell,))))
+        for _ in range(n_consumers):
+            kids.append((yield Spawn(consumer, (per_consumer,))))
+        for kid in kids:
+            yield Join(kid)
+        return sem.value
+
+    return Program(main), sem
+
+
+class TestSemaphoreInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        producers=st.integers(min_value=1, max_value=3),
+        items=st.integers(min_value=1, max_value=4),
+    )
+    def test_never_negative_and_conserved(self, seed, producers, items):
+        consumers = producers  # per_consumer divides evenly
+        program, sem = producer_consumer_program(producers, consumers, items)
+        monitor = SyncInvariantMonitor()
+        result = program.run(
+            policy=RandomPolicy(seed), monitors=[monitor], max_threads=16
+        )
+        monitor.check_sem_floor({"tokens": 0})
+        assert monitor.errors == []
+        # every token posted was consumed
+        assert result.thread_results[0] == 0
+
+
+class TestLockInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        threads=st.integers(min_value=2, max_value=4),
+        sections=st.integers(min_value=1, max_value=4),
+    )
+    def test_mutual_exclusion_always(self, seed, threads, sections):
+        lock = Lock("m")
+
+        def worker(ctx, addr):
+            for _ in range(sections):
+                yield Acquire(lock)
+                value = yield Read(addr, 4)
+                yield Compute(2)
+                yield Write(addr, 4, value + 1)
+                yield Release(lock)
+
+        def main(ctx):
+            addr = ctx.alloc(4)
+            kids = []
+            for _ in range(threads):
+                kids.append((yield Spawn(worker, (addr,))))
+            for kid in kids:
+                yield Join(kid)
+            return (yield Read(addr, 4))
+
+        monitor = SyncInvariantMonitor()
+        result = program = Program(main).run(
+            policy=RandomPolicy(seed), monitors=[monitor], max_threads=16
+        )
+        assert monitor.errors == []
+        assert result.thread_results[0] == threads * sections
+
+
+class TestBarrierInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        parties=st.integers(min_value=2, max_value=4),
+        rounds=st.integers(min_value=1, max_value=4),
+    )
+    def test_generations_count_rounds(self, seed, parties, rounds):
+        barrier = Barrier(parties, "b")
+        phase_log = []
+
+        def worker(ctx, index):
+            for round_no in range(rounds):
+                yield Compute(index + 1)
+                phase_log.append((round_no, index, "arrive"))
+                yield BarrierWait(barrier)
+                phase_log.append((round_no, index, "depart"))
+
+        def main(ctx):
+            kids = []
+            for index in range(parties):
+                kids.append((yield Spawn(worker, (index,))))
+            for kid in kids:
+                yield Join(kid)
+
+        Program(main).run(policy=RandomPolicy(seed), max_threads=16)
+        assert barrier.generation == rounds
+        # No departure of round N precedes an arrival of round N.
+        for round_no in range(rounds):
+            arrivals = [
+                i for i, e in enumerate(phase_log)
+                if e[0] == round_no and e[2] == "arrive"
+            ]
+            departures = [
+                i for i, e in enumerate(phase_log)
+                if e[0] == round_no and e[2] == "depart"
+            ]
+            assert max(arrivals) < min(departures)
+
+
+class TestKendoWithAllPrimitives:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_producer_consumer_deterministic_under_kendo(self, seed):
+        fingerprints = set()
+        for schedule_seed in (seed, seed + 1, seed + 2):
+            program, _ = producer_consumer_program(2, 2, 3)
+            result = program.run(
+                policy=RandomPolicy(schedule_seed),
+                monitors=[KendoGate()],
+                max_threads=16,
+            )
+            fingerprints.add(result.fingerprint())
+        assert len(fingerprints) == 1

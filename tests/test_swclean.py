@@ -1,0 +1,142 @@
+"""Tests for the software-CLEAN runner and cost model."""
+
+import pytest
+
+from repro.core.detector import AccessStats
+from repro.core.epoch import EpochLayout
+from repro.swclean import (
+    DEFAULT_PARAMS,
+    DetectionCost,
+    SoftwareCostParams,
+    SyncCost,
+    run_software_clean,
+)
+from repro.workloads import get_benchmark
+
+
+class TestDetectionCost:
+    def test_empty_stats_cost_zero(self):
+        cost = DetectionCost.from_stats(AccessStats(), DEFAULT_PARAMS, True)
+        assert cost.added_instructions == 0.0
+
+    def test_cost_grows_with_accesses(self):
+        small = AccessStats(reads=10, writes=5, epoch_comparisons=15)
+        large = AccessStats(reads=100, writes=50, epoch_comparisons=150)
+        c_small = DetectionCost.from_stats(small, DEFAULT_PARAMS, True)
+        c_large = DetectionCost.from_stats(large, DEFAULT_PARAMS, True)
+        assert c_large.added_instructions > c_small.added_instructions
+
+    def test_scalar_mode_prices_per_byte_comparisons(self):
+        """Without vectorization the detector does one comparison per
+        byte; with it, one per (uniform) access — the cost model prices
+        whatever the detector actually counted."""
+        vec_stats = AccessStats(
+            reads=10, writes=0, epoch_comparisons=10,
+            multibyte_accesses=10, multibyte_uniform_epoch=10,
+        )
+        scalar_stats = AccessStats(
+            reads=10, writes=0, epoch_comparisons=80,
+            multibyte_accesses=10, multibyte_uniform_epoch=10,
+        )
+        vec = DetectionCost.from_stats(vec_stats, DEFAULT_PARAMS, True)
+        scalar = DetectionCost.from_stats(scalar_stats, DEFAULT_PARAMS, False)
+        assert scalar.added_instructions > vec.added_instructions
+
+    def test_wide_cas_batches_updates(self):
+        stats = AccessStats(reads=0, writes=10, epoch_comparisons=10,
+                            epoch_updates=40)
+        vec = DetectionCost.from_stats(stats, DEFAULT_PARAMS, True)
+        scalar = DetectionCost.from_stats(stats, DEFAULT_PARAMS, False)
+        # vectorized: ceil(40/4)=10 CAS ops; scalar: 40 CAS ops.
+        assert scalar.added_instructions - vec.added_instructions == (
+            pytest.approx(30 * DEFAULT_PARAMS.cas_cost)
+        )
+
+
+class TestSyncCost:
+    def test_blocking_sync_gets_bonus(self):
+        common = dict(
+            params=DEFAULT_PARAMS, baseline=1000.0, sync_commits=10,
+            compute_instructions=500.0, imbalance=0.0,
+            skipped_counter_work=0.0, n_threads=8,
+        )
+        normal = SyncCost.compute(blocking_sync=False, **common)
+        spinning = SyncCost.compute(blocking_sync=True, **common)
+        assert spinning.added_instructions < normal.added_instructions
+
+    def test_imbalance_adds_waiting(self):
+        common = dict(
+            params=DEFAULT_PARAMS, baseline=1000.0, sync_commits=10,
+            compute_instructions=500.0, skipped_counter_work=0.0,
+            blocking_sync=False, n_threads=8,
+        )
+        balanced = SyncCost.compute(imbalance=0.0, **common)
+        skewed = SyncCost.compute(imbalance=0.8, **common)
+        assert skewed.added_instructions > balanced.added_instructions
+
+    def test_counter_imprecision_adds_waiting(self):
+        common = dict(
+            params=DEFAULT_PARAMS, baseline=1000.0, sync_commits=10,
+            compute_instructions=500.0, imbalance=0.0,
+            blocking_sync=False, n_threads=8,
+        )
+        precise = SyncCost.compute(skipped_counter_work=0.0, **common)
+        sloppy = SyncCost.compute(skipped_counter_work=400.0, **common)
+        assert sloppy.added_instructions > precise.added_instructions
+
+
+class TestRunner:
+    def test_run_produces_consistent_slowdowns(self):
+        run = run_software_clean(get_benchmark("fft"), scale="test")
+        assert run.t0 > 0
+        assert run.slowdown_detection > 1.0
+        assert run.slowdown_full > run.slowdown_detection * 0.9
+        assert run.stats.accesses > 0
+
+    def test_full_composes_detection_and_sync(self):
+        run = run_software_clean(get_benchmark("barnes"), scale="test")
+        assert run.slowdown_full == pytest.approx(
+            run.slowdown_detection * run.slowdown_detsync, rel=1e-6
+        )
+
+    def test_vectorization_reduces_detection_cost(self):
+        spec = get_benchmark("lu_cb")
+        vec = run_software_clean(spec, scale="test", vectorized=True)
+        scalar = run_software_clean(spec, scale="test", vectorized=False)
+        assert vec.slowdown_detection < scalar.slowdown_detection
+
+    def test_streamcluster_sync_speedup(self):
+        """Section 6.2.3: spinning deterministic synchronization speeds
+        streamcluster up relative to its blocking Pthread build."""
+        run = run_software_clean(get_benchmark("streamcluster"), scale="test")
+        assert run.slowdown_detsync < 1.0
+
+    def test_narrow_clock_causes_rollovers(self):
+        narrow = EpochLayout(clock_bits=4, tid_bits=5)
+        run = run_software_clean(
+            get_benchmark("radiosity"), scale="test",
+            layout=narrow, rollover_slack=2,
+        )
+        assert run.rollovers > 0
+        assert run.rollovers_per_second > 0
+
+    def test_default_clock_never_rolls_over(self):
+        run = run_software_clean(get_benchmark("radiosity"), scale="test")
+        assert run.rollovers == 0
+
+    def test_wide_access_fraction_matches_paper(self):
+        """>91.9% of shared accesses are 4+ bytes (Section 6.2.3)."""
+        run = run_software_clean(get_benchmark("fft"), scale="test")
+        assert run.stats.fraction_wide > 0.85
+
+    def test_uniform_epoch_fraction_high(self):
+        """>99.7% of multi-byte accesses have uniform epochs (paper);
+        our models reach the high nineties."""
+        run = run_software_clean(get_benchmark("fft"), scale="test")
+        assert run.stats.fraction_uniform_epoch > 0.95
+
+    def test_runs_are_reproducible(self):
+        a = run_software_clean(get_benchmark("fmm"), scale="test", seed=5)
+        b = run_software_clean(get_benchmark("fmm"), scale="test", seed=5)
+        assert a.t_full == b.t_full
+        assert a.result.fingerprint() == b.result.fingerprint()

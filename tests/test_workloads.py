@@ -1,0 +1,209 @@
+"""Tests for the SPLASH-2/PARSEC workload models."""
+
+import pytest
+
+from repro.clean import run_clean
+from repro.core import CleanDetector
+from repro.clean import CleanMonitor
+from repro.runtime import RandomPolicy, RoundRobinPolicy, TraceRecorder
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    HW_BENCHMARKS,
+    RACE_FREE_VARIANTS,
+    RACY_BENCHMARKS,
+    ROLLOVER_BENCHMARKS,
+    BenchmarkSpec,
+    build_program,
+    get_benchmark,
+)
+
+RACE_FREE_STYLES = [b for b in ALL_BENCHMARKS if b.style != "lock_free"]
+
+
+class TestSuiteInventory:
+    def test_26_benchmarks(self):
+        """The paper runs 26 benchmarks (freqmine excluded)."""
+        assert len(ALL_BENCHMARKS) == 26
+
+    def test_17_racy(self):
+        """17 of 26 unmodified benchmarks contain races (Section 6.1)."""
+        assert len(RACY_BENCHMARKS) == 17
+
+    def test_canneal_is_racy_only(self):
+        spec = get_benchmark("canneal")
+        assert spec.racy
+        assert spec.style == "lock_free"
+        assert "canneal" not in RACE_FREE_VARIANTS
+
+    def test_race_free_variants_are_25(self):
+        """All but canneal have a race-free variant (Section 6.1)."""
+        assert len(RACE_FREE_VARIANTS) == 25
+
+    def test_facesim_omitted_from_hw(self):
+        """facesim is excluded from simulation for run time (§6.3.1)."""
+        assert "facesim" not in HW_BENCHMARKS
+        assert get_benchmark("facesim").hw_omitted
+
+    def test_suites_have_right_sizes(self):
+        splash = [b for b in ALL_BENCHMARKS if b.suite == "splash2"]
+        parsec = [b for b in ALL_BENCHMARKS if b.suite == "parsec"]
+        assert len(splash) == 14
+        assert len(parsec) == 12
+
+    def test_freqmine_absent(self):
+        assert "freqmine" not in BENCHMARKS
+
+    def test_rollover_roster(self):
+        assert ROLLOVER_BENCHMARKS == [
+            "barnes", "fmm", "radiosity", "facesim", "fluidanimate",
+        ]
+
+    def test_dedup_is_byte_granular(self):
+        assert get_benchmark("dedup").byte_granular
+
+    def test_lu_highest_density(self):
+        """Figure 7: lu_cb and lu_ncb have the highest shared densities."""
+        by_density = sorted(
+            ALL_BENCHMARKS, key=lambda b: b.shared_access_density, reverse=True
+        )
+        assert {by_density[0].name, by_density[1].name} == {"lu_cb", "lu_ncb"}
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nonesuch")
+
+
+class TestSpecValidation:
+    def test_racy_needs_density(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="x", suite="s", style="task_locks",
+                work_items=10, shared_per_item=1, compute_per_item=1,
+                racy=True, race_density=0.0,
+            )
+
+    def test_density_needs_racy(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="x", suite="s", style="task_locks",
+                work_items=10, shared_per_item=1, compute_per_item=1,
+                racy=False, race_density=0.5,
+            )
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(
+                name="x", suite="s", style="weird",
+                work_items=10, shared_per_item=1, compute_per_item=1,
+            )
+
+    def test_scaling(self):
+        spec = get_benchmark("fft")
+        assert spec.items_at("native") == spec.work_items
+        assert spec.items_at("simsmall") == max(8, spec.work_items // 8)
+        with pytest.raises(ValueError):
+            spec.items_at("enormous")
+
+    def test_derived_quantities(self):
+        spec = get_benchmark("lu_cb")
+        assert 0 < spec.shared_access_density < 1
+        assert spec.fraction_wide > 0.9
+        assert spec.mean_access_size > 4
+
+
+class TestProgramConstruction:
+    def test_racy_variant_of_race_free_spec_rejected(self):
+        with pytest.raises(ValueError):
+            build_program(get_benchmark("fft"), racy=True)
+
+    def test_race_free_canneal_rejected(self):
+        with pytest.raises(ValueError):
+            build_program(get_benchmark("canneal"), racy=False)
+
+    @pytest.mark.parametrize(
+        "name", ["fft", "barnes", "dedup", "canneal"],
+        ids=["barrier", "locks", "pipeline", "lockfree"],
+    )
+    def test_each_style_runs(self, name):
+        spec = get_benchmark(name)
+        program = build_program(spec, scale="test", racy=spec.style == "lock_free")
+        result = program.run(max_threads=16)
+        assert result.race is None  # no detector attached
+        assert result.thread_results[0] is not None
+
+    def test_same_seed_same_trace(self):
+        spec = get_benchmark("barnes")
+        fingerprints = set()
+        for _ in range(2):
+            rec = TraceRecorder()
+            build_program(spec, scale="test", seed=7).run(
+                policy=RoundRobinPolicy(), monitors=[rec], max_threads=16
+            )
+            fingerprints.add(
+                tuple(
+                    (e.kind, e.address, e.size)
+                    for e in rec.trace.events(1)
+                )
+            )
+        assert len(fingerprints) == 1
+
+    def test_different_seeds_differ(self):
+        spec = get_benchmark("barnes")
+        traces = []
+        for seed in (1, 2):
+            rec = TraceRecorder()
+            build_program(spec, scale="test", seed=seed).run(
+                policy=RoundRobinPolicy(), monitors=[rec], max_threads=16
+            )
+            traces.append(
+                tuple((e.kind, e.address) for e in rec.trace.events(1))
+            )
+        assert traces[0] != traces[1]
+
+
+class TestRaceBehaviour:
+    @pytest.mark.parametrize("spec", RACE_FREE_STYLES, ids=lambda s: s.name)
+    def test_race_free_variants_never_raise(self, spec):
+        result = run_clean(
+            build_program(spec, scale="test", racy=False, seed=3),
+            policy=RandomPolicy(3),
+            max_threads=16,
+        )
+        assert result.race is None, f"{spec.name}: {result.race}"
+
+    @pytest.mark.parametrize(
+        "spec", [b for b in ALL_BENCHMARKS if b.racy], ids=lambda s: s.name
+    )
+    def test_racy_variants_raise_at_simsmall(self, spec):
+        result = run_clean(
+            build_program(spec, scale="simsmall", racy=True, seed=0),
+            policy=RandomPolicy(0),
+            max_threads=16,
+        )
+        assert result.race is not None, f"{spec.name} did not race"
+        assert result.race.kind in {"WAW", "RAW"}
+
+    def test_traces_mark_private_accesses(self):
+        rec = TraceRecorder()
+        build_program(get_benchmark("fft"), scale="test").run(
+            policy=RoundRobinPolicy(), monitors=[rec], max_threads=16
+        )
+        private = sum(
+            1 for e in rec.trace if e.kind != "S" and e.private
+        )
+        shared = rec.trace.shared_accesses()
+        assert private > 0
+        assert shared > 0
+
+    def test_dedup_trace_has_byte_writes(self):
+        rec = TraceRecorder()
+        build_program(get_benchmark("dedup"), scale="test").run(
+            policy=RoundRobinPolicy(), monitors=[rec], max_threads=16
+        )
+        byte_writes = sum(
+            1
+            for e in rec.trace
+            if e.kind == "W" and e.size == 1 and not e.private
+        )
+        assert byte_writes > 0
