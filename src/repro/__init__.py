@@ -13,7 +13,9 @@ The package provides:
 * :mod:`repro.hardware` - the trace-driven multicore simulator with
   CLEAN's hardware race-check unit (Figures 9-11);
 * :mod:`repro.workloads` - SPLASH-2/PARSEC synthetic workload models;
-* :mod:`repro.experiments` - one harness per paper table/figure.
+* :mod:`repro.experiments` - one harness per paper table/figure;
+* :mod:`repro.obs` - the unified telemetry layer: metrics registry,
+  span tracer and the runtime :class:`~repro.obs.TelemetryMonitor`.
 
 Quickstart::
 
@@ -41,6 +43,7 @@ from .core import (
     RawRaceException,
     WawRaceException,
 )
+from .obs import MetricsRegistry, TelemetryMonitor, Tracer
 
 __version__ = "1.0.0"
 
@@ -50,8 +53,11 @@ __all__ = [
     "CleanMonitor",
     "CleanDetector",
     "CleanError",
+    "MetricsRegistry",
     "RaceException",
     "RawRaceException",
+    "TelemetryMonitor",
+    "Tracer",
     "WawRaceException",
     "__version__",
 ]

@@ -2,35 +2,62 @@
 
 Commands
 --------
-report [--fast]
+report [--fast] [--telemetry OUT.jsonl]
     Regenerate every table/figure of the paper (EXPERIMENTS.md content).
 experiment NAME [--scale S]
     Run one experiment: sec62, fig6, fig7, fig8, table1, fig9, fig10,
     fig11, ablations.
-check PROGRAM_KIND [--seeds N]
+check PROGRAM_KIND [--seeds N] [--json] [--telemetry OUT.jsonl]
     Quick demos on built-in programs: ``racy`` / ``war`` / ``torn``.
-bench NAME [--scale S] [--seed K] [--racy]
+bench NAME [--scale S] [--seed K] [--racy] [--json] [--telemetry OUT.jsonl]
     Run one workload model under full CLEAN and print its summary.
+profile NAME [--scale S] [--seed K] [--json] [--telemetry OUT.jsonl]
+    Run one workload under the full stack with the telemetry monitor
+    attached and dump every runtime/detector counter.
 trace NAME OUT.jsonl [--scale S] [--seed K]
     Record a benchmark's access trace to a file.
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
+         [--telemetry OUT.jsonl]
     Replay a recorded trace on the hardware simulator.
 list
     List the modelled benchmarks and their characteristics.
+
+``--json`` prints a machine-readable result on stdout (same exit code);
+``--telemetry`` writes a JSONL timeline of spans plus a final metrics
+snapshot (see docs/observability.md for the schema).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
+import json
+
+
+def _telemetry_session(args: argparse.Namespace):
+    """(registry, tracer, exporter) for a command run; exporter may be None."""
+    from .obs import JsonlExporter, MetricsRegistry, Tracer
+
+    exporter = None
+    if getattr(args, "telemetry", None):
+        exporter = JsonlExporter(args.telemetry)
+    return MetricsRegistry(), Tracer(exporter), exporter
+
+
+def _close_telemetry(exporter, registry) -> None:
+    if exporter is not None:
+        exporter.export_metrics(registry)
+        exporter.close()
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments import report
 
+    argv = []
     if args.fast:
-        sys.argv.append("--fast")
-    report.main()
+        argv.append("--fast")
+    if args.telemetry:
+        argv.extend(["--telemetry", args.telemetry])
+    report.main(argv)
     return 0
 
 
@@ -68,7 +95,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from .clean import run_clean
-    from .runtime import Program, RandomPolicy
+    from .obs import TelemetryMonitor
+    from .runtime import RandomPolicy
     from .workloads import spilled_switch_program, torn_write_program
 
     if args.kind == "torn":
@@ -78,14 +106,39 @@ def _cmd_check(args: argparse.Namespace) -> int:
     else:
         print(f"unknown program kind {args.kind!r}; one of racy, torn")
         return 2
-    stopped = 0
-    for seed in range(args.seeds):
-        result = run_clean(make(), policy=RandomPolicy(seed))
-        if result.race is not None:
-            stopped += 1
-            print(f"seed {seed}: {result.race}")
+    registry, tracer, exporter = _telemetry_session(args)
+    per_seed = []
+    with tracer.span("check", kind=args.kind, seeds=args.seeds):
+        for seed in range(args.seeds):
+            telemetry = TelemetryMonitor(registry=registry)
+            with tracer.span("check.seed", seed=seed) as span:
+                result = run_clean(
+                    make(),
+                    policy=RandomPolicy(seed),
+                    registry=registry,
+                    extra_monitors=[telemetry],
+                )
+                span.set("race", str(result.race) if result.race else None)
+            per_seed.append(
+                {"seed": seed,
+                 "race": str(result.race) if result.race else None}
+            )
+    stopped = sum(1 for entry in per_seed if entry["race"] is not None)
+    _close_telemetry(exporter, registry)
+    if args.json:
+        print(json.dumps({
+            "kind": args.kind,
+            "seeds": args.seeds,
+            "stopped": stopped,
+            "runs": per_seed,
+            "metrics": registry.snapshot(),
+        }, sort_keys=True))
+        return 0
+    for entry in per_seed:
+        if entry["race"] is not None:
+            print(f"seed {entry['seed']}: {entry['race']}")
         else:
-            print(f"seed {seed}: completed")
+            print(f"seed {entry['seed']}: completed")
     print(f"\nstopped {stopped}/{args.seeds} schedules")
     return 0
 
@@ -95,19 +148,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from .workloads import get_benchmark
 
     spec = get_benchmark(args.name)
+    registry, tracer, exporter = _telemetry_session(args)
     if args.racy:
         from .clean import run_clean
+        from .obs import TelemetryMonitor
         from .runtime import RandomPolicy
         from .workloads import build_program
 
-        result = run_clean(
-            build_program(spec, scale=args.scale, racy=True, seed=args.seed),
-            policy=RandomPolicy(args.seed),
-            max_threads=24,
-        )
+        with tracer.span("bench.racy", benchmark=spec.name, seed=args.seed):
+            result = run_clean(
+                build_program(spec, scale=args.scale, racy=True, seed=args.seed),
+                policy=RandomPolicy(args.seed),
+                max_threads=24,
+                registry=registry,
+                extra_monitors=[TelemetryMonitor(registry=registry)],
+            )
+        _close_telemetry(exporter, registry)
+        if args.json:
+            print(json.dumps({
+                "benchmark": spec.name,
+                "racy": True,
+                "race": str(result.race) if result.race else None,
+                "metrics": registry.snapshot(),
+            }, sort_keys=True))
+            return 0
         print(f"{spec.name} (racy variant): race = {result.race}")
         return 0
-    run = run_software_clean(spec, scale=args.scale, seed=args.seed)
+    with tracer.span("bench", benchmark=spec.name, scale=args.scale):
+        run = run_software_clean(
+            spec, scale=args.scale, seed=args.seed, registry=registry
+        )
+    _close_telemetry(exporter, registry)
+    if args.json:
+        print(json.dumps({
+            "benchmark": run.benchmark,
+            "suite": spec.suite,
+            "style": spec.style,
+            "scale": run.scale,
+            "t0_instructions": run.t0,
+            "shared_accesses": run.shared_accesses,
+            "shared_access_density": run.shared_access_density,
+            "slowdown_detsync": run.slowdown_detsync,
+            "slowdown_detection": run.slowdown_detection,
+            "slowdown_full": run.slowdown_full,
+            "rollovers": run.rollovers,
+            "metrics": registry.snapshot(),
+        }, sort_keys=True))
+        return 0
     print(f"benchmark            {run.benchmark} ({spec.suite}, {spec.style})")
     print(f"scale                {run.scale}")
     print(f"baseline time        {run.t0:.0f} instructions")
@@ -117,6 +204,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"detection slowdown   {run.slowdown_detection:.2f}x")
     print(f"full CLEAN slowdown  {run.slowdown_full:.2f}x")
     print(f"rollovers            {run.rollovers}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .clean import clean_stack
+    from .determinism.counters import PreciseCounter
+    from .obs import TelemetryMonitor
+    from .runtime import RoundRobinPolicy
+    from .workloads import build_program, get_benchmark
+
+    spec = get_benchmark(args.name)
+    registry, tracer, exporter = _telemetry_session(args)
+    program = build_program(spec, scale=args.scale, racy=False, seed=args.seed)
+    monitors, _clean, _gate = clean_stack(registry=registry, max_threads=24)
+    monitors.append(TelemetryMonitor(registry=registry, tracer=tracer))
+    with tracer.span("profile", benchmark=spec.name, scale=args.scale):
+        result = program.run(
+            policy=RoundRobinPolicy(),
+            monitors=monitors,
+            max_threads=24,
+            counter_cost=PreciseCounter(),
+        )
+    _close_telemetry(exporter, registry)
+    if args.json:
+        print(json.dumps({
+            "benchmark": spec.name,
+            "scale": args.scale,
+            "race": str(result.race) if result.race else None,
+            "metrics": registry.snapshot(),
+        }, sort_keys=True))
+        return 0
+    print(f"== telemetry profile: {spec.name} (scale={args.scale}) ==\n")
+    print(registry.render())
+    if result.race is not None:
+        print(f"\nrace: {result.race}")
     return 0
 
 
@@ -140,14 +262,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .hardware import SimConfig, simulate_trace
     from .runtime.trace import Trace
 
-    trace = Trace.load(args.trace)
-    base = simulate_trace(trace, SimConfig(detection=False))
-    det = simulate_trace(
-        trace,
-        SimConfig(
-            detection=True, metadata_mode=args.mode, check_unit=args.unit
-        ),
-    )
+    registry, tracer, exporter = _telemetry_session(args)
+    with tracer.span("simulate.load", trace=args.trace):
+        trace = Trace.load(args.trace)
+    with tracer.span("simulate.baseline"):
+        base = simulate_trace(trace, SimConfig(detection=False))
+    with tracer.span("simulate.detection", unit=args.unit, mode=args.mode):
+        det = simulate_trace(
+            trace,
+            SimConfig(
+                detection=True, metadata_mode=args.mode, check_unit=args.unit
+            ),
+            registry=registry,
+        )
+    registry.set_gauge("sim.baseline_cycles", base.cycles)
+    registry.set_gauge("sim.slowdown", det.cycles / base.cycles)
+    _close_telemetry(exporter, registry)
     print(f"baseline cycles   {base.cycles}")
     print(f"detection cycles  {det.cycles}  "
           f"({args.unit} unit, {args.mode} metadata)")
@@ -197,8 +327,13 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def telemetry_flag(p):
+        p.add_argument("--telemetry", metavar="OUT.jsonl", default=None,
+                       help="write a JSONL span timeline + metrics snapshot")
+
     p = sub.add_parser("report", help="regenerate every table/figure")
     p.add_argument("--fast", action="store_true")
+    telemetry_flag(p)
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("experiment", help="run one experiment")
@@ -208,6 +343,9 @@ def main(argv=None) -> int:
     p = sub.add_parser("check", help="demo CLEAN on a built-in racy program")
     p.add_argument("kind", choices=["racy", "torn"])
     p.add_argument("--seeds", type=int, default=8)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result on stdout")
+    telemetry_flag(p)
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("bench", help="run one workload under CLEAN")
@@ -215,7 +353,22 @@ def main(argv=None) -> int:
     p.add_argument("--scale", default="test")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--racy", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result on stdout")
+    telemetry_flag(p)
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one workload with full telemetry and dump every counter",
+    )
+    p.add_argument("name")
+    p.add_argument("--scale", default="test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable result on stdout")
+    telemetry_flag(p)
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("trace", help="record a workload's access trace")
     p.add_argument("name")
@@ -229,6 +382,7 @@ def main(argv=None) -> int:
     p.add_argument("--mode", default="clean",
                    choices=["clean", "epoch1", "epoch4"])
     p.add_argument("--unit", default="clean", choices=["clean", "precise"])
+    telemetry_flag(p)
     p.set_defaults(fn=_cmd_simulate)
 
     p = sub.add_parser("list", help="list the modelled benchmarks")

@@ -27,6 +27,7 @@ from .core.epoch import DEFAULT_LAYOUT, EpochLayout
 from .core.rollover import RolloverPolicy
 from .determinism.counters import PreciseCounter
 from .determinism.kendo import KendoGate
+from .obs import MetricsRegistry, publish_detector_metrics
 from .runtime.ops import Op
 from .runtime.program import Program
 from .runtime.scheduler import (
@@ -56,6 +57,7 @@ class CleanMonitor(ExecutionMonitor):
         max_threads: int = 64,
         layout: EpochLayout = DEFAULT_LAYOUT,
         instrument_private_fraction: float = 0.0,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if not 0.0 <= instrument_private_fraction <= 1.0:
             raise ValueError("instrument_private_fraction must be in [0, 1]")
@@ -66,6 +68,7 @@ class CleanMonitor(ExecutionMonitor):
         )
         self.rollover = rollover
         self.instrument_private_fraction = instrument_private_fraction
+        self.registry = registry
         self._sync_index = 0
 
     def _instrument(self, private: bool, address: int) -> bool:
@@ -147,6 +150,24 @@ class CleanMonitor(ExecutionMonitor):
         if self.rollover is not None and self.rollover.should_reset(self.detector):
             self.rollover.perform_reset(self.detector, self._sync_index)
 
+    # -- telemetry ----------------------------------------------------------------
+
+    def on_finish(self, result: ExecutionResult) -> None:
+        if self.registry is not None:
+            self.publish_metrics(self.registry)
+
+    def publish_metrics(self, registry: MetricsRegistry) -> None:
+        """Mirror the detector's counters into ``registry``.
+
+        Runs automatically at the end of every execution when the
+        monitor was built with a ``registry``; callable at any point for
+        a mid-run snapshot.  Works for the CLEAN detector and for any
+        baseline plugged through this adapter (duck-typed publishing).
+        """
+        publish_detector_metrics(self.detector, registry)
+        if self.rollover is not None:
+            registry.counter("detector.rollover.resets").set_to(self.rollover.count)
+
 
 def clean_stack(
     detect: bool = True,
@@ -156,12 +177,15 @@ def clean_stack(
     max_threads: int = 64,
     layout: EpochLayout = DEFAULT_LAYOUT,
     extra: Optional[List[ExecutionMonitor]] = None,
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple[List[ExecutionMonitor], Optional[CleanMonitor], Optional[KendoGate]]:
     """Build the CLEAN monitor stack.
 
     Returns ``(monitors, clean_monitor, kendo_gate)`` — the latter two are
     ``None`` when the corresponding mechanism is disabled, letting
-    callers measure each mechanism in isolation as Figure 6 does.
+    callers measure each mechanism in isolation as Figure 6 does.  A
+    ``registry`` makes the monitor publish its detector's counters there
+    at the end of every run (see :mod:`repro.obs`).
     """
     monitors: List[ExecutionMonitor] = []
     clean: Optional[CleanMonitor] = None
@@ -172,6 +196,7 @@ def clean_stack(
             rollover=rollover,
             max_threads=max_threads,
             layout=layout,
+            registry=registry,
         )
         monitors.append(clean)
     if deterministic:
@@ -194,6 +219,7 @@ def run_clean(
     counter_cost: Optional[Callable] = None,
     extra_monitors: Optional[List[ExecutionMonitor]] = None,
     raise_on_race: bool = False,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ExecutionResult:
     """Run ``program`` under CLEAN and return its execution result.
 
@@ -209,6 +235,7 @@ def run_clean(
         max_threads=max_threads,
         layout=layout,
         extra=extra_monitors,
+        registry=registry,
     )
     return program.run(
         policy=policy,

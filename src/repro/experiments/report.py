@@ -1,16 +1,18 @@
 """Render every experiment, in paper order — the EXPERIMENTS.md generator.
 
-Run as ``python -m repro.experiments.report [--fast]``.  ``--fast`` uses
-reduced scales/run counts for a quick smoke pass; the default settings
-match what EXPERIMENTS.md records.
+Run as ``python -m repro.experiments.report [--fast] [--telemetry OUT]``.
+``--fast`` uses reduced scales/run counts for a quick smoke pass; the
+default settings match what EXPERIMENTS.md records.  ``--telemetry``
+writes a JSONL timeline (one span per experiment, via
+:mod:`repro.obs`) so slow reproduction passes can be profiled.
 """
 
 from __future__ import annotations
 
 import sys
-import time
-from typing import List
+from typing import List, Optional, Sequence
 
+from ..obs import JsonlExporter, Tracer
 from . import (
     ablations,
     fig6_software,
@@ -28,8 +30,15 @@ from .traces import record_all_traces
 __all__ = ["run_all", "main"]
 
 
-def run_all(fast: bool = False) -> List[ExperimentResult]:
-    """Run every experiment; returns their results in paper order."""
+def run_all(
+    fast: bool = False, tracer: Optional[Tracer] = None
+) -> List[ExperimentResult]:
+    """Run every experiment; returns their results in paper order.
+
+    Each experiment runs inside a tracer span named after it, so a
+    caller-supplied tracer yields a per-figure timing breakdown.
+    """
+    tracer = tracer if tracer is not None else Tracer()
     results: List[ExperimentResult] = []
     # The "test" scale is the calibration point for both the software
     # cost model and the hardware machine scaling; larger scales keep the
@@ -38,35 +47,50 @@ def run_all(fast: bool = False) -> List[ExperimentResult]:
     hw_scale = "test"
     det_runs = 3 if fast else 10
 
-    results.append(sec62_detection.run(scale="test" if fast else "simsmall",
-                                       runs=det_runs))
-    results.append(fig6_software.run(scale=sw_scale))
-    results.append(fig7_freq.run(scale=sw_scale))
-    results.append(fig8_vector.run(scale=sw_scale))
-    results.append(table1_rollover.run(scale="simsmall" if fast else "simlarge"))
-    traces = record_all_traces(scale=hw_scale)
-    results.append(fig9_hardware.run(traces=traces))
-    results.append(fig10_breakdown.run(traces=traces))
+    def staged(name, thunk):
+        with tracer.span(name, fast=fast):
+            results.append(thunk())
+
+    staged("sec62", lambda: sec62_detection.run(
+        scale="test" if fast else "simsmall", runs=det_runs))
+    staged("fig6", lambda: fig6_software.run(scale=sw_scale))
+    staged("fig7", lambda: fig7_freq.run(scale=sw_scale))
+    staged("fig8", lambda: fig8_vector.run(scale=sw_scale))
+    staged("table1", lambda: table1_rollover.run(
+        scale="simsmall" if fast else "simlarge"))
+    with tracer.span("record_traces", scale=hw_scale):
+        traces = record_all_traces(scale=hw_scale)
+    staged("fig9", lambda: fig9_hardware.run(traces=traces))
+    staged("fig10", lambda: fig10_breakdown.run(traces=traces))
     # Figure 11 stresses LLC capacity, which needs the larger footprints
     # of the simsmall-scale traces to materialize.
-    fig11_traces = (
-        traces if fast else record_all_traces(scale="simsmall")
-    )
-    results.append(fig11_epochsize.run(traces=fig11_traces))
-    results.append(ablations.run_war_precision(traces=traces))
-    results.append(ablations.run_atomicity())
-    results.append(ablations.run_clock_width())
-    results.append(ablations.run_instrumentation())
+    if fast:
+        fig11_traces = traces
+    else:
+        with tracer.span("record_traces", scale="simsmall"):
+            fig11_traces = record_all_traces(scale="simsmall")
+    staged("fig11", lambda: fig11_epochsize.run(traces=fig11_traces))
+    staged("ablation_war", lambda: ablations.run_war_precision(traces=traces))
+    staged("ablation_atomicity", lambda: ablations.run_atomicity())
+    staged("ablation_clock_width", lambda: ablations.run_clock_width())
+    staged("ablation_instrumentation", lambda: ablations.run_instrumentation())
     return results
 
 
-def main() -> None:
-    fast = "--fast" in sys.argv
-    started = time.time()
-    for result in run_all(fast=fast):
-        print(result.render())
-        print()
-    print(f"[report completed in {time.time() - started:.1f}s]")
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    fast = "--fast" in argv
+    exporter = None
+    if "--telemetry" in argv:
+        exporter = JsonlExporter(argv[argv.index("--telemetry") + 1])
+    tracer = Tracer(exporter)
+    with tracer.span("report", fast=fast) as report_span:
+        for result in run_all(fast=fast, tracer=tracer):
+            print(result.render())
+            print()
+    print(f"[report completed in {report_span.duration:.1f}s]")
+    if exporter is not None:
+        exporter.close()
 
 
 if __name__ == "__main__":

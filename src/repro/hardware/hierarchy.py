@@ -88,6 +88,16 @@ class MemoryHierarchy:
         #: within the line (Section 5.1's augmented coherence messages).
         self.on_invalidate: Optional[Callable[[int, int, int, int], None]] = None
 
+    def reset_stats(self) -> None:
+        """Zero all timing counters; cache *contents* are untouched.
+
+        Used by the simulator between its warmup and measured replays,
+        so steady-state numbers exclude compulsory misses.
+        """
+        self.stats = HierarchyStats()
+        for cache in [*self.l1, *self.l2, self.l3]:
+            cache.hits = cache.misses = cache.evictions = 0
+
     # -- the single public operation ------------------------------------------
 
     def access(self, core: int, address: int, size: int, is_write: bool) -> int:

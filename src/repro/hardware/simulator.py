@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..core.epoch import DEFAULT_LAYOUT, EpochLayout
+from ..obs import MetricsRegistry, publish_sim_metrics
 from ..runtime.trace import READ, SYNC, WRITE, Trace
 from .hierarchy import Latencies, MemoryHierarchy
 from .metadata import MetadataLayout
@@ -84,6 +85,9 @@ class SimResult:
     check_stats: Optional[RaceUnitStats]
     hierarchy: MemoryHierarchy
     expansions: int = 0
+    #: Snapshot of the simulator's shared metrics registry at the end of
+    #: the measured replay (``sim.*`` names; see docs/observability.md).
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cpi(self) -> float:
@@ -94,8 +98,15 @@ class SimResult:
 class MulticoreSim:
     """One simulation instance; call :meth:`run` once."""
 
-    def __init__(self, config: SimConfig = SimConfig()) -> None:
+    def __init__(
+        self,
+        config: SimConfig = SimConfig(),
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.config = config
+        #: Shared metrics registry: every replay publishes the hierarchy,
+        #: cache and race-unit counters here under ``sim.*`` names.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.hierarchy = MemoryHierarchy(
             n_cores=config.n_cores,
             latencies=config.latencies,
@@ -150,13 +161,10 @@ class MulticoreSim:
 
     def _reset_counters(self) -> None:
         """Zero timing statistics after the warmup pass (state persists)."""
-        from .hierarchy import HierarchyStats
-
-        self.hierarchy.stats = HierarchyStats()
-        for cache in [*self.hierarchy.l1, *self.hierarchy.l2, self.hierarchy.l3]:
-            cache.hits = cache.misses = cache.evictions = 0
+        self.hierarchy.reset_stats()
         if self.race_unit is not None:
             self.race_unit.reset_stats()
+        self.registry.reset()
 
     def _replay(
         self,
@@ -224,17 +232,31 @@ class MulticoreSim:
             clocks[core] += cycles
             heapq.heappush(heap, (clocks[core], tid))
 
+        cycles_total = max(clocks.values()) if clocks else 0
+        registry = self.registry
+        registry.set_gauge("sim.cycles", cycles_total)
+        registry.set_gauge("sim.instructions", instructions)
+        registry.set_gauge("sim.data_accesses", data_accesses)
+        registry.set_gauge(
+            "sim.cpi", cycles_total / instructions if instructions else 0.0
+        )
+        publish_sim_metrics(self, registry)
         return SimResult(
-            cycles=max(clocks.values()) if clocks else 0,
+            cycles=cycles_total,
             per_core_cycles=dict(clocks),
             instructions=instructions,
             data_accesses=data_accesses,
             check_stats=self.race_unit.stats if self.race_unit else None,
             hierarchy=self.hierarchy,
             expansions=self.metadata.expansions if self.metadata else 0,
+            metrics=registry.snapshot(),
         )
 
 
-def simulate_trace(trace: Trace, config: SimConfig = SimConfig()) -> SimResult:
+def simulate_trace(
+    trace: Trace,
+    config: SimConfig = SimConfig(),
+    registry: Optional[MetricsRegistry] = None,
+) -> SimResult:
     """Convenience wrapper: build a simulator and run ``trace``."""
-    return MulticoreSim(config).run(trace)
+    return MulticoreSim(config, registry=registry).run(trace)

@@ -1,0 +1,41 @@
+"""repro.obs - the unified telemetry layer.
+
+The paper's entire evaluation is built from runtime counters:
+instrumented-access rates (Figure 7), epoch-table occupancy and rollover
+frequencies (Table 1), check-class breakdowns (Figure 10).  This package
+gives every layer of the reproduction one way to expose those numbers:
+
+* :class:`MetricsRegistry` - named counters, gauges and histograms with
+  cheap snapshot/diff/JSON-export semantics;
+* :class:`Tracer` + :class:`JsonlExporter` - context-manager spans on a
+  monotonic clock, exportable as a machine-readable JSONL timeline;
+* :class:`TelemetryMonitor` - an :class:`~repro.runtime.scheduler.ExecutionMonitor`
+  that records per-thread memory-op counts, instrumented vs. private
+  ratios, the synchronization-op mix, SFR lengths and lock contention
+  without perturbing detection order;
+* :func:`publish_detector_metrics` - mirror any detector's counters
+  (CLEAN or the baselines) into a registry.
+
+See ``docs/observability.md`` for the metric name glossary and the span
+schema.
+"""
+
+from .bridges import publish_detector_metrics, publish_sim_metrics
+from .monitor import TelemetryMonitor
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .tracer import JsonlExporter, Span, Timer, Tracer, read_jsonl
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlExporter",
+    "MetricsRegistry",
+    "Span",
+    "TelemetryMonitor",
+    "Timer",
+    "Tracer",
+    "publish_detector_metrics",
+    "publish_sim_metrics",
+    "read_jsonl",
+]

@@ -1,0 +1,103 @@
+"""Bridges: mirror existing per-module stats structs into a registry.
+
+The detector, the baselines and the hardware simulator each keep typed
+stats objects (``AccessStats``, ``HbEngine.sync_ops``,
+``RaceUnitStats``, ``HierarchyStats``).  Those stay the source of truth
+— the bridges copy their values into a shared
+:class:`~repro.obs.registry.MetricsRegistry` under stable dotted names,
+using ``Counter.set_to`` so re-publishing is idempotent.
+
+Everything is duck-typed: any detector with a dataclass ``stats`` (or an
+``sync_ops`` int) and any check unit whose stats expose ``by_class``
+publishes without registering itself here first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from .registry import MetricsRegistry
+
+__all__ = ["publish_detector_metrics", "publish_sim_metrics"]
+
+
+def _publish_dataclass(
+    registry: MetricsRegistry, prefix: str, stats: Any
+) -> None:
+    """Every numeric field of a stats dataclass becomes a counter."""
+    for f in dataclasses.fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, (int, float)):
+            registry.counter(f"{prefix}.{f.name}").set_to(value)
+        elif isinstance(value, dict):
+            for key, sub in value.items():
+                if isinstance(sub, (int, float)):
+                    registry.counter(f"{prefix}.{f.name}.{key}").set_to(sub)
+
+
+def publish_detector_metrics(
+    detector: Any, registry: MetricsRegistry, prefix: str = "detector"
+) -> None:
+    """Mirror a detector's counters into ``registry``.
+
+    Works for :class:`~repro.core.detector.CleanDetector` (full
+    ``AccessStats`` plus epoch-table occupancy and derived fractions)
+    and for the :class:`~repro.baselines.common.HbEngine` baselines
+    (sync-op count, live threads, whatever stats they carry).
+    """
+    stats = getattr(detector, "stats", None)
+    if stats is not None and dataclasses.is_dataclass(stats):
+        _publish_dataclass(registry, prefix, stats)
+        for derived in ("fraction_wide", "fraction_uniform_epoch", "accesses"):
+            value = getattr(stats, derived, None)
+            if isinstance(value, (int, float)):
+                registry.set_gauge(f"{prefix}.{derived}", value)
+    sync_ops = getattr(detector, "sync_ops", None)
+    if isinstance(sync_ops, int):
+        registry.counter(f"{prefix}.sync_ops").set_to(sync_ops)
+    shadow = getattr(detector, "shadow", None)
+    if shadow is not None:
+        for attr in ("touched_bytes", "metadata_bytes", "resets", "loads", "stores"):
+            value = getattr(shadow, attr, None)
+            if isinstance(value, (int, float)):
+                registry.set_gauge(f"{prefix}.epoch_table.{attr}", value)
+    live = getattr(detector, "live_threads", None)
+    if callable(live):
+        try:
+            registry.set_gauge(f"{prefix}.live_threads", len(live()))
+        except Exception:
+            pass
+    pending = getattr(detector, "rollover_pending", None)
+    if isinstance(pending, bool):
+        registry.set_gauge(f"{prefix}.rollover_pending", int(pending))
+
+
+def publish_sim_metrics(sim: Any, registry: MetricsRegistry) -> None:
+    """Mirror a :class:`~repro.hardware.simulator.MulticoreSim`'s stats.
+
+    Publishes the hierarchy counters (``sim.hierarchy.*``), per-cache
+    hit/miss/eviction gauges (``sim.cache.<name>.*``) and — when
+    detection is on — the race-check unit's class breakdown
+    (``sim.race_unit.*``) and metadata expansions.
+    """
+    hierarchy = sim.hierarchy
+    _publish_dataclass(registry, "sim.hierarchy", hierarchy.stats)
+    registry.set_gauge("sim.hierarchy.llc_miss_rate", hierarchy.stats.llc_miss_rate)
+    for cache in [*hierarchy.l1, *hierarchy.l2, hierarchy.l3]:
+        base = f"sim.cache.{cache.name}"
+        registry.set_gauge(f"{base}.hits", cache.hits)
+        registry.set_gauge(f"{base}.misses", cache.misses)
+        registry.set_gauge(f"{base}.evictions", cache.evictions)
+    unit = getattr(sim, "race_unit", None)
+    if unit is not None:
+        stats = unit.stats
+        if dataclasses.is_dataclass(stats):
+            _publish_dataclass(registry, "sim.race_unit", stats)
+        for derived in ("quick_fraction", "compact_or_private_fraction", "total"):
+            value = getattr(stats, derived, None)
+            if isinstance(value, (int, float)):
+                registry.set_gauge(f"sim.race_unit.{derived}", value)
+    metadata = getattr(sim, "metadata", None)
+    if metadata is not None:
+        registry.counter("sim.metadata.expansions").set_to(metadata.expansions)

@@ -1,0 +1,202 @@
+"""TelemetryMonitor: runtime instrumentation as a scheduler monitor.
+
+The monitor observes the same hook stream the race detector does but
+never raises, never vetoes a synchronization gate and never mutates
+runtime state — so stacking it before or after :class:`~repro.clean.CleanMonitor`
+cannot change race verdicts (pinned by ``tests/test_obs.py``).  What it
+records, into a :class:`~repro.obs.registry.MetricsRegistry`:
+
+* per-thread and aggregate memory-op counts, split shared vs. private —
+  the instrumented-access ratio of paper Section 4.1 / Figure 7;
+* the synchronization-operation mix (``sync.ops.<Kind>`` counters);
+* SFR lengths: memory operations between synchronization commits, the
+  quantity behind the paper's SFR isolation guarantees;
+* lock contention: acquisitions committed while another thread was
+  parked waiting on the same lock;
+* thread lifecycle (started/exited/live/peak) and end-of-run gauges.
+
+Metric names are catalogued in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..runtime.ops import Op
+from ..runtime.scheduler import ExecutionMonitor, ExecutionResult, Scheduler
+from ..runtime.sync import Barrier, Condition, Lock, Semaphore
+from .registry import MetricsRegistry
+from .tracer import Span, Tracer
+
+__all__ = ["TelemetryMonitor"]
+
+
+class TelemetryMonitor(ExecutionMonitor):
+    """Observation-only monitor feeding the shared metrics registry.
+
+    Parameters
+    ----------
+    registry:
+        Destination registry; a private one is created when omitted
+        (read it back via the ``registry`` attribute).
+    tracer:
+        Optional tracer; when given, the monitor opens an ``execution``
+        span at attach time and closes it on finish, so the whole run
+        appears on the exported timeline.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        #: per-thread op counts: tid -> {reads, writes, shared, private, sync}
+        self.per_thread: Dict[int, Dict[str, int]] = {}
+        self._scheduler: Optional[Scheduler] = None
+        self._sfr_len: Dict[int, int] = {}
+        self._live = 0
+        self._span: Optional[Span] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def attach(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        if self.tracer is not None:
+            self._span = self.tracer.start_span("execution")
+
+    def on_thread_start(self, tid: int, parent: Optional[int]) -> None:
+        self.per_thread[tid] = {
+            "reads": 0, "writes": 0, "shared": 0, "private": 0, "sync": 0,
+        }
+        self._sfr_len[tid] = 0
+        self._live += 1
+        r = self.registry
+        r.inc("runtime.threads.started")
+        r.set_gauge("runtime.threads.live", self._live)
+
+    def on_thread_exit(self, tid: int) -> None:
+        self._live -= 1
+        counts = self.per_thread[tid]
+        r = self.registry
+        r.inc("runtime.threads.exited")
+        r.set_gauge("runtime.threads.live", self._live)
+        r.observe("thread.mem_ops", counts["reads"] + counts["writes"])
+        r.observe("thread.sync_ops", counts["sync"])
+        if self._sfr_len.get(tid):
+            r.observe("sfr.length", self._sfr_len[tid])
+            self._sfr_len[tid] = 0
+
+    def on_spawn(self, parent: int, child: int) -> None:
+        self.registry.inc("sync.spawns")
+
+    def on_join(self, parent: int, child: int) -> None:
+        self.registry.inc("sync.joins")
+
+    # -- memory ------------------------------------------------------------
+
+    def _count_access(self, tid: int, kind: str, private: bool) -> None:
+        counts = self.per_thread[tid]
+        counts[kind] += 1
+        counts["private" if private else "shared"] += 1
+        share = "private" if private else "shared"
+        self.registry.inc(f"mem.{kind}.{share}")
+        self._sfr_len[tid] = self._sfr_len.get(tid, 0) + 1
+
+    def after_read(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        self._count_access(tid, "reads", private)
+
+    def after_write(
+        self, tid: int, address: int, size: int, value: int, private: bool
+    ) -> None:
+        self._count_access(tid, "writes", private)
+
+    def on_compute(self, tid: int, amount: int) -> None:
+        self.registry.inc("mem.compute_instructions", amount)
+
+    # -- synchronization ---------------------------------------------------
+
+    def on_acquire(self, tid: int, lock: Lock) -> None:
+        self.registry.inc("sync.acquires")
+        if self._waiters_on(lock, exclude=tid):
+            self.registry.inc("sync.contended_acquires")
+
+    def _waiters_on(self, lock: Lock, exclude: int) -> int:
+        """Threads currently parked trying to acquire ``lock``."""
+        if self._scheduler is None:
+            return 0
+        waiters = 0
+        for other, record in self._scheduler._threads.items():
+            if other == exclude:
+                continue
+            pending = record.pending
+            if pending is not None and getattr(pending, "lock", None) is lock:
+                waiters += 1
+        return waiters
+
+    def on_release(self, tid: int, lock: Lock) -> None:
+        self.registry.inc("sync.releases")
+
+    def on_barrier_arrive(self, tid: int, barrier: Barrier, generation: int) -> None:
+        self.registry.inc("sync.barrier_arrivals")
+
+    def on_barrier_depart(self, tid: int, barrier: Barrier, generation: int) -> None:
+        self.registry.inc("sync.barrier_departures")
+
+    def on_cond_signal(self, tid: int, cond: Condition) -> None:
+        self.registry.inc("sync.cond_signals")
+
+    def on_cond_wake(self, tid: int, cond: Condition) -> None:
+        self.registry.inc("sync.cond_wakes")
+
+    def on_sem_post(self, tid: int, sem: Semaphore) -> None:
+        self.registry.inc("sync.sem_posts")
+
+    def on_sem_wait(self, tid: int, sem: Semaphore) -> None:
+        self.registry.inc("sync.sem_waits")
+
+    def on_sync_commit(self, tid: int, op: Op) -> None:
+        r = self.registry
+        r.inc("sync.commits")
+        r.inc(f"sync.ops.{type(op).__name__.lstrip('_')}")
+        counts = self.per_thread.get(tid)
+        if counts is not None:
+            counts["sync"] += 1
+        length = self._sfr_len.get(tid, 0)
+        r.observe("sfr.length", length)
+        self._sfr_len[tid] = 0
+
+    # -- end of run --------------------------------------------------------
+
+    def on_finish(self, result: ExecutionResult) -> None:
+        r = self.registry
+        r.set_gauge("run.steps", result.steps)
+        r.set_gauge("run.shared_reads", result.shared_reads)
+        r.set_gauge("run.shared_writes", result.shared_writes)
+        r.set_gauge("run.completed", 0 if result.race is not None else 1)
+        if result.race is not None:
+            r.inc("run.races")
+        shared = sum(c["shared"] for c in self.per_thread.values())
+        total = shared + sum(c["private"] for c in self.per_thread.values())
+        r.set_gauge("mem.instrumented_fraction", shared / total if total else 0.0)
+        if self._span is not None and self.tracer is not None:
+            self._span.set("steps", result.steps)
+            self._span.set("race", str(result.race) if result.race else None)
+            self.tracer.end_span(self._span)
+            self._span = None
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def shared_fraction(self) -> float:
+        """Instrumented (shared) fraction of all memory operations."""
+        shared = sum(c["shared"] for c in self.per_thread.values())
+        total = shared + sum(c["private"] for c in self.per_thread.values())
+        return shared / total if total else 0.0
+
+    def thread_table(self) -> Dict[int, Dict[str, Any]]:
+        """Per-thread op counts, for reports and tests."""
+        return {tid: dict(counts) for tid, counts in self.per_thread.items()}

@@ -1,0 +1,279 @@
+"""Metric instruments and the registry that names them.
+
+Three instrument kinds cover everything the reproduction measures:
+
+* :class:`Counter` - a monotone event count (``mem.reads.shared``);
+* :class:`Gauge` - a point-in-time value (``detector.epoch_table.touched_bytes``);
+* :class:`Histogram` - a distribution with fixed bucket bounds
+  (``sfr.length``).
+
+A :class:`MetricsRegistry` is a flat namespace of instruments, created
+on first use.  Names are dotted strings; the glossary lives in
+``docs/observability.md``.  Snapshots are plain dicts (JSON-ready), and
+``diff`` turns two snapshots into the delta a single phase contributed —
+the idiom the hardware simulator uses to discard its warmup pass.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BOUNDS"]
+
+#: Default histogram bounds: powers of two up to ~1M, a good fit for the
+#: instruction/SFR-length scales the runtime produces.
+DEFAULT_BOUNDS: Tuple[int, ...] = tuple(2 ** i for i in range(21))
+
+Number = Union[int, float]
+
+
+class Counter:
+    """Monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Count ``amount`` more events."""
+        self.value += amount
+
+    def set_to(self, value: Number) -> None:
+        """Mirror an externally-maintained cumulative count.
+
+        Publishing bridges (detector stats, simulator stats) re-publish
+        whole snapshots; assignment keeps repeated publishes idempotent
+        where ``inc`` would double-count.
+        """
+        self.value = value
+
+    def snapshot(self) -> Number:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """Point-in-time value; also tracks the maximum it ever held."""
+
+    __slots__ = ("name", "value", "high_water")
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.high_water: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def add(self, amount: Number) -> None:
+        self.set(self.value + amount)
+
+    def snapshot(self) -> Number:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+        self.high_water = 0
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Optional[Sequence[Number]] = None) -> None:
+        self.name = name
+        self.bounds: Tuple[Number, ...] = tuple(bounds) if bounds else DEFAULT_BOUNDS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted")
+        # One bucket per bound (value <= bound) plus one overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": [
+                [bound, n] for bound, n in zip(self.bounds, self.bucket_counts)
+                if n
+            ] + ([[None, self.bucket_counts[-1]]] if self.bucket_counts[-1] else []),
+        }
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A flat, create-on-first-use namespace of metric instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind raises ``TypeError``
+    (silent kind confusion is how telemetry numbers go quietly wrong).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[Number]] = None
+    ) -> Histogram:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, bounds)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind}, not a histogram"
+            )
+        return instrument
+
+    def _get(self, name: str, cls: type) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is a {instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    # -- one-line recording convenience -----------------------------------
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection -----------------------------------------------------
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def value(self, name: str) -> object:
+        """Snapshot value of one instrument (KeyError if absent)."""
+        return self._instruments[name].snapshot()
+
+    def instruments(self) -> Iterable[Instrument]:
+        return (self._instruments[name] for name in self.names())
+
+    # -- snapshot / diff / export ------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments as a plain JSON-ready dict, sorted by name."""
+        return {name: self._instruments[name].snapshot() for name in self.names()}
+
+    @staticmethod
+    def diff(
+        before: Dict[str, object], after: Dict[str, object]
+    ) -> Dict[str, object]:
+        """What changed between two snapshots.
+
+        Scalar entries (counters/gauges) report ``after - before``;
+        histogram entries report the delta of ``count`` and ``sum``.
+        Entries absent from ``before`` count from zero; unchanged entries
+        are omitted.
+        """
+        delta: Dict[str, object] = {}
+        for name, now in after.items():
+            prev = before.get(name)
+            if isinstance(now, dict):
+                prev_count = prev.get("count", 0) if isinstance(prev, dict) else 0
+                prev_sum = prev.get("sum", 0) if isinstance(prev, dict) else 0
+                d_count = now.get("count", 0) - prev_count
+                d_sum = now.get("sum", 0) - prev_sum
+                if d_count or d_sum:
+                    delta[name] = {"count": d_count, "sum": d_sum}
+            else:
+                d = now - (prev if isinstance(prev, (int, float)) else 0)
+                if d:
+                    delta[name] = d
+        return delta
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable fixed-width table of the current snapshot."""
+        lines = []
+        width = max((len(n) for n in self.names()), default=0)
+        for name in self.names():
+            value = self._instruments[name].snapshot()
+            if isinstance(value, dict):
+                value = (
+                    f"count={value['count']} sum={value['sum']} "
+                    f"mean={value['mean']:.2f} max={value['max']}"
+                )
+            elif isinstance(value, float):
+                value = f"{value:.4f}"
+            lines.append(f"{name.ljust(width)}  {value}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every instrument in place (instruments stay registered)."""
+        for instrument in self._instruments.values():
+            instrument.reset()

@@ -1,0 +1,201 @@
+"""Span tracing on a monotonic clock, with a JSONL exporter.
+
+A :class:`Span` is one named, timed phase with attributes; spans nest
+(the tracer keeps a stack, so a span opened inside another records its
+parent).  All timing uses :func:`time.perf_counter` — the monotonic
+clock — never wall time, so durations survive NTP adjustments and are
+meaningful at microsecond scale.
+
+The JSONL format is one record per line:
+
+``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+"start": ..., "end": ..., "duration_s": ..., "attrs": {...}}``
+
+plus optional ``{"type": "metrics", "label": ..., "metrics": {...}}``
+records carrying a :class:`~repro.obs.registry.MetricsRegistry`
+snapshot.  ``start``/``end`` are monotonic seconds: only differences
+between records of one file are meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Any, Dict, List, Optional, Union
+
+__all__ = ["JsonlExporter", "Span", "Timer", "Tracer", "read_jsonl"]
+
+
+class Span:
+    """One named, timed phase of a run."""
+
+    __slots__ = ("name", "span_id", "parent_id", "start", "end", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = dict(attrs or {})
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attrs[key] = value
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (up to now while the span is still open)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_record(self) -> Dict[str, Any]:
+        """The span as a JSONL-ready dict."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration_s": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class Tracer:
+    """Creates, nests and finishes spans; optionally exports each one.
+
+    ``exporter`` is any object with an ``export(record: dict)`` method —
+    normally a :class:`JsonlExporter`.  Finished spans are also kept on
+    ``finished`` for in-process consumers (tests, the report harness).
+    """
+
+    def __init__(self, exporter: Optional["JsonlExporter"] = None) -> None:
+        self.exporter = exporter
+        self.finished: List[Span] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- context-manager API (the normal way) ------------------------------
+
+    def span(self, name: str, **attrs: Any) -> "_SpanContext":
+        """``with tracer.span("phase", key=value) as s:`` — timed block."""
+        return _SpanContext(self, name, attrs)
+
+    # -- manual API (for monitors that cannot hold a with-block open) -------
+
+    def start_span(self, name: str, **attrs: Any) -> Span:
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(name, self._next_id, parent, attrs)
+        self._next_id += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span) -> Span:
+        span.end = time.perf_counter()
+        if span in self._stack:
+            self._stack.remove(span)
+        self.finished.append(span)
+        if self.exporter is not None:
+            self.exporter.export(span.to_record())
+        return span
+
+    def event(self, name: str, **attrs: Any) -> Span:
+        """A zero-duration marker span."""
+        return self.end_span(self.start_span(name, **attrs))
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [s for s in self.finished if s.name == name]
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.start_span(self._name, **self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.set("error", exc_type.__name__)
+        self._tracer.end_span(self._span)
+
+
+class Timer:
+    """Minimal monotonic stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    __slots__ = ("start", "end")
+
+    def __init__(self) -> None:
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.end = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+
+class JsonlExporter:
+    """Appends JSON records, one per line, to a file or stream."""
+
+    def __init__(self, destination: Union[str, IO[str]]) -> None:
+        if hasattr(destination, "write"):
+            self._fh: IO[str] = destination  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(destination, "w", encoding="utf-8")
+            self._owns = True
+
+    def export(self, record: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def export_metrics(self, registry: Any, label: str = "final") -> None:
+        """Write a registry snapshot as one ``metrics`` record."""
+        self.export(
+            {"type": "metrics", "label": label, "metrics": registry.snapshot()}
+        )
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: Union[str, IO[str]]) -> List[Dict[str, Any]]:
+    """Load every record of a telemetry JSONL file (blank lines skipped)."""
+    if hasattr(path, "read"):
+        text = path.read()  # type: ignore[union-attr]
+    else:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -29,6 +29,7 @@ from ..core.detector import AccessStats, CleanDetector
 from ..core.epoch import DEFAULT_LAYOUT, EpochLayout
 from ..core.rollover import RolloverPolicy
 from ..determinism.kendo import KendoGate
+from ..obs import MetricsRegistry
 from ..runtime.ops import Compute
 from ..runtime.scheduler import ExecutionResult, RoundRobinPolicy
 from ..workloads.kernels import N_THREADS, build_program
@@ -127,12 +128,14 @@ def run_software_clean(
     n_threads: int = N_THREADS,
     atomicity: str = "cas",
     instrument_private_fraction: float = 0.0,
+    registry: Optional[MetricsRegistry] = None,
 ) -> SwCleanRun:
     """Execute ``spec``'s race-free variant under CLEAN and price it.
 
     ``atomicity`` selects the check-atomicity scheme priced by the cost
     model: CLEAN's lock-free CAS (default) or the lock-based alternative
-    (the Section-4.3 ablation).
+    (the Section-4.3 ablation).  A ``registry`` receives the detector's
+    counters (``detector.*``) and the modelled slowdowns (``swclean.*``).
     """
     program = build_program(spec, scale=scale, racy=False, seed=seed,
                             n_threads=n_threads)
@@ -144,6 +147,7 @@ def run_software_clean(
         detector=detector,
         rollover=rollover,
         instrument_private_fraction=instrument_private_fraction,
+        registry=registry,
     )
     gate = KendoGate()
     counter = _TrackingCounter()
@@ -176,6 +180,16 @@ def run_software_clean(
     # Full system: detection stretches the threads, deterministic waits
     # stretch with them.
     t_full = t_detection * (t_detsync / t0)
+    if registry is not None:
+        registry.set_gauge("swclean.t0", t0)
+        registry.set_gauge("swclean.slowdown_detection", t_detection / t0)
+        registry.set_gauge("swclean.slowdown_detsync", t_detsync / t0)
+        registry.set_gauge("swclean.slowdown_full", t_full / t0)
+        registry.counter("swclean.sync_commits").set_to(len(result.sync_log))
+        registry.counter("swclean.rollovers").set_to(rollover.count)
+        registry.counter("swclean.shared_accesses").set_to(
+            result.shared_reads + result.shared_writes
+        )
     return SwCleanRun(
         benchmark=spec.name,
         scale=scale,

@@ -1,0 +1,375 @@
+"""Tests for the repro.obs telemetry layer.
+
+Covers the registry's counter/gauge/histogram semantics, the tracer's
+JSONL round-trip, the TelemetryMonitor's scheduler integration — in
+particular that stacking it before or after CleanMonitor cannot change
+race verdicts — the hardware simulator's registry mirror, and the CLI
+``--json`` / ``--telemetry`` surfaces.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.clean import CleanMonitor, run_clean
+from repro.determinism.kendo import KendoGate
+from repro.experiments.traces import record_trace
+from repro.hardware import SimConfig, simulate_trace
+from repro.obs import (
+    JsonlExporter,
+    MetricsRegistry,
+    TelemetryMonitor,
+    Timer,
+    Tracer,
+    publish_detector_metrics,
+    read_jsonl,
+)
+from repro.runtime import Program, RandomPolicy
+from repro.workloads import (
+    get_benchmark,
+    spilled_switch_program,
+    torn_write_program,
+)
+from repro.workloads.randprog import make_random_program
+
+
+class TestMetricsRegistry:
+    def test_counter_semantics(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.value("a") == 5
+        reg.counter("a").set_to(3)
+        assert reg.value("a") == 3
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_gauge_high_water(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("g", 7)
+        reg.set_gauge("g", 2)
+        assert reg.value("g") == 2
+        assert reg.gauge("g").high_water == 7
+
+    def test_histogram_semantics(self):
+        reg = MetricsRegistry()
+        for v in (1, 2, 3, 1000):
+            reg.observe("h", v)
+        h = reg.histogram("h")
+        assert h.count == 4
+        assert h.total == 1006
+        assert h.min == 1 and h.max == 1000
+        assert h.mean == pytest.approx(251.5)
+        snap = h.snapshot()
+        assert sum(n for _, n in snap["buckets"]) == 4
+
+    def test_histogram_overflow_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", bounds=[10, 100])
+        h.observe(5)
+        h.observe(5000)
+        snap = h.snapshot()
+        assert [10, 1] in snap["buckets"]
+        assert [None, 1] in snap["buckets"]
+
+    def test_kind_confusion_rejected(self):
+        reg = MetricsRegistry()
+        reg.inc("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_snapshot_diff(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.observe("h", 10)
+        before = reg.snapshot()
+        reg.inc("c", 3)
+        reg.observe("h", 5)
+        reg.inc("new", 1)
+        delta = MetricsRegistry.diff(before, reg.snapshot())
+        assert delta["c"] == 3
+        assert delta["h"] == {"count": 1, "sum": 5}
+        assert delta["new"] == 1
+        assert MetricsRegistry.diff(reg.snapshot(), reg.snapshot()) == {}
+
+    def test_to_json_roundtrip_and_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 2)
+        reg.set_gauge("g", 1.5)
+        reg.observe("h", 3)
+        loaded = json.loads(reg.to_json())
+        assert loaded["c"] == 2 and loaded["g"] == 1.5
+        assert loaded["h"]["count"] == 1
+        reg.reset()
+        assert reg.value("c") == 0
+        assert reg.value("g") == 0
+        assert reg.histogram("h").count == 0
+        assert set(reg.names()) == {"c", "g", "h"}
+
+    def test_render_mentions_every_name(self):
+        reg = MetricsRegistry()
+        reg.inc("some.counter")
+        reg.observe("some.hist", 4)
+        text = reg.render()
+        assert "some.counter" in text and "some.hist" in text
+
+
+class TestTracer:
+    def test_nesting_records_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Inner finished first, durations are monotonic and ordered.
+        assert outer.duration >= inner.duration >= 0
+
+    def test_exception_marks_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        (span,) = tracer.spans_named("boom")
+        assert span.attrs["error"] == "ValueError"
+        assert span.end is not None
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = tmp_path / "tel.jsonl"
+        registry = MetricsRegistry()
+        registry.inc("events", 2)
+        with JsonlExporter(str(path)) as exporter:
+            tracer = Tracer(exporter)
+            with tracer.span("phase", step=1):
+                tracer.event("marker", note="mid")
+            exporter.export_metrics(registry)
+        records = read_jsonl(str(path))
+        kinds = [r["type"] for r in records]
+        assert kinds == ["span", "span", "metrics"]  # marker, phase, metrics
+        by_name = {r["name"]: r for r in records if r["type"] == "span"}
+        assert by_name["marker"]["parent_id"] == by_name["phase"]["span_id"]
+        assert by_name["phase"]["attrs"] == {"step": 1}
+        assert records[-1]["metrics"]["events"] == 2
+
+    def test_timer_is_monotonic(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0
+        assert t.end is not None
+
+
+def _corpus():
+    """Programs whose verdicts the telemetry monitor must not disturb."""
+    cases = [("racy", spilled_switch_program), ("torn", torn_write_program)]
+    for seed in range(3):
+        for prob in (0.0, 0.4):
+            cases.append(
+                (
+                    f"rand{seed}-{prob}",
+                    lambda s=seed, p=prob: make_random_program(
+                        s, race_probability=p
+                    )[0],
+                )
+            )
+    return cases
+
+
+def _verdict(result):
+    race = result.race
+    return (race.kind, race.address) if race is not None else None
+
+
+class TestTelemetryMonitorIntegration:
+    @pytest.mark.parametrize("name,make", _corpus())
+    def test_verdicts_unchanged_any_stacking(self, name, make):
+        for seed in range(3):
+            plain = run_clean(make(), policy=RandomPolicy(seed))
+            before = run_clean(
+                make(),
+                policy=RandomPolicy(seed),
+                extra_monitors=[],
+            )
+            # Telemetry stacked *before* CleanMonitor.
+            tel_first = TelemetryMonitor()
+            monitors = [tel_first, CleanMonitor(), KendoGate()]
+            prog = make()
+            res_first = prog.run(
+                policy=RandomPolicy(seed), monitors=monitors
+            )
+            # Telemetry stacked *after* CleanMonitor (via extra_monitors).
+            tel_last = TelemetryMonitor()
+            res_last = run_clean(
+                make(), policy=RandomPolicy(seed), extra_monitors=[tel_last]
+            )
+            assert _verdict(plain) == _verdict(before)
+            assert _verdict(plain) == _verdict(res_first), (name, seed)
+            assert _verdict(plain) == _verdict(res_last), (name, seed)
+            if plain.race is None:
+                assert plain.fingerprint() == res_first.fingerprint()
+                assert plain.fingerprint() == res_last.fingerprint()
+
+    def test_counts_match_execution_result(self):
+        registry = MetricsRegistry()
+        telemetry = TelemetryMonitor(registry=registry)
+        program, _ = make_random_program(7, race_probability=0.0)
+        result = run_clean(
+            program, extra_monitors=[telemetry], raise_on_race=True
+        )
+        assert registry.value("mem.reads.shared") == result.shared_reads
+        assert registry.value("mem.writes.shared") == result.shared_writes
+        assert registry.value("sync.commits") == len(result.sync_log)
+        assert registry.value("run.steps") == result.steps
+        assert registry.value("run.completed") == 1
+        assert registry.value("runtime.threads.started") == \
+            registry.value("runtime.threads.exited")
+        assert registry.histogram("sfr.length").count > 0
+        assert 0.0 <= telemetry.shared_fraction <= 1.0
+        table = telemetry.thread_table()
+        assert sum(c["reads"] + c["writes"] for c in table.values()) > 0
+
+    def test_lock_contention_counted(self):
+        # All threads hammer one lock: some acquisition must be contended.
+        from repro.runtime import Acquire, Compute, Join, Release, Spawn
+        from repro.runtime.sync import Lock
+
+        lock = Lock("hot")
+
+        def worker(ctx):
+            for _ in range(5):
+                yield Acquire(lock)
+                yield Compute(3)
+                yield Release(lock)
+
+        def main(ctx):
+            kids = []
+            for _ in range(3):
+                kids.append((yield Spawn(worker, ())))
+            for kid in kids:
+                yield Join(kid)
+
+        registry = MetricsRegistry()
+        run_clean(
+            Program(main),
+            extra_monitors=[TelemetryMonitor(registry=registry)],
+            raise_on_race=True,
+        )
+        assert registry.value("sync.acquires") >= 15
+        assert registry.value("sync.contended_acquires") > 0
+        assert registry.value("sync.ops.Acquire") >= 15
+
+    def test_clean_monitor_publishes_detector_metrics(self):
+        registry = MetricsRegistry()
+        program, _ = make_random_program(3, race_probability=0.0)
+        run_clean(program, registry=registry, raise_on_race=True)
+        assert registry.value("detector.reads") > 0
+        assert registry.value("detector.writes") > 0
+        assert registry.value("detector.epoch_table.touched_bytes") > 0
+        assert registry.value("detector.races_raised") == 0
+
+    def test_publish_works_for_baseline_detectors(self):
+        from repro.baselines import FastTrackDetector
+
+        detector = FastTrackDetector(max_threads=4)
+        detector.spawn_root()
+        detector.fork(0)
+        detector.release(0, "L")
+        detector.acquire(1, "L")
+        detector.check_write(0, 0x10, 4)
+        registry = MetricsRegistry()
+        publish_detector_metrics(detector, registry)
+        assert registry.value("detector.sync_ops") == 2
+        assert registry.value("detector.live_threads") == 2
+
+
+class TestSimulatorRegistry:
+    def test_sim_stats_mirrored_without_regression(self):
+        trace = record_trace(get_benchmark("swaptions"), scale="test")
+        registry = MetricsRegistry()
+        result = simulate_trace(
+            trace, SimConfig(detection=True), registry=registry
+        )
+        stats = result.check_stats
+        # Race-unit class breakdown mirrors the struct exactly.
+        for cls, count in stats.by_class.items():
+            assert registry.value(f"sim.race_unit.by_class.{cls}") == count
+        assert registry.value("sim.race_unit.total") == stats.total
+        # Hierarchy counters mirror the struct exactly.
+        hstats = result.hierarchy.stats
+        assert registry.value("sim.hierarchy.accesses") == hstats.accesses
+        assert registry.value("sim.hierarchy.l1_hits") == hstats.l1_hits
+        assert registry.value("sim.hierarchy.memory_fetches") == \
+            hstats.memory_fetches
+        assert registry.value("sim.cycles") == result.cycles
+        assert registry.value("sim.metadata.expansions") == result.expansions
+        # The SimResult carries the same snapshot.
+        assert result.metrics == registry.snapshot()
+
+    def test_warmup_pass_not_double_counted(self):
+        trace = record_trace(get_benchmark("swaptions"), scale="test")
+        registry = MetricsRegistry()
+        result = simulate_trace(
+            trace, SimConfig(detection=True), registry=registry
+        )
+        # check_stats is the post-warmup struct; a double-counted registry
+        # would hold roughly twice these values.
+        assert registry.value("sim.race_unit.total") == result.check_stats.total
+
+
+class TestCliTelemetry:
+    def test_check_json(self, capsys):
+        assert cli_main(["check", "torn", "--seeds", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stopped"] == 2
+        assert len(payload["runs"]) == 2
+        assert payload["metrics"]["run.races"] >= 1
+
+    def test_check_telemetry_jsonl(self, tmp_path, capsys):
+        out = str(tmp_path / "tel.jsonl")
+        assert cli_main(["check", "racy", "--seeds", "2",
+                         "--telemetry", out]) == 0
+        records = read_jsonl(out)
+        spans = [r for r in records if r["type"] == "span"]
+        metrics = [r for r in records if r["type"] == "metrics"]
+        assert len(spans) >= 3  # 2 seed spans + the check span
+        assert len(metrics) == 1
+        assert metrics[0]["metrics"]["detector.races_raised"] >= 1
+        for record in spans:
+            assert record["duration_s"] >= 0
+
+    def test_bench_json(self, capsys):
+        assert cli_main(["bench", "swaptions", "--scale", "test",
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "swaptions"
+        assert payload["slowdown_full"] > 1.0
+        assert payload["metrics"]["detector.reads"] > 0
+
+    def test_profile_command(self, capsys):
+        assert cli_main(["profile", "swaptions", "--scale", "test"]) == 0
+        out = capsys.readouterr().out
+        assert "mem.reads.shared" in out
+        assert "detector.epoch_table.touched_bytes" in out
+        assert "sync.commits" in out
+
+    def test_profile_json(self, capsys):
+        assert cli_main(["profile", "swaptions", "--scale", "test",
+                         "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["race"] is None
+        assert payload["metrics"]["sync.commits"] > 0
+
+    def test_simulate_telemetry(self, tmp_path, capsys):
+        trace_file = str(tmp_path / "t.jsonl")
+        tel_file = str(tmp_path / "sim.jsonl")
+        assert cli_main(["trace", "swaptions", trace_file]) == 0
+        assert cli_main(["simulate", trace_file, "--telemetry",
+                         tel_file]) == 0
+        records = read_jsonl(tel_file)
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert {"simulate.load", "simulate.baseline",
+                "simulate.detection"} <= set(names)
+        final = records[-1]
+        assert final["type"] == "metrics"
+        assert final["metrics"]["sim.slowdown"] > 0
