@@ -260,11 +260,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .hardware import SimConfig, simulate_trace
-    from .runtime.trace import Trace
+    from .runtime.trace import open_trace
 
     registry, tracer, exporter = _telemetry_session(args)
     with tracer.span("simulate.load", trace=args.trace):
-        trace = Trace.load(args.trace)
+        # Binary traces stream chunk-by-chunk through the simulator;
+        # legacy JSONL traces fall back to an in-memory load.
+        trace = open_trace(args.trace)
     with tracer.span("simulate.baseline"):
         base = simulate_trace(trace, SimConfig(detection=False))
     with tracer.span("simulate.detection", unit=args.unit, mode=args.mode):

@@ -2,113 +2,27 @@
 
 Every precise dynamic detector keeps the same thread/lock vector-clock
 state and differs only in its per-location metadata and check (Section
-2.3).  :class:`HbEngine` provides that common state with the same thread
-lifecycle and synchronization API as
-:class:`~repro.core.detector.CleanDetector`, so any baseline plugs into
-the runtime through the same :class:`~repro.clean.CleanMonitor` adapter.
+2.3).  That state — the fork/join/acquire/release lifecycle glue — now
+lives in :class:`~repro.core.events.VectorClockBackend`, the common base
+of the CLEAN detector and every baseline; :class:`HbEngine` is its
+baseline-facing name, kept so the detectors (and downstream code) read
+as before.  Any engine built on it plugs into the runtime through the
+same :class:`~repro.clean.CleanMonitor` adapter via the
+:class:`~repro.core.events.DetectorBackend` protocol.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-from ..core.epoch import DEFAULT_LAYOUT, EpochLayout
-from ..core.exceptions import MetadataError, TooManyThreadsError
-from ..core.vector_clock import VectorClock
+from ..core.events import VectorClockBackend
 
 __all__ = ["HbEngine"]
 
 
-class HbEngine:
-    """Thread/lock vector clocks plus fork/join/acquire/release rules."""
+class HbEngine(VectorClockBackend):
+    """Thread/lock vector clocks plus fork/join/acquire/release rules.
 
-    def __init__(
-        self, max_threads: int = 8, layout: EpochLayout = DEFAULT_LAYOUT
-    ) -> None:
-        if max_threads - 1 > layout.max_tid:
-            raise TooManyThreadsError(
-                f"{max_threads} threads need more than {layout.tid_bits} tid bits"
-            )
-        self.layout = layout
-        self.max_threads = max_threads
-        self._vcs: Dict[int, VectorClock] = {}
-        self._free_tids: List[int] = list(range(max_threads - 1, -1, -1))
-        self._lock_vcs: Dict[object, VectorClock] = {}
-        self.sync_ops = 0
-
-    # -- thread lifecycle -----------------------------------------------------
-
-    def spawn_root(self) -> int:
-        """Create the initial thread (tid 0)."""
-        if self._vcs:
-            raise MetadataError("root thread already exists")
-        tid = self._free_tids.pop()
-        self._vcs[tid] = VectorClock(self.max_threads, self.layout)
-        self._vcs[tid].increment(tid)
-        return tid
-
-    def fork(self, parent_tid: int, child_tid: Optional[int] = None) -> int:
-        """Create a child ordered after the parent's past."""
-        parent = self.vc(parent_tid)
-        if not self._free_tids:
-            raise TooManyThreadsError(
-                f"more than {self.max_threads} concurrently live threads"
-            )
-        if child_tid is None:
-            tid = self._free_tids.pop()
-        else:
-            if child_tid not in self._free_tids:
-                raise MetadataError(f"requested child tid {child_tid} is not free")
-            self._free_tids.remove(child_tid)
-            tid = child_tid
-        child = parent.copy()
-        self._vcs[tid] = child
-        child.increment(tid)
-        parent.increment(parent_tid)
-        return tid
-
-    def join(self, parent_tid: int, child_tid: int) -> None:
-        """Join the child; its past is ordered before the parent's future."""
-        parent = self.vc(parent_tid)
-        child = self.vc(child_tid)
-        child.increment(child_tid)
-        parent.join(child)
-        del self._vcs[child_tid]
-        self._free_tids.append(child_tid)
-
-    # -- synchronization ---------------------------------------------------------
-
-    def release(self, tid: int, sync_key: object) -> None:
-        """Merge the thread's VC into the sync object's; advance the thread."""
-        vc = self._lock_vcs.get(sync_key)
-        if vc is None:
-            vc = VectorClock(self.max_threads, self.layout)
-            self._lock_vcs[sync_key] = vc
-        thread_vc = self.vc(tid)
-        vc.join(thread_vc)
-        thread_vc.increment(tid)
-        self.sync_ops += 1
-
-    def acquire(self, tid: int, sync_key: object) -> None:
-        """Merge the sync object's VC into the thread's."""
-        vc = self._lock_vcs.get(sync_key)
-        if vc is not None:
-            self.vc(tid).join(vc)
-        self.sync_ops += 1
-
-    # -- accessors -----------------------------------------------------------------
-
-    def vc(self, tid: int) -> VectorClock:
-        """The vector clock of live thread ``tid``."""
-        try:
-            return self._vcs[tid]
-        except KeyError:
-            raise MetadataError(f"unknown or dead thread id {tid}") from None
-
-    def epoch_of(self, tid: int) -> int:
-        """The thread's current epoch ``EPOCH(tid, vc[tid])``."""
-        return self.vc(tid).element(tid)
-
-    def live_threads(self) -> List[int]:
-        """Tids of all live threads."""
-        return sorted(self._vcs)
+    Per-sync vector clocks are keyed by
+    :func:`~repro.core.events.stable_sync_id` — a lock reconstructed
+    with the same name (record/replay, unpickled traces) maps to the
+    same clock instead of silently forking a new one.
+    """

@@ -20,9 +20,10 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from .core.detector import CleanDetector
+from .core.events import AccessEvent, DetectorBackend
 from .core.epoch import DEFAULT_LAYOUT, EpochLayout
 from .core.rollover import RolloverPolicy
 from .determinism.counters import PreciseCounter
@@ -41,23 +42,46 @@ __all__ = ["CleanMonitor", "clean_stack", "run_clean"]
 
 
 class CleanMonitor(ExecutionMonitor):
-    """Adapter: runtime events -> CLEAN race checks and VC maintenance.
+    """Adapter: runtime events -> detector backend checks and VC upkeep.
+
+    This is the *only* bridge between the runtime and a detector: the
+    CLEAN detector and every baseline implement the same
+    :class:`~repro.core.events.DetectorBackend` protocol and plug in
+    here unchanged.  Memory traffic arrives as
+    :class:`~repro.core.events.AccessEvent` objects through the fused
+    scheduler dispatch; the Section-4.3 ordering (write checks before
+    the store, read checks right after the load) is guaranteed by
+    checking writes in :meth:`before_access` and reads in
+    :meth:`after_access`.
 
     Private (stack-like) accesses are skipped, mirroring the conservative
     shared-access estimate of Section 4.1.  A rollover policy, if given,
     resets all metadata at synchronization commits — under the Kendo gate
     these commits are globally ordered, so the reset point is the
     deterministic one Section 4.5 requires.
+
+    When the backend declares ``same_epoch_filter`` (CLEAN does; the
+    baselines do not, because their reads mutate metadata), the monitor
+    keeps, per thread, the set of addresses that thread has written in
+    its current epoch; an access wholly inside that set provably cannot
+    race and cannot change metadata, so the full check is skipped and
+    only the backend's statistics mirror
+    (:meth:`~repro.core.events.DetectorBackend.note_same_epoch`) runs.
+    The set is invalidated whenever the thread's clock can advance (any
+    sync commit, spawn/join, barrier departure, condition wake) and
+    globally on rollover resets.  ``fastpath=False`` disables the filter
+    (used by the verdict-equivalence property tests).
     """
 
     def __init__(
         self,
-        detector: Optional[CleanDetector] = None,
+        detector: Optional[DetectorBackend] = None,
         rollover: Optional[RolloverPolicy] = None,
         max_threads: int = 64,
         layout: EpochLayout = DEFAULT_LAYOUT,
         instrument_private_fraction: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
+        fastpath: bool = True,
     ) -> None:
         if not 0.0 <= instrument_private_fraction <= 1.0:
             raise ValueError("instrument_private_fraction must be in [0, 1]")
@@ -70,6 +94,26 @@ class CleanMonitor(ExecutionMonitor):
         self.instrument_private_fraction = instrument_private_fraction
         self.registry = registry
         self._sync_index = 0
+        self._fastpath = bool(fastpath) and bool(
+            getattr(self.detector, "same_epoch_filter", False)
+        )
+        #: tid -> addresses written by that thread in its current epoch.
+        self._epoch_writes: Dict[int, Set[int]] = {}
+        self.fastpath_hits = 0
+        self.fastpath_misses = 0
+
+    @property
+    def fastpath_enabled(self) -> bool:
+        """Whether the same-epoch filter is active for this backend."""
+        return self._fastpath
+
+    def _invalidate(self, tid: int) -> None:
+        writes = self._epoch_writes.get(tid)
+        if writes:
+            writes.clear()
+
+    def _invalidate_all(self) -> None:
+        self._epoch_writes.clear()
 
     def _instrument(self, private: bool, address: int) -> bool:
         """Whether this access gets a race check.
@@ -90,6 +134,7 @@ class CleanMonitor(ExecutionMonitor):
     # -- thread lifecycle -------------------------------------------------
 
     def on_thread_start(self, tid: int, parent: Optional[int]) -> None:
+        self._invalidate(tid)
         if parent is None:
             root = self.detector.spawn_root()
             if root != tid:
@@ -98,24 +143,63 @@ class CleanMonitor(ExecutionMonitor):
                 )
 
     def on_spawn(self, parent: int, child: int) -> None:
+        self._invalidate(parent)
+        self._invalidate(child)
         self.detector.fork(parent, child)
 
     def on_join(self, parent: int, child: int) -> None:
+        self._invalidate(parent)
+        self._invalidate(child)
         self.detector.join(parent, child)
 
     # -- memory (the Figure-2 checks, ordered per Section 4.3) ---------------
 
-    def after_read(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        if self._instrument(private, address):
-            self.detector.check_read(tid, address, size)
-
-    def before_write(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        if self._instrument(private, address):
+    def before_access(self, event: AccessEvent) -> None:
+        if not event.is_write:
+            return
+        address = event.address
+        if not self._instrument(event.private, address):
+            return
+        tid = event.tid
+        size = event.size
+        if self._fastpath:
+            written = self._epoch_writes.get(tid)
+            if written is not None and (
+                address in written
+                if size == 1
+                else all(address + o in written for o in range(size))
+            ):
+                self.fastpath_hits += 1
+                self.detector.note_same_epoch(tid, address, size, is_read=False)
+                return
+            self.fastpath_misses += 1
             self.detector.check_write(tid, address, size)
+            if written is None:
+                written = self._epoch_writes.setdefault(tid, set())
+            written.update(range(address, address + size))
+        else:
+            self.detector.check_write(tid, address, size)
+
+    def after_access(self, event: AccessEvent) -> None:
+        if event.is_write:
+            return
+        address = event.address
+        if not self._instrument(event.private, address):
+            return
+        tid = event.tid
+        size = event.size
+        if self._fastpath:
+            written = self._epoch_writes.get(tid)
+            if written is not None and (
+                address in written
+                if size == 1
+                else all(address + o in written for o in range(size))
+            ):
+                self.fastpath_hits += 1
+                self.detector.note_same_epoch(tid, address, size, is_read=True)
+                return
+            self.fastpath_misses += 1
+        self.detector.check_read(tid, address, size)
 
     # -- synchronization (vector-clock maintenance) ----------------------------
 
@@ -129,12 +213,14 @@ class CleanMonitor(ExecutionMonitor):
         self.detector.release(tid, (barrier, generation))
 
     def on_barrier_depart(self, tid: int, barrier: Barrier, generation: int) -> None:
+        self._invalidate(tid)
         self.detector.acquire(tid, (barrier, generation))
 
     def on_cond_signal(self, tid: int, cond: Condition) -> None:
         self.detector.release(tid, cond)
 
     def on_cond_wake(self, tid: int, cond: Condition) -> None:
+        self._invalidate(tid)
         self.detector.acquire(tid, cond)
 
     def on_sem_post(self, tid: int, sem: Semaphore) -> None:
@@ -146,9 +232,14 @@ class CleanMonitor(ExecutionMonitor):
     # -- rollover -----------------------------------------------------------------
 
     def on_sync_commit(self, tid: int, op: Op) -> None:
+        self._invalidate(tid)
         self._sync_index += 1
         if self.rollover is not None and self.rollover.should_reset(self.detector):
             self.rollover.perform_reset(self.detector, self._sync_index)
+            # A reset wipes every location's metadata: no thread's
+            # written-this-epoch set says anything about shadow state
+            # any more.
+            self._invalidate_all()
 
     # -- telemetry ----------------------------------------------------------------
 
@@ -165,6 +256,9 @@ class CleanMonitor(ExecutionMonitor):
         baseline plugged through this adapter (duck-typed publishing).
         """
         publish_detector_metrics(self.detector, registry)
+        if self._fastpath:
+            registry.counter("detector.fastpath.hits").set_to(self.fastpath_hits)
+            registry.counter("detector.fastpath.misses").set_to(self.fastpath_misses)
         if self.rollover is not None:
             registry.counter("detector.rollover.resets").set_to(self.rollover.count)
 
@@ -172,12 +266,13 @@ class CleanMonitor(ExecutionMonitor):
 def clean_stack(
     detect: bool = True,
     deterministic: bool = True,
-    detector: Optional[CleanDetector] = None,
+    detector: Optional[DetectorBackend] = None,
     rollover: Optional[RolloverPolicy] = None,
     max_threads: int = 64,
     layout: EpochLayout = DEFAULT_LAYOUT,
     extra: Optional[List[ExecutionMonitor]] = None,
     registry: Optional[MetricsRegistry] = None,
+    fastpath: bool = True,
 ) -> Tuple[List[ExecutionMonitor], Optional[CleanMonitor], Optional[KendoGate]]:
     """Build the CLEAN monitor stack.
 
@@ -197,6 +292,7 @@ def clean_stack(
             max_threads=max_threads,
             layout=layout,
             registry=registry,
+            fastpath=fastpath,
         )
         monitors.append(clean)
     if deterministic:
@@ -212,7 +308,7 @@ def run_clean(
     detect: bool = True,
     deterministic: bool = True,
     policy: Optional[SchedulingPolicy] = None,
-    detector: Optional[CleanDetector] = None,
+    detector: Optional[DetectorBackend] = None,
     rollover: Optional[RolloverPolicy] = None,
     max_threads: int = 64,
     layout: EpochLayout = DEFAULT_LAYOUT,
@@ -220,6 +316,7 @@ def run_clean(
     extra_monitors: Optional[List[ExecutionMonitor]] = None,
     raise_on_race: bool = False,
     registry: Optional[MetricsRegistry] = None,
+    fastpath: bool = True,
 ) -> ExecutionResult:
     """Run ``program`` under CLEAN and return its execution result.
 
@@ -236,6 +333,7 @@ def run_clean(
         layout=layout,
         extra=extra_monitors,
         registry=registry,
+        fastpath=fastpath,
     )
     return program.run(
         policy=policy,

@@ -13,6 +13,12 @@ Public surface:
 
 from .detector import AccessStats, CleanDetector, ThreadState
 from .epoch import DEFAULT_LAYOUT, TINY_LAYOUT, WIDE_CLOCK_LAYOUT, EpochLayout
+from .events import (
+    AccessEvent,
+    DetectorBackend,
+    VectorClockBackend,
+    stable_sync_id,
+)
 from .exceptions import (
     CleanError,
     DeadlockError,
@@ -27,8 +33,12 @@ from .shadow import DenseShadow, SparseShadow
 from .vector_clock import VectorClock
 
 __all__ = [
+    "AccessEvent",
     "AccessStats",
     "CleanDetector",
+    "DetectorBackend",
+    "VectorClockBackend",
+    "stable_sync_id",
     "ThreadState",
     "EpochLayout",
     "DEFAULT_LAYOUT",

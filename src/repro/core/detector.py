@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from .epoch import DEFAULT_LAYOUT, EpochLayout
+from .events import DetectorBackend, stable_sync_id
 from .exceptions import (
     MetadataError,
     RawRaceException,
@@ -94,7 +95,7 @@ class ThreadState:
     children: Set[int] = field(default_factory=set)
 
 
-class CleanDetector:
+class CleanDetector(DetectorBackend):
     """Precise WAW/RAW race detector with deterministic rollover resets.
 
     Parameters
@@ -213,13 +214,15 @@ class CleanDetector:
 
         Joins the thread's vector clock into the sync object's and
         advances the thread's own clock, as in standard vector-clock
-        detectors (Section 2.3).
+        detectors (Section 2.3).  Sync vector clocks are keyed by
+        :func:`~repro.core.events.stable_sync_id`, not object identity.
         """
         thread = self._thread(tid)
-        vc = self._lock_vcs.get(sync_key)
+        key = stable_sync_id(sync_key)
+        vc = self._lock_vcs.get(key)
         if vc is None:
             vc = VectorClock(self.max_threads, self.layout)
-            self._lock_vcs[sync_key] = vc
+            self._lock_vcs[key] = vc
         vc.join(thread.vc)
         self._advance(thread)
         self.stats.sync_ops += 1
@@ -227,7 +230,7 @@ class CleanDetector:
     def acquire(self, tid: int, sync_key: object) -> None:
         """Lock acquire / condition wait return / barrier departure."""
         thread = self._thread(tid)
-        vc = self._lock_vcs.get(sync_key)
+        vc = self._lock_vcs.get(stable_sync_id(sync_key))
         if vc is not None:
             thread.vc.join(vc)
         self.stats.sync_ops += 1
@@ -255,6 +258,37 @@ class CleanDetector:
         self._check_access(tid, address, size, is_read=False)
         self.stats.writes += 1
         self.stats.written_bytes += size
+        self._note_width(size)
+
+    #: The adapter's same-epoch fast path is verdict-invariant for CLEAN:
+    #: a byte whose epoch equals the accessing thread's current epoch can
+    #: only have been written by that thread in its current SFR, so the
+    #: Figure-2 comparison cannot fire and a write's CAS is a no-op.
+    same_epoch_filter = True
+
+    def note_same_epoch(
+        self, tid: int, address: int, size: int, is_read: bool
+    ) -> None:
+        """Account an access the same-epoch fast path proved race-free.
+
+        Mirrors exactly the counters :meth:`check_read`/:meth:`check_write`
+        would have recorded for an access whose bytes all carry the
+        thread's current epoch (one comparison on the vectorized fast
+        path, one per byte otherwise; never an epoch update), so the
+        software cost model and every figure built on ``stats`` are
+        invariant under the filter.
+        """
+        stats = self.stats
+        if size > 1:
+            stats.multibyte_accesses += 1
+            stats.multibyte_uniform_epoch += 1
+        stats.epoch_comparisons += 1 if (self.vectorized and size > 1) else size
+        if is_read:
+            stats.reads += 1
+            stats.read_bytes += size
+        else:
+            stats.writes += 1
+            stats.written_bytes += size
         self._note_width(size)
 
     def _check_access(self, tid: int, address: int, size: int, is_read: bool) -> None:

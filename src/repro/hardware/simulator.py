@@ -24,11 +24,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional, Union
 
 from ..core.epoch import DEFAULT_LAYOUT, EpochLayout
 from ..obs import MetricsRegistry, publish_sim_metrics
-from ..runtime.trace import READ, SYNC, WRITE, Trace
+from ..runtime.trace import (
+    READ,
+    SYNC,
+    WRITE,
+    StreamingTrace,
+    Trace,
+    TraceEvent,
+)
 from .hierarchy import Latencies, MemoryHierarchy
 from .metadata import MetadataLayout
 from .race_unit import RaceCheckUnit, RaceUnitStats
@@ -135,8 +142,16 @@ class MulticoreSim:
             else:
                 raise ValueError(f"unknown check unit {config.check_unit!r}")
 
-    def run(self, trace: Trace, warmup: bool = True) -> SimResult:
+    def run(
+        self, trace: Union[Trace, StreamingTrace], warmup: bool = True
+    ) -> SimResult:
         """Replay ``trace`` and return the timing result.
+
+        ``trace`` is anything exposing ``thread_ids()`` and re-iterable
+        ``iter_events(tid)`` — an in-memory :class:`Trace` or a
+        :class:`~repro.runtime.trace.StreamingTrace` replayed straight
+        off disk, chunk by chunk, without ever materializing the full
+        event lists.
 
         With ``warmup`` (the default) the trace is replayed twice and only
         the second pass is timed: caches, metadata lines and epoch state
@@ -168,13 +183,17 @@ class MulticoreSim:
 
     def _replay(
         self,
-        trace: Trace,
+        trace: Union[Trace, StreamingTrace],
         core_of: Dict[int, int],
         thread_clock: Dict[int, int],
     ) -> SimResult:
         tids = trace.thread_ids()
         clocks: Dict[int, int] = {core: 0 for core in range(self.config.n_cores)}
-        cursors: Dict[int, int] = {tid: 0 for tid in tids}
+        # One independent iterator per thread: streaming traces decode a
+        # chunk at a time, so memory stays bounded however long the trace.
+        streams: Dict[int, Iterator[TraceEvent]] = {
+            tid: iter(trace.iter_events(tid)) for tid in tids
+        }
         instructions = 0
         data_accesses = 0
 
@@ -185,12 +204,9 @@ class MulticoreSim:
         while heap:
             _, tid = heapq.heappop(heap)
             core = core_of[tid]
-            events = trace.events(tid)
-            index = cursors[tid]
-            if index >= len(events):
+            event = next(streams[tid], None)
+            if event is None:
                 continue
-            cursors[tid] += 1
-            event = events[index]
             cycles = event.gap  # 1 cycle per non-memory instruction
             instructions += event.gap
             if event.kind == SYNC:
@@ -254,7 +270,7 @@ class MulticoreSim:
 
 
 def simulate_trace(
-    trace: Trace,
+    trace: Union[Trace, StreamingTrace],
     config: SimConfig = SimConfig(),
     registry: Optional[MetricsRegistry] = None,
 ) -> SimResult:

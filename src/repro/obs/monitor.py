@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
+from ..core.events import AccessEvent
 from ..runtime.ops import Op
 from ..runtime.scheduler import ExecutionMonitor, ExecutionResult, Scheduler
 from ..runtime.sync import Barrier, Condition, Lock, Semaphore
@@ -104,15 +105,10 @@ class TelemetryMonitor(ExecutionMonitor):
         self.registry.inc(f"mem.{kind}.{share}")
         self._sfr_len[tid] = self._sfr_len.get(tid, 0) + 1
 
-    def after_read(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        self._count_access(tid, "reads", private)
-
-    def after_write(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        self._count_access(tid, "writes", private)
+    def after_access(self, event: AccessEvent) -> None:
+        self._count_access(
+            event.tid, "writes" if event.is_write else "reads", event.private
+        )
 
     def on_compute(self, tid: int, amount: int) -> None:
         self.registry.inc("mem.compute_instructions", amount)

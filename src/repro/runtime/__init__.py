@@ -47,7 +47,16 @@ from .scheduler import (
     ThreadStatus,
 )
 from .sync import Barrier, Condition, Lock, Semaphore
-from .trace import READ, SYNC, WRITE, Trace, TraceEvent, TraceRecorder
+from .trace import (
+    READ,
+    SYNC,
+    WRITE,
+    StreamingTrace,
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+    open_trace,
+)
 
 __all__ = [
     "SharedMemory",
@@ -93,9 +102,11 @@ __all__ = [
     "SemanticViolation",
     "RegionSerializabilityOracle",
     "ConflictEdge",
+    "StreamingTrace",
     "Trace",
     "TraceEvent",
     "TraceRecorder",
+    "open_trace",
     "READ",
     "WRITE",
     "SYNC",

@@ -52,12 +52,15 @@ class Program:
         max_steps: int = 50_000_000,
         counter_cost: Optional[Callable] = None,
         raise_on_race: bool = False,
+        fused: bool = True,
     ) -> ExecutionResult:
         """Execute the program once and return its result.
 
         Each call builds a fresh scheduler and memory, so repeated runs
         are independent — run the same program under different policies
-        or seeds to explore interleavings.
+        or seeds to explore interleavings.  ``fused=False`` selects the
+        pre-refactor call-every-monitor dispatch (equivalence testing
+        and benchmarking only).
         """
         scheduler = Scheduler(
             memory=memory,
@@ -66,6 +69,7 @@ class Program:
             max_threads=max_threads,
             max_steps=max_steps,
             counter_cost=counter_cost,
+            fused=fused,
         )
         scheduler.start(self.main, *self.args)
         return scheduler.run(raise_on_race=raise_on_race)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..core.events import AccessEvent
 from .scheduler import ExecutionMonitor
 
 __all__ = [
@@ -130,21 +131,20 @@ class IsolationOracle(ExecutionMonitor):
         self.violations: List[SemanticViolation] = []
         self._last_writer: Dict[int, _WriteStamp] = {}
 
-    def after_write(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        if private:
+    def after_access(self, event: AccessEvent) -> None:
+        if event.private:
             return
-        region = self.tracker.current_region(tid)
-        for i in range(size):
-            self._last_writer[address + i] = _WriteStamp(region, (value >> (8 * i)) & 0xFF)
-
-    def after_read(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        if private:
+        tid = event.tid
+        address = event.address
+        size = event.size
+        if event.is_write:
+            value = event.value
+            region = self.tracker.current_region(tid)
+            for i in range(size):
+                self._last_writer[address + i] = _WriteStamp(
+                    region, (value >> (8 * i)) & 0xFF
+                )
             return
-        reader_region = self.tracker.current_region(tid)
         for i in range(size):
             stamp = self._last_writer.get(address + i)
             if stamp is None:
@@ -182,22 +182,29 @@ class WriteAtomicityOracle(ExecutionMonitor):
         self._writer_of: Dict[int, RegionId] = {}
         self._write_sets: Dict[RegionId, Set[int]] = {}
 
-    def after_write(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        if private:
+    def after_access(self, event: AccessEvent) -> None:
+        if event.is_write:
+            self._after_write(event)
+        else:
+            self._after_read(event)
+
+    def _after_write(self, event: AccessEvent) -> None:
+        if event.private:
             return
+        tid = event.tid
+        address = event.address
         self.tracker.tick()
         region = self.tracker.current_region(tid)
         members = self._write_sets.setdefault(region, set())
-        for i in range(size):
+        for i in range(event.size):
             self._writer_of[address + i] = region
             members.add(address + i)
 
-    def after_read(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        if private or size < 2:
+    def _after_read(self, event: AccessEvent) -> None:
+        tid = event.tid
+        address = event.address
+        size = event.size
+        if event.private or size < 2:
             return
         self.tracker.tick()
         addresses = set(range(address, address + size))

@@ -8,6 +8,20 @@ this is the moral equivalent of compiler instrumentation in the paper:
 the race detector, the Kendo gate, the trace recorder and the SFR oracle
 are all monitors.
 
+Monitor dispatch is *fused*: at construction the scheduler compiles, for
+every hook, the chain of monitors that actually override it, so a hook
+nobody overrides costs nothing per event (the pre-refactor dispatch
+called every monitor's no-op base hook on every access).  Memory
+operations additionally build one :class:`~repro.core.events.AccessEvent`
+per operation — carrying tid, address, size, direction, privacy, the
+thread's SFR ordinal and deterministic clock — and hand that single
+object to every event-aware monitor via :meth:`ExecutionMonitor.before_access`
+/ :meth:`ExecutionMonitor.after_access`; the positional per-field hooks
+(``before_read`` and friends) remain supported through thin adapters.
+``Scheduler(fused=False)`` restores the pre-refactor call-every-monitor
+dispatch, kept as the reference implementation for the equivalence
+property tests and the ``benchmarks/bench_hotpath.py`` baseline.
+
 Blocking semantics (locks, barriers, condition variables, semaphores,
 join) are implemented here: an operation that cannot complete *parks* its
 thread, and the thread becomes schedulable again once the operation is
@@ -30,6 +44,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.events import AccessEvent
 from ..core.exceptions import DeadlockError, RaceException
 from .memory import SharedMemory
 from .ops import (
@@ -82,6 +97,7 @@ class _ThreadRecord:
     pending: Optional[Op] = None
     blocked_reason: str = ""
     det_counter: int = 0
+    region: int = 0
     output: List[Any] = field(default_factory=list)
     result: Any = None
     parent: Optional[int] = None
@@ -106,6 +122,22 @@ class ExecutionMonitor:
     ``before_write`` fires before the store, ``after_read`` fires right
     after the load.  Any hook may raise
     :class:`~repro.core.exceptions.RaceException` to stop the execution.
+
+    Memory observation comes in two equivalent styles; override one:
+
+    * the *event* hooks :meth:`before_access` / :meth:`after_access`,
+      which receive the single :class:`~repro.core.events.AccessEvent`
+      the scheduler builds per operation (preferred on hot paths — no
+      per-monitor re-derivation of fields, and extra context like the
+      SFR ordinal rides along);
+    * the per-field hooks (:meth:`before_read`, :meth:`after_read`,
+      :meth:`before_write`, :meth:`after_write`), adapted automatically.
+
+    A monitor overriding both styles gets only the event hooks called
+    (the event form is the source of truth).
+
+    The scheduler only calls hooks a subclass actually overrides, so a
+    new hook costs nothing until somebody uses it.
     """
 
     def attach(self, scheduler: "Scheduler") -> None:
@@ -119,6 +151,20 @@ class ExecutionMonitor:
 
     def on_join(self, parent: int, child: int) -> None:
         """``parent`` completed a join on finished thread ``child``."""
+
+    def before_access(self, event: AccessEvent) -> None:
+        """About to perform ``event`` (race check point for writes).
+
+        For reads ``event.value`` is still ``None``; for writes it is
+        the value about to be stored.  Do not retain ``event``.
+        """
+
+    def after_access(self, event: AccessEvent) -> None:
+        """``event`` completed (race check point for reads).
+
+        ``event.value`` carries the loaded/stored value.  Do not retain
+        ``event``.
+        """
 
     def before_read(self, tid: int, address: int, size: int, private: bool) -> None:
         """About to load ``size`` bytes at ``address``."""
@@ -274,8 +320,43 @@ class ExecutionResult:
         )
 
 
+#: Hooks dispatched through compiled chains (everything but attach,
+#: memory hooks and on_finish, which have dedicated treatment).
+_CHAINED_HOOKS = (
+    "on_thread_start",
+    "on_thread_exit",
+    "on_join",
+    "on_acquire",
+    "on_release",
+    "on_barrier_arrive",
+    "on_barrier_depart",
+    "on_cond_signal",
+    "on_cond_wake",
+    "on_sem_post",
+    "on_sem_wait",
+    "on_spawn",
+    "on_compute",
+    "may_sync",
+    "on_sync_commit",
+)
+
+
+def _overrides(monitor: ExecutionMonitor, name: str) -> bool:
+    """Whether ``monitor``'s class (or an ancestor below the base)
+    overrides hook ``name``."""
+    return getattr(type(monitor), name) is not getattr(ExecutionMonitor, name)
+
+
 class Scheduler:
-    """Interleaves generator threads one operation at a time."""
+    """Interleaves generator threads one operation at a time.
+
+    ``fused=True`` (the default) compiles the monitor dispatch at
+    construction: each hook calls only the monitors overriding it, and
+    memory operations flow as single :class:`~repro.core.events.AccessEvent`
+    objects.  ``fused=False`` is the pre-refactor reference dispatch
+    (every monitor's hook called on every event), kept for equivalence
+    tests and benchmarking.
+    """
 
     def __init__(
         self,
@@ -285,6 +366,7 @@ class Scheduler:
         max_threads: int = 64,
         max_steps: int = 50_000_000,
         counter_cost: Optional[Callable[[Op], int]] = None,
+        fused: bool = True,
     ) -> None:
         self.memory = memory if memory is not None else SharedMemory()
         self.monitors: List[ExecutionMonitor] = list(monitors or [])
@@ -292,6 +374,7 @@ class Scheduler:
         self.max_threads = max_threads
         self.max_steps = max_steps
         self.counter_cost = counter_cost if counter_cost is not None else _default_cost
+        self.fused = fused
         self._threads: Dict[int, _ThreadRecord] = {}
         # Records of every thread that ever ran; tid reuse keeps only the
         # latest occupant of a tid, which is what the result reports.
@@ -305,6 +388,103 @@ class Scheduler:
         self._ctx = _Context(self)
         for monitor in self.monitors:
             monitor.attach(self)
+        self._compile_dispatch()
+
+    # -- dispatch compilation --------------------------------------------------
+
+    def add_monitor(self, monitor: ExecutionMonitor) -> None:
+        """Adopt ``monitor`` mid-setup and recompile the dispatch tables."""
+        self.monitors.append(monitor)
+        monitor.attach(self)
+        self._compile_dispatch()
+
+    def _compile_dispatch(self) -> None:
+        """Build per-hook call chains from the current monitor stack.
+
+        Fused mode keeps, per hook, only the monitors overriding it.
+        Unfused mode keeps every monitor (the pre-refactor semantics:
+        the base class's no-op hook is still a call).  Either way the
+        chains are tuples of bound methods — iteration is allocation-
+        free on the hot path.
+        """
+        monitors = self.monitors
+
+        def chain(name: str) -> Tuple[Callable, ...]:
+            if self.fused:
+                return tuple(
+                    getattr(m, name) for m in monitors if _overrides(m, name)
+                )
+            return tuple(getattr(m, name) for m in monitors)
+
+        self._chains: Dict[str, Tuple[Callable, ...]] = {
+            name: chain(name) for name in _CHAINED_HOOKS
+        }
+        c = self._chains
+        self._c_thread_start = c["on_thread_start"]
+        self._c_thread_exit = c["on_thread_exit"]
+        self._c_join = c["on_join"]
+        self._c_acquire = c["on_acquire"]
+        self._c_release = c["on_release"]
+        self._c_barrier_arrive = c["on_barrier_arrive"]
+        self._c_barrier_depart = c["on_barrier_depart"]
+        self._c_cond_signal = c["on_cond_signal"]
+        self._c_cond_wake = c["on_cond_wake"]
+        self._c_sem_post = c["on_sem_post"]
+        self._c_sem_wait = c["on_sem_wait"]
+        self._c_spawn = c["on_spawn"]
+        self._c_compute = c["on_compute"]
+        self._c_may_sync = c["may_sync"]
+        self._c_sync_commit = c["on_sync_commit"]
+
+        # Event-hook chains: monitors consuming AccessEvents directly.
+        self._ev_before = tuple(
+            m.before_access for m in monitors if _overrides(m, "before_access")
+        )
+        self._ev_after = tuple(
+            m.after_access for m in monitors if _overrides(m, "after_access")
+        )
+
+        # Fused memory chains: one callable-of-event per interested
+        # monitor per dispatch point, in stack order.  Event-style
+        # monitors contribute their bound hook; per-field monitors are
+        # adapted by a closure that unpacks the event.
+        def memory_chain(point: str) -> Tuple[Callable, ...]:
+            event_hook = "before_access" if point.startswith("before") else "after_access"
+            out: List[Callable] = []
+            for m in monitors:
+                if _overrides(m, event_hook):
+                    out.append(getattr(m, event_hook))
+                elif _overrides(m, point):
+                    f = getattr(m, point)
+                    if point in ("before_read",):
+                        out.append(
+                            lambda ev, f=f: f(ev.tid, ev.address, ev.size, ev.private)
+                        )
+                    else:
+                        out.append(
+                            lambda ev, f=f: f(
+                                ev.tid, ev.address, ev.size, ev.value, ev.private
+                            )
+                        )
+            return tuple(out)
+
+        self._c_read_before = memory_chain("before_read")
+        self._c_read_after = memory_chain("after_read")
+        self._c_write_before = memory_chain("before_write")
+        self._c_write_after = memory_chain("after_write")
+
+        handlers = dict(self._HANDLERS)
+        if not self.fused:
+            handlers[Read] = Scheduler._do_read_legacy
+            handlers[Write] = Scheduler._do_write_legacy
+            handlers[AtomicRMW] = Scheduler._do_rmw_legacy
+            # The reference mode also restores the pre-refactor support
+            # paths (per-thread sort + call-per-candidate feasibility,
+            # isinstance-chain op classification), so benchmarks compare
+            # against the hot path as it actually was, end to end.
+            self._schedulable = self._schedulable_legacy
+            self._feasible = self._feasible_legacy
+        self._handlers = handlers
 
     # -- public API -----------------------------------------------------------
 
@@ -322,8 +502,12 @@ class Scheduler:
         """
         race: Optional[RaceException] = None
         try:
-            while self._live_tids():
-                self._step()
+            if self.fused:
+                while self._threads:
+                    self._step()
+            else:
+                while self._live_tids():
+                    self._step()
         except RaceException as exc:
             race = exc
         result = ExecutionResult(
@@ -350,6 +534,10 @@ class Scheduler:
     def live_counters(self) -> Dict[int, int]:
         """Deterministic counters of all live threads."""
         return {t: r.det_counter for t, r in self._threads.items()}
+
+    def region_of(self, tid: int) -> int:
+        """Current SFR ordinal of live thread ``tid`` (bumps per sync)."""
+        return self._threads[tid].region
 
     # -- scheduling loop -------------------------------------------------------
 
@@ -379,6 +567,25 @@ class Scheduler:
             self._advance_generator(record)
 
     def _schedulable(self) -> List[int]:
+        # Runs once per step: inline the feasibility/gate checks for
+        # parked operations rather than paying a call per thread.
+        ready = []
+        runnable = ThreadStatus.RUNNABLE
+        for tid, record in self._threads.items():
+            if record.status is runnable:
+                ready.append(tid)
+            else:
+                op = record.pending
+                if (
+                    op is not None
+                    and self._feasible(record, op)
+                    and (not op.is_sync or self._gate_open(tid, op))
+                ):
+                    ready.append(tid)
+        ready.sort()
+        return ready
+
+    def _schedulable_legacy(self) -> List[int]:
         ready = []
         for tid in sorted(self._threads):
             record = self._threads[tid]
@@ -398,7 +605,10 @@ class Scheduler:
         return True
 
     def _gate_open(self, tid: int, op: Op) -> bool:
-        return all(m.may_sync(tid, op) for m in self.monitors)
+        for gate in self._c_may_sync:
+            if not gate(tid, op):
+                return False
+        return True
 
     def _pump(self) -> None:
         """Kendo pump: resolve a global stall by spin-with-increment.
@@ -434,14 +644,22 @@ class Scheduler:
                 record.det_counter = threshold if tid > winner_tid else threshold + 1
 
     def _feasible(self, record: _ThreadRecord, op: Op) -> bool:
-        """Whether ``op`` can complete now, ignoring the sync gate."""
+        """Whether ``op`` can complete now, ignoring the sync gate.
+
+        Dispatches on the op's exact type through a table; op types
+        absent from the table (memory ops, compute, barrier arrival —
+        which always "completes" into an internal sleep) are always
+        feasible.
+        """
+        checker = self._FEASIBILITY.get(type(op))
+        return True if checker is None else checker(self, op)
+
+    def _feasible_legacy(self, record: _ThreadRecord, op: Op) -> bool:
         if isinstance(op, Acquire):
             return not op.lock.held
         if isinstance(op, _Reacquire):
             return not op.lock.held
         if isinstance(op, BarrierWait):
-            # Arrival itself always "completes"; the thread then waits in
-            # the barrier's internal list until the barrier trips.
             return True
         if isinstance(op, _BarrierSleep):
             return op.barrier.generation > op.generation
@@ -495,7 +713,7 @@ class Scheduler:
         record.pending = None
         record.status = ThreadStatus.RUNNABLE
         record.blocked_reason = ""
-        handler = self._HANDLERS[type(op)]
+        handler = self._handlers[type(op)]
         handler(self, record, op)
 
     def _charge(self, record: _ThreadRecord, op: Op) -> None:
@@ -503,6 +721,7 @@ class Scheduler:
 
     def _commit_sync(self, record: _ThreadRecord, op: Op, target: str) -> None:
         self._charge(record, op)
+        record.region += 1
         self._sync_log.append(
             SyncCommit(
                 index=len(self._sync_log),
@@ -512,52 +731,179 @@ class Scheduler:
                 counter=record.det_counter,
             )
         )
-        for monitor in self.monitors:
-            monitor.on_sync_commit(record.tid, op)
+        for hook in self._c_sync_commit:
+            hook(record.tid, op)
+
+    # -- memory operations (the fused hot path) --------------------------------
 
     def _do_read(self, record: _ThreadRecord, op: Read) -> None:
-        for monitor in self.monitors:
-            monitor.before_read(record.tid, op.address, op.size, op.private)
-        value = self.memory.load_int(op.address, op.size)
-        for monitor in self.monitors:
-            monitor.after_read(record.tid, op.address, op.size, value, op.private)
+        before = self._c_read_before
+        after = self._c_read_after
+        if before or after:
+            event = AccessEvent(
+                record.tid, op.address, op.size, False, op.private,
+                None, record.region, record.det_counter,
+            )
+            for fn in before:
+                fn(event)
+            value = self.memory.load_int(op.address, op.size)
+            event.value = value
+            for fn in after:
+                fn(event)
+        else:
+            value = self.memory.load_int(op.address, op.size)
         if not op.private:
             self._shared_reads += 1
         self._charge(record, op)
         record.inbox = value
 
     def _do_write(self, record: _ThreadRecord, op: Write) -> None:
-        for monitor in self.monitors:
-            monitor.before_write(record.tid, op.address, op.size, op.value, op.private)
-        self.memory.store_int(op.address, op.size, op.value)
-        for monitor in self.monitors:
-            monitor.after_write(record.tid, op.address, op.size, op.value, op.private)
+        before = self._c_write_before
+        after = self._c_write_after
+        if before or after:
+            event = AccessEvent(
+                record.tid, op.address, op.size, True, op.private,
+                op.value, record.region, record.det_counter,
+            )
+            for fn in before:
+                fn(event)
+            self.memory.store_int(op.address, op.size, op.value)
+            for fn in after:
+                fn(event)
+        else:
+            self.memory.store_int(op.address, op.size, op.value)
         if not op.private:
             self._shared_writes += 1
         self._charge(record, op)
 
     def _do_rmw(self, record: _ThreadRecord, op: AtomicRMW) -> None:
-        for monitor in self.monitors:
-            monitor.before_read(record.tid, op.address, op.size, False)
+        tid = record.tid
+        read_event = AccessEvent(
+            tid, op.address, op.size, False, False,
+            None, record.region, record.det_counter,
+        )
+        for fn in self._c_read_before:
+            fn(read_event)
         old = self.memory.load_int(op.address, op.size)
-        for monitor in self.monitors:
-            monitor.after_read(record.tid, op.address, op.size, old, False)
+        read_event.value = old
+        for fn in self._c_read_after:
+            fn(read_event)
         new = op.fn(old)
-        for monitor in self.monitors:
-            monitor.before_write(record.tid, op.address, op.size, new, False)
+        write_event = AccessEvent(
+            tid, op.address, op.size, True, False,
+            new, record.region, record.det_counter,
+        )
+        for fn in self._c_write_before:
+            fn(write_event)
         self.memory.store_int(op.address, op.size, new)
-        for monitor in self.monitors:
-            monitor.after_write(record.tid, op.address, op.size, new, False)
+        for fn in self._c_write_after:
+            fn(write_event)
         self._shared_reads += 1
         self._shared_writes += 1
         self._charge(record, op)
         record.inbox = old
 
+    # -- memory operations (pre-refactor reference dispatch) --------------------
+
+    def _dispatch_event_legacy(
+        self, chains: Tuple[Callable, ...], event: AccessEvent
+    ) -> None:
+        for fn in chains:
+            fn(event)
+
+    def _do_read_legacy(self, record: _ThreadRecord, op: Read) -> None:
+        tid = record.tid
+        event = None
+        if self._ev_before or self._ev_after:
+            event = AccessEvent(
+                tid, op.address, op.size, False, op.private,
+                None, record.region, record.det_counter,
+            )
+        for monitor in self.monitors:
+            monitor.before_read(tid, op.address, op.size, op.private)
+        if event is not None:
+            self._dispatch_event_legacy(self._ev_before, event)
+        value = self.memory.load_int(op.address, op.size)
+        if event is not None:
+            event.value = value
+        for monitor in self.monitors:
+            monitor.after_read(tid, op.address, op.size, value, op.private)
+        if event is not None:
+            self._dispatch_event_legacy(self._ev_after, event)
+        if not op.private:
+            self._shared_reads += 1
+        self._charge(record, op)
+        record.inbox = value
+
+    def _do_write_legacy(self, record: _ThreadRecord, op: Write) -> None:
+        tid = record.tid
+        event = None
+        if self._ev_before or self._ev_after:
+            event = AccessEvent(
+                tid, op.address, op.size, True, op.private,
+                op.value, record.region, record.det_counter,
+            )
+        for monitor in self.monitors:
+            monitor.before_write(tid, op.address, op.size, op.value, op.private)
+        if event is not None:
+            self._dispatch_event_legacy(self._ev_before, event)
+        self.memory.store_int(op.address, op.size, op.value)
+        for monitor in self.monitors:
+            monitor.after_write(tid, op.address, op.size, op.value, op.private)
+        if event is not None:
+            self._dispatch_event_legacy(self._ev_after, event)
+        if not op.private:
+            self._shared_writes += 1
+        self._charge(record, op)
+
+    def _do_rmw_legacy(self, record: _ThreadRecord, op: AtomicRMW) -> None:
+        tid = record.tid
+        use_events = bool(self._ev_before or self._ev_after)
+        read_event = None
+        if use_events:
+            read_event = AccessEvent(
+                tid, op.address, op.size, False, False,
+                None, record.region, record.det_counter,
+            )
+        for monitor in self.monitors:
+            monitor.before_read(tid, op.address, op.size, False)
+        if read_event is not None:
+            self._dispatch_event_legacy(self._ev_before, read_event)
+        old = self.memory.load_int(op.address, op.size)
+        if read_event is not None:
+            read_event.value = old
+        for monitor in self.monitors:
+            monitor.after_read(tid, op.address, op.size, old, False)
+        if read_event is not None:
+            self._dispatch_event_legacy(self._ev_after, read_event)
+        new = op.fn(old)
+        write_event = None
+        if use_events:
+            write_event = AccessEvent(
+                tid, op.address, op.size, True, False,
+                new, record.region, record.det_counter,
+            )
+        for monitor in self.monitors:
+            monitor.before_write(tid, op.address, op.size, new, False)
+        if write_event is not None:
+            self._dispatch_event_legacy(self._ev_before, write_event)
+        self.memory.store_int(op.address, op.size, new)
+        for monitor in self.monitors:
+            monitor.after_write(tid, op.address, op.size, new, False)
+        if write_event is not None:
+            self._dispatch_event_legacy(self._ev_after, write_event)
+        self._shared_reads += 1
+        self._shared_writes += 1
+        self._charge(record, op)
+        record.inbox = old
+
+    # -- synchronization operations ---------------------------------------------
+
     def _do_acquire(self, record: _ThreadRecord, op: Acquire) -> None:
         assert not op.lock.held
         op.lock.holder = record.tid
-        for monitor in self.monitors:
-            monitor.on_acquire(record.tid, op.lock)
+        for hook in self._c_acquire:
+            hook(record.tid, op.lock)
         self._commit_sync(record, op, op.lock.name)
 
     def _do_release(self, record: _ThreadRecord, op: Release) -> None:
@@ -566,8 +912,8 @@ class Scheduler:
                 f"thread {record.tid} released {op.lock.name} held by "
                 f"{op.lock.holder}"
             )
-        for monitor in self.monitors:
-            monitor.on_release(record.tid, op.lock)
+        for hook in self._c_release:
+            hook(record.tid, op.lock)
         op.lock.holder = None
         self._commit_sync(record, op, op.lock.name)
 
@@ -575,8 +921,8 @@ class Scheduler:
         barrier = op.barrier
         generation = barrier.generation
         barrier.waiting.append(record.tid)
-        for monitor in self.monitors:
-            monitor.on_barrier_arrive(record.tid, barrier, generation)
+        for hook in self._c_barrier_arrive:
+            hook(record.tid, barrier, generation)
         self._commit_sync(record, op, barrier.name)
         if len(barrier.waiting) >= barrier.parties:
             barrier.generation += 1
@@ -584,8 +930,8 @@ class Scheduler:
             barrier.waiting.clear()
             for tid in departing:
                 departer = self._threads[tid]
-                for monitor in self.monitors:
-                    monitor.on_barrier_depart(tid, barrier, generation)
+                for hook in self._c_barrier_depart:
+                    hook(tid, barrier, generation)
                 if tid != record.tid:
                     self._unpark(departer)
         else:
@@ -602,8 +948,8 @@ class Scheduler:
                 f"thread {record.tid} waited on {op.cond.name} without "
                 f"holding {op.lock.name}"
             )
-        for monitor in self.monitors:
-            monitor.on_release(record.tid, op.lock)
+        for hook in self._c_release:
+            hook(record.tid, op.lock)
         op.lock.holder = None
         self._commit_sync(record, op, op.cond.name)
         sleep = _CondSleep(op.cond, op.lock)
@@ -617,14 +963,15 @@ class Scheduler:
     def _do_reacquire(self, record: _ThreadRecord, op: "_Reacquire") -> None:
         assert not op.lock.held
         op.lock.holder = record.tid
-        for monitor in self.monitors:
-            monitor.on_acquire(record.tid, op.lock)
-            monitor.on_cond_wake(record.tid, op.cond)
+        for hook in self._c_acquire:
+            hook(record.tid, op.lock)
+        for hook in self._c_cond_wake:
+            hook(record.tid, op.cond)
         self._commit_sync(record, op, op.lock.name)
 
     def _do_cond_signal(self, record: _ThreadRecord, op: CondSignal) -> None:
-        for monitor in self.monitors:
-            monitor.on_cond_signal(record.tid, op.cond)
+        for hook in self._c_cond_signal:
+            hook(record.tid, op.cond)
         if op.cond.waiting:
             tid = op.cond.waiting.pop(0)
             sleeper = self._threads[tid]
@@ -633,8 +980,8 @@ class Scheduler:
         self._commit_sync(record, op, op.cond.name)
 
     def _do_cond_broadcast(self, record: _ThreadRecord, op: CondBroadcast) -> None:
-        for monitor in self.monitors:
-            monitor.on_cond_signal(record.tid, op.cond)
+        for hook in self._c_cond_signal:
+            hook(record.tid, op.cond)
         for tid in op.cond.waiting:
             sleeper = self._threads[tid]
             assert isinstance(sleeper.pending, _CondSleep)
@@ -645,14 +992,14 @@ class Scheduler:
     def _do_sem_wait(self, record: _ThreadRecord, op: SemWait) -> None:
         assert op.sem.value > 0
         op.sem.value -= 1
-        for monitor in self.monitors:
-            monitor.on_sem_wait(record.tid, op.sem)
+        for hook in self._c_sem_wait:
+            hook(record.tid, op.sem)
         self._commit_sync(record, op, op.sem.name)
 
     def _do_sem_post(self, record: _ThreadRecord, op: SemPost) -> None:
         op.sem.value += 1
-        for monitor in self.monitors:
-            monitor.on_sem_post(record.tid, op.sem)
+        for hook in self._c_sem_post:
+            hook(record.tid, op.sem)
         self._commit_sync(record, op, op.sem.name)
 
     def _do_spawn(self, record: _ThreadRecord, op: Spawn) -> None:
@@ -663,15 +1010,15 @@ class Scheduler:
     def _do_join(self, record: _ThreadRecord, op: Join) -> None:
         assert op.tid in self._finished_unjoined
         result = self._finished_unjoined.pop(op.tid)
-        for monitor in self.monitors:
-            monitor.on_join(record.tid, op.tid)
+        for hook in self._c_join:
+            hook(record.tid, op.tid)
         self._free_tids.append(op.tid)
         self._commit_sync(record, op, f"join:{op.tid}")
         record.inbox = result
 
     def _do_compute(self, record: _ThreadRecord, op: Compute) -> None:
-        for monitor in self.monitors:
-            monitor.on_compute(record.tid, op.amount)
+        for hook in self._c_compute:
+            hook(record.tid, op.amount)
         self._charge(record, op)
 
     def _do_output(self, record: _ThreadRecord, op: Output) -> None:
@@ -694,22 +1041,23 @@ class Scheduler:
             record.det_counter = self._threads[parent].det_counter
         self._threads[tid] = record
         self._records_ever[tid] = record
-        for monitor in self.monitors:
-            monitor.on_thread_start(tid, parent)
+        for hook in self._c_thread_start:
+            hook(tid, parent)
         if parent is not None:
-            for monitor in self.monitors:
-                monitor.on_spawn(parent, tid)
+            for hook in self._c_spawn:
+                hook(parent, tid)
         return tid
 
     def _finish_thread(self, record: _ThreadRecord, result: Any) -> None:
         record.result = result
         record.status = ThreadStatus.DONE
-        for monitor in self.monitors:
-            monitor.on_thread_exit(record.tid)
+        for hook in self._c_thread_exit:
+            hook(record.tid)
         del self._threads[record.tid]
         self._finished_unjoined[record.tid] = result
 
     _HANDLERS: Dict[type, Callable] = {}
+    _FEASIBILITY: Dict[type, Callable] = {}
 
 
 class _Context:
@@ -781,6 +1129,15 @@ def _describe_block(op: Op) -> str:
 def _default_cost(op: Op) -> int:
     return op.cost
 
+
+Scheduler._FEASIBILITY = {
+    Acquire: lambda self, op: not op.lock.held,
+    _Reacquire: lambda self, op: not op.lock.held,
+    _BarrierSleep: lambda self, op: op.barrier.generation > op.generation,
+    _CondSleep: lambda self, op: op.woken,
+    SemWait: lambda self, op: op.sem.value > 0,
+    Join: lambda self, op: op.tid in self._finished_unjoined,
+}
 
 Scheduler._HANDLERS = {
     Read: Scheduler._do_read,

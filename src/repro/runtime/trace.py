@@ -11,22 +11,74 @@ Events deliberately carry the same information Pin provides the paper's
 simulator: address, size, read/write, a stack/private flag ("potentially
 shared" is approximated as non-stack, Section 6.3.1), and an instruction
 weight for the non-memory work between accesses.
+
+Persistence
+-----------
+
+The native on-disk format is *chunked binary*: a magic header followed by
+per-thread chunks of struct-packed records, each chunk optionally
+zlib-compressed and carrying its own sync-name table.  Binary traces can
+be replayed without materializing the full event lists — see
+:class:`StreamingTrace` and :func:`open_trace` — so a long recorded
+workload streams through the simulator chunk by chunk.
+
+The original JSON-lines format remains supported: :meth:`Trace.save`
+writes it when the path ends in ``.jsonl`` (or ``format="jsonl"`` is
+forced), and :meth:`Trace.load` auto-detects the format from the magic
+bytes, so old traces keep loading unchanged.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import BinaryIO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from ..core.events import AccessEvent
 from .scheduler import ExecutionMonitor
 
-__all__ = ["TraceEvent", "Trace", "TraceRecorder", "READ", "WRITE", "SYNC"]
+__all__ = [
+    "TraceEvent",
+    "Trace",
+    "TraceRecorder",
+    "StreamingTrace",
+    "open_trace",
+    "READ",
+    "WRITE",
+    "SYNC",
+    "TRACE_MAGIC",
+]
 
 READ = "R"
 WRITE = "W"
 SYNC = "S"
+
+#: Magic bytes opening every binary trace file, followed by one format
+#: version byte.  Files not starting with these bytes are treated as the
+#: legacy JSON-lines format.
+TRACE_MAGIC = b"CLNTRACE"
+_TRACE_VERSION = 1
+
+#: Chunk header: tid, flags, event count, payload size uncompressed /
+#: as stored.  ``flags`` bit 0 marks a zlib-compressed payload.
+_CHUNK_HEADER = struct.Struct("<HBIII")
+#: One packed record: kind/private byte, address, size, gap, sync-name
+#: index into the chunk's name table (0xFFFF = none).
+_RECORD = struct.Struct("<BQIIH")
+_NAME_LEN = struct.Struct("<H")
+
+_KIND_CODE = {READ: 0, WRITE: 1, SYNC: 2}
+_CODE_KIND = {0: READ, 1: WRITE, 2: SYNC}
+_PRIVATE_BIT = 0x80
+_NO_NAME = 0xFFFF
+_FLAG_ZLIB = 0x01
+
+#: Events per binary chunk: large enough to amortize headers and
+#: compression, small enough that streaming replay stays lightweight.
+DEFAULT_CHUNK_EVENTS = 4096
 
 
 @dataclass(frozen=True)
@@ -46,9 +98,96 @@ class TraceEvent:
     sync_name: str = ""
 
 
+# -- binary chunk encode/decode ---------------------------------------------
+
+
+def _encode_chunk(tid: int, events: List[TraceEvent], compress: bool) -> bytes:
+    names: List[str] = []
+    name_idx: Dict[str, int] = {}
+    records = bytearray()
+    for e in events:
+        if e.sync_name:
+            idx = name_idx.get(e.sync_name)
+            if idx is None:
+                idx = len(names)
+                name_idx[e.sync_name] = idx
+                names.append(e.sync_name)
+        else:
+            idx = _NO_NAME
+        code = _KIND_CODE[e.kind] | (_PRIVATE_BIT if e.private else 0)
+        records += _RECORD.pack(code, e.address, e.size, e.gap, idx)
+    table = bytearray(_NAME_LEN.pack(len(names)))
+    for name in names:
+        raw = name.encode("utf-8")
+        table += _NAME_LEN.pack(len(raw)) + raw
+    payload = bytes(table) + bytes(records)
+    flags = 0
+    stored = payload
+    if compress:
+        flags |= _FLAG_ZLIB
+        stored = zlib.compress(payload)
+    header = _CHUNK_HEADER.pack(tid, flags, len(events), len(payload), len(stored))
+    return header + stored
+
+
+def _decode_payload(payload: bytes, n_events: int) -> List[TraceEvent]:
+    (n_names,) = _NAME_LEN.unpack_from(payload, 0)
+    offset = _NAME_LEN.size
+    names: List[str] = []
+    for _ in range(n_names):
+        (length,) = _NAME_LEN.unpack_from(payload, offset)
+        offset += _NAME_LEN.size
+        names.append(payload[offset : offset + length].decode("utf-8"))
+        offset += length
+    events: List[TraceEvent] = []
+    for code, address, size, gap, idx in _RECORD.iter_unpack(payload[offset:]):
+        events.append(
+            TraceEvent(
+                kind=_CODE_KIND[code & ~_PRIVATE_BIT],
+                address=address,
+                size=size,
+                private=bool(code & _PRIVATE_BIT),
+                gap=gap,
+                sync_name="" if idx == _NO_NAME else names[idx],
+            )
+        )
+    if len(events) != n_events:
+        raise ValueError(
+            f"corrupt trace chunk: header says {n_events} events, "
+            f"payload decodes to {len(events)}"
+        )
+    return events
+
+
+def _read_exact(fh: BinaryIO, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise ValueError("truncated trace file")
+    return data
+
+
+def _read_chunk(fh: BinaryIO) -> Optional[Tuple[int, List[TraceEvent]]]:
+    header = fh.read(_CHUNK_HEADER.size)
+    if not header:
+        return None
+    if len(header) != _CHUNK_HEADER.size:
+        raise ValueError("truncated trace chunk header")
+    tid, flags, n_events, raw_len, stored_len = _CHUNK_HEADER.unpack(header)
+    stored = _read_exact(fh, stored_len)
+    payload = zlib.decompress(stored) if flags & _FLAG_ZLIB else stored
+    if len(payload) != raw_len:
+        raise ValueError("corrupt trace chunk: payload length mismatch")
+    return tid, _decode_payload(payload, n_events)
+
+
+def _is_binary_trace(path: Union[str, Path]) -> bool:
+    with open(path, "rb") as fh:
+        return fh.read(len(TRACE_MAGIC)) == TRACE_MAGIC
+
+
 @dataclass
 class Trace:
-    """Per-thread event streams of one execution."""
+    """Per-thread event streams of one execution, held in memory."""
 
     per_thread: Dict[int, List[TraceEvent]] = field(default_factory=dict)
 
@@ -59,6 +198,10 @@ class Trace:
     def events(self, tid: int) -> List[TraceEvent]:
         """The event list of thread ``tid``."""
         return self.per_thread.get(tid, [])
+
+    def iter_events(self, tid: int) -> Iterator[TraceEvent]:
+        """Iterate thread ``tid``'s events (the simulator's protocol)."""
+        return iter(self.per_thread.get(tid, ()))
 
     def __iter__(self) -> Iterator[TraceEvent]:
         for tid in self.thread_ids():
@@ -90,13 +233,31 @@ class Trace:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> None:
-        """Write the trace as JSON-lines: one line per thread.
+    def save(
+        self,
+        path: Union[str, Path],
+        format: Optional[str] = None,
+        compress: bool = True,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+    ) -> None:
+        """Write the trace to ``path``.
 
-        The format is stable and self-describing, so traces recorded
-        once (an expensive workload run) can be replayed through many
-        simulator configurations, or shared between machines.
+        ``format`` is ``"binary"`` (chunked struct records, the native
+        format), ``"jsonl"`` (the legacy self-describing text format) or
+        ``None`` to pick by extension: ``.jsonl`` paths get JSON-lines,
+        everything else the binary format.  ``compress`` zlib-compresses
+        each binary chunk; ``chunk_events`` bounds events per chunk.
         """
+        if format is None:
+            format = "jsonl" if str(path).endswith(".jsonl") else "binary"
+        if format == "jsonl":
+            self._save_jsonl(path)
+        elif format == "binary":
+            self._save_binary(path, compress=compress, chunk_events=chunk_events)
+        else:
+            raise ValueError(f"unknown trace format {format!r}")
+
+    def _save_jsonl(self, path: Union[str, Path]) -> None:
         with open(path, "w") as fh:
             for tid in self.thread_ids():
                 events = [
@@ -105,9 +266,51 @@ class Trace:
                 ]
                 fh.write(json.dumps({"tid": tid, "events": events}) + "\n")
 
+    def _save_binary(
+        self, path: Union[str, Path], compress: bool, chunk_events: int
+    ) -> None:
+        if chunk_events < 1:
+            raise ValueError("chunk_events must be positive")
+        with open(path, "wb") as fh:
+            fh.write(TRACE_MAGIC + bytes([_TRACE_VERSION]))
+            for tid in self.thread_ids():
+                events = self.per_thread[tid]
+                if not events:
+                    # An empty chunk keeps the thread visible to readers.
+                    fh.write(_encode_chunk(tid, [], compress))
+                for start in range(0, len(events), chunk_events):
+                    fh.write(
+                        _encode_chunk(
+                            tid, events[start : start + chunk_events], compress
+                        )
+                    )
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "Trace":
-        """Read a trace written by :meth:`save`."""
+        """Read a trace written by :meth:`save` (either format).
+
+        The format is detected from the file's magic bytes, not its
+        name, so renamed files load fine.
+        """
+        if _is_binary_trace(path):
+            return cls._load_binary(path)
+        return cls._load_jsonl(path)
+
+    @classmethod
+    def _load_binary(cls, path: Union[str, Path]) -> "Trace":
+        per_thread: Dict[int, List[TraceEvent]] = {}
+        with open(path, "rb") as fh:
+            _check_magic(fh, path)
+            while True:
+                chunk = _read_chunk(fh)
+                if chunk is None:
+                    break
+                tid, events = chunk
+                per_thread.setdefault(tid, []).extend(events)
+        return cls(per_thread=per_thread)
+
+    @classmethod
+    def _load_jsonl(cls, path: Union[str, Path]) -> "Trace":
         per_thread: Dict[int, List[TraceEvent]] = {}
         with open(path) as fh:
             for line in fh:
@@ -129,6 +332,96 @@ class Trace:
                     ]
                 ]
         return cls(per_thread=per_thread)
+
+
+def _check_magic(fh: BinaryIO, path: Union[str, Path]) -> None:
+    head = _read_exact(fh, len(TRACE_MAGIC) + 1)
+    if head[: len(TRACE_MAGIC)] != TRACE_MAGIC:
+        raise ValueError(f"{path} is not a binary trace")
+    version = head[-1]
+    if version != _TRACE_VERSION:
+        raise ValueError(
+            f"unsupported trace version {version} (expected {_TRACE_VERSION})"
+        )
+
+
+class StreamingTrace:
+    """A binary trace replayed chunk by chunk, never fully in memory.
+
+    Implements the protocol the simulator consumes — :meth:`thread_ids`
+    and re-iterable :meth:`iter_events` — by indexing chunk *offsets* at
+    open time (one header-hopping scan, no payloads read) and decoding
+    one chunk at a time during iteration.  Each :meth:`iter_events` call
+    opens its own file handle, so the simulator can interleave many
+    threads' iterators, and the warmup pass can simply iterate again.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        #: tid -> [(payload offset, flags, n_events, raw_len, stored_len)]
+        self._index: Dict[int, List[Tuple[int, int, int, int, int]]] = {}
+        with open(self._path, "rb") as fh:
+            _check_magic(fh, path)
+            while True:
+                header = fh.read(_CHUNK_HEADER.size)
+                if not header:
+                    break
+                if len(header) != _CHUNK_HEADER.size:
+                    raise ValueError("truncated trace chunk header")
+                tid, flags, n_events, raw_len, stored_len = _CHUNK_HEADER.unpack(
+                    header
+                )
+                self._index.setdefault(tid, []).append(
+                    (fh.tell(), flags, n_events, raw_len, stored_len)
+                )
+                fh.seek(stored_len, 1)
+
+    def thread_ids(self) -> List[int]:
+        """Sorted tids present in the trace."""
+        return sorted(self._index)
+
+    def iter_events(self, tid: int) -> Iterator[TraceEvent]:
+        """Lazily yield thread ``tid``'s events, one chunk in memory at
+        a time.  Fresh iterator per call — safe to replay repeatedly."""
+        chunks = self._index.get(tid, [])
+        if not chunks:
+            return
+        with open(self._path, "rb") as fh:
+            for offset, flags, n_events, raw_len, stored_len in chunks:
+                fh.seek(offset)
+                stored = _read_exact(fh, stored_len)
+                payload = (
+                    zlib.decompress(stored) if flags & _FLAG_ZLIB else stored
+                )
+                if len(payload) != raw_len:
+                    raise ValueError("corrupt trace chunk: payload length mismatch")
+                for event in _decode_payload(payload, n_events):
+                    yield event
+
+    def events(self, tid: int) -> List[TraceEvent]:
+        """Materialize thread ``tid``'s events (compatibility helper)."""
+        return list(self.iter_events(tid))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for tid in self.thread_ids():
+            yield from self.iter_events(tid)
+
+    @property
+    def total_events(self) -> int:
+        """Total event count, known from chunk headers alone."""
+        return sum(n for chunks in self._index.values() for _, _, n, _, _ in chunks)
+
+
+def open_trace(path: Union[str, Path]) -> Union[Trace, StreamingTrace]:
+    """Open a trace file for replay with minimal memory.
+
+    Binary traces come back as a :class:`StreamingTrace`; legacy
+    JSON-lines traces (which have no chunk structure to stream) are
+    loaded in memory.  Both satisfy the simulator's protocol.
+    """
+    if _is_binary_trace(path):
+        return StreamingTrace(path)
+    return Trace._load_jsonl(path)
 
 
 class TraceRecorder(ExecutionMonitor):
@@ -154,20 +447,17 @@ class TraceRecorder(ExecutionMonitor):
         self.trace.per_thread.setdefault(tid, [])
         self._gap[tid] = 0
 
-    def after_read(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
+    def after_access(self, event: AccessEvent) -> None:
+        tid = event.tid
         self._emit(
             tid,
-            TraceEvent(READ, address, size, private, gap=self._take_gap(tid)),
-        )
-
-    def after_write(
-        self, tid: int, address: int, size: int, value: int, private: bool
-    ) -> None:
-        self._emit(
-            tid,
-            TraceEvent(WRITE, address, size, private, gap=self._take_gap(tid)),
+            TraceEvent(
+                WRITE if event.is_write else READ,
+                event.address,
+                event.size,
+                event.private,
+                gap=self._take_gap(tid),
+            ),
         )
 
     def on_sync_commit(self, tid: int, op: object) -> None:

@@ -1,0 +1,314 @@
+"""Tests for the unified access-event core.
+
+Three groups, matching the hot-path refactor's guarantees:
+
+1. **Stable sync keys** — per-sync vector clocks are keyed by
+   :func:`~repro.core.events.stable_sync_id`, never object identity, so
+   a reconstructed lock (record/replay, pickling) keeps its
+   happens-before history.
+2. **Binary trace format** — round trips for both on-disk formats,
+   magic-byte auto-detection, and the streaming reader's equivalence to
+   the in-memory one.
+3. **Verdict invariance** — the fused dispatch + same-epoch-filter hot
+   path raises a race exception iff the pre-refactor reference stack
+   (``fused=False``, filter off) does, with identical provenance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clean import CleanMonitor, clean_stack
+from repro.core import CleanDetector
+from repro.core.events import stable_sync_id
+from repro.determinism.counters import PreciseCounter
+from repro.hardware import SimConfig, simulate_trace
+from repro.runtime import (
+    READ,
+    SYNC,
+    WRITE,
+    Lock,
+    RandomPolicy,
+    StreamingTrace,
+    Trace,
+    TraceEvent,
+    open_trace,
+)
+from repro.workloads.randprog import make_random_program
+
+MAX_THREADS = 8
+
+
+# ---------------------------------------------------------------------------
+# 1. Stable sync keys
+# ---------------------------------------------------------------------------
+
+
+class TestStableSyncId:
+    def test_named_object_maps_to_its_name(self):
+        assert stable_sync_id(Lock("shared")) == "shared"
+
+    def test_two_instances_same_name_collapse(self):
+        assert stable_sync_id(Lock("shared")) == stable_sync_id(Lock("shared"))
+
+    def test_tuple_maps_elementwise(self):
+        barrier_like = Lock("b1")  # anything with a .name
+        assert stable_sync_id((barrier_like, 3)) == ("b1", 3)
+
+    def test_plain_hashables_pass_through(self):
+        assert stable_sync_id("lock") == "lock"
+        assert stable_sync_id(17) == 17
+
+
+class TestLockKeyRegression:
+    """A reconstructed lock object must carry the same vector clock.
+
+    Before the event-core refactor the detector keyed ``_lock_vcs`` by
+    the lock *object*, so releasing on one ``Lock("shared")`` instance
+    and acquiring on another (as replay of a persisted trace does)
+    silently dropped the happens-before edge and reported a phantom
+    race.
+    """
+
+    def test_edge_survives_lock_reconstruction(self):
+        det = CleanDetector(max_threads=4)
+        t0 = det.spawn_root()
+        t1 = det.fork(t0)
+        det.check_write(t0, 0x100, 8)
+        det.release(t0, Lock("shared"))
+        # A *different* object with the same stable name: the edge must
+        # still be found, so t1's write is ordered after t0's.
+        det.acquire(t1, Lock("shared"))
+        det.check_write(t1, 0x100, 8)  # must not raise
+
+    def test_identity_keying_would_have_raced(self):
+        from repro.core.exceptions import WawRaceException
+
+        det = CleanDetector(max_threads=4)
+        t0 = det.spawn_root()
+        t1 = det.fork(t0)
+        det.check_write(t0, 0x100, 8)
+        det.release(t0, Lock("shared"))
+        det.acquire(t1, Lock("other"))  # genuinely different lock
+        with pytest.raises(WawRaceException):
+            det.check_write(t1, 0x100, 8)
+
+    def test_one_clock_per_name_not_per_instance(self):
+        det = CleanDetector(max_threads=4)
+        t0 = det.spawn_root()
+        det.release(t0, Lock("shared"))
+        det.release(t0, Lock("shared"))
+        assert list(det._lock_vcs) == ["shared"]
+
+
+# ---------------------------------------------------------------------------
+# 2. Binary trace format
+# ---------------------------------------------------------------------------
+
+
+def small_trace():
+    return Trace(
+        per_thread={
+            1: [
+                TraceEvent(WRITE, 0x1000, 8, gap=3),
+                TraceEvent(SYNC, gap=1, sync_name="Release"),
+                TraceEvent(READ, 0x1000, 4, private=True, gap=0),
+            ],
+            2: [TraceEvent(READ, 0x2000, 1, gap=7)],
+        }
+    )
+
+
+class TestBinaryTraceRoundTrip:
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_roundtrip(self, tmp_path, compress):
+        path = tmp_path / "t.trace"
+        original = small_trace()
+        original.save(path, compress=compress)
+        loaded = Trace.load(path)
+        assert loaded.per_thread == original.per_thread
+
+    def test_roundtrip_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        Trace(per_thread={}).save(path)
+        assert Trace.load(path).per_thread == {}
+
+    def test_empty_thread_stays_visible(self, tmp_path):
+        path = tmp_path / "t.trace"
+        original = Trace(per_thread={3: [], 5: [TraceEvent(WRITE, 0x10, 1)]})
+        original.save(path)
+        loaded = Trace.load(path)
+        assert loaded.thread_ids() == [3, 5]
+        assert loaded.per_thread[3] == []
+
+    def test_chunking_preserves_order(self, tmp_path):
+        events = [TraceEvent(WRITE, 0x1000 + i, 1, gap=i % 5) for i in range(50)]
+        path = tmp_path / "t.trace"
+        Trace(per_thread={1: events}).save(path, chunk_events=7)
+        assert Trace.load(path).per_thread[1] == events
+
+    def test_extension_picks_format(self, tmp_path):
+        jsonl = tmp_path / "t.jsonl"
+        binary = tmp_path / "t.trace"
+        small_trace().save(jsonl)
+        small_trace().save(binary)
+        assert jsonl.read_bytes()[:1] == b"{"
+        from repro.runtime.trace import TRACE_MAGIC
+
+        assert binary.read_bytes().startswith(TRACE_MAGIC)
+
+    def test_magic_autodetect_ignores_extension(self, tmp_path):
+        # Binary trace saved under a .jsonl-looking name still loads,
+        # and a JSONL trace under a binary-looking name does too: the
+        # loader trusts the magic bytes, not the file name.
+        misnamed_binary = tmp_path / "renamed.jsonl"
+        small_trace().save(misnamed_binary, format="binary")
+        assert Trace.load(misnamed_binary).per_thread == small_trace().per_thread
+
+        misnamed_jsonl = tmp_path / "renamed.trace"
+        small_trace().save(misnamed_jsonl, format="jsonl")
+        assert Trace.load(misnamed_jsonl).per_thread == small_trace().per_thread
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            small_trace().save(tmp_path / "t", format="csv")
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        from repro.runtime.trace import TRACE_MAGIC
+
+        path = tmp_path / "future.trace"
+        path.write_bytes(TRACE_MAGIC + bytes([99]))
+        with pytest.raises(ValueError):
+            Trace.load(path)
+
+
+class TestStreamingTrace:
+    def test_open_trace_dispatches_by_magic(self, tmp_path):
+        binary = tmp_path / "t.trace"
+        jsonl = tmp_path / "t.jsonl"
+        small_trace().save(binary)
+        small_trace().save(jsonl)
+        assert isinstance(open_trace(binary), StreamingTrace)
+        assert isinstance(open_trace(jsonl), Trace)
+
+    def test_matches_in_memory_load(self, tmp_path):
+        path = tmp_path / "t.trace"
+        original = small_trace()
+        original.save(path, chunk_events=2)
+        streaming = StreamingTrace(path)
+        assert streaming.thread_ids() == original.thread_ids()
+        assert streaming.total_events == original.total_events
+        for tid in original.thread_ids():
+            assert list(streaming.iter_events(tid)) == original.per_thread[tid]
+
+    def test_iter_events_is_reiterable(self, tmp_path):
+        path = tmp_path / "t.trace"
+        small_trace().save(path)
+        streaming = StreamingTrace(path)
+        first = list(streaming.iter_events(1))
+        second = list(streaming.iter_events(1))
+        assert first == second and first
+
+    def test_interleaved_iterators_are_independent(self, tmp_path):
+        path = tmp_path / "t.trace"
+        small_trace().save(path, chunk_events=1)
+        streaming = StreamingTrace(path)
+        it1, it2 = iter(streaming.iter_events(1)), iter(streaming.iter_events(2))
+        a = next(it1)
+        b = next(it2)
+        assert a == small_trace().per_thread[1][0]
+        assert b == small_trace().per_thread[2][0]
+        assert next(it1) == small_trace().per_thread[1][1]
+
+    def test_simulator_accepts_streaming_trace(self, tmp_path):
+        from repro.experiments.traces import record_trace
+        from repro.workloads import get_benchmark
+
+        trace = record_trace(get_benchmark("swaptions"), scale="test")
+        path = tmp_path / "sw.trace"
+        trace.save(path)
+        in_memory = simulate_trace(trace, SimConfig(detection=True))
+        streamed = simulate_trace(open_trace(path), SimConfig(detection=True))
+        assert streamed.cycles == in_memory.cycles
+
+
+# ---------------------------------------------------------------------------
+# 3. Verdict invariance of the fused + filtered hot path
+# ---------------------------------------------------------------------------
+
+
+def run_stack(program, sseed, fused, fastpath):
+    """One CLEAN execution on either the fused or the reference stack."""
+    monitors, clean, _gate = clean_stack(
+        max_threads=MAX_THREADS, fastpath=fastpath
+    )
+    result = program.run(
+        policy=RandomPolicy(sseed),
+        monitors=monitors,
+        max_threads=MAX_THREADS,
+        counter_cost=PreciseCounter(),
+        fused=fused,
+    )
+    return result, clean
+
+
+program_seeds = st.integers(min_value=0, max_value=10_000)
+schedule_seeds = st.integers(min_value=0, max_value=10_000)
+race_probs = st.sampled_from([0.0, 0.2, 0.5, 0.9])
+
+
+class TestVerdictInvariance:
+    """The optimized hot path (fused dispatch + same-epoch filter) must
+    be observationally equivalent to the pre-refactor stack: same
+    race/no-race verdict on the same seeded schedule, and when a race is
+    reported, identical (kind, tid, address) provenance."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(pseed=program_seeds, sseed=schedule_seeds, prob=race_probs)
+    def test_fused_filtered_equals_reference(self, pseed, sseed, prob):
+        program, _plan = make_random_program(
+            pseed, n_threads=3, ops_per_thread=10, race_probability=prob
+        )
+        new, _ = run_stack(program, sseed, fused=True, fastpath=True)
+        old, _ = run_stack(program, sseed, fused=False, fastpath=False)
+        if old.race is None:
+            assert new.race is None, (
+                f"fused+filtered stack raised {new.race!r} where the "
+                f"reference stack completed"
+            )
+        else:
+            assert new.race is not None, (
+                f"reference stack raised {old.race!r} but the "
+                f"fused+filtered stack stayed silent"
+            )
+            assert new.race.kind == old.race.kind
+            assert new.race.accessing_tid == old.race.accessing_tid
+            assert new.race.address == old.race.address
+            assert new.race.prior_writer_tid == old.race.prior_writer_tid
+
+    @settings(max_examples=20, deadline=None)
+    @given(pseed=program_seeds, sseed=schedule_seeds)
+    def test_filter_accounting_is_exact(self, pseed, sseed):
+        """Hits + misses equals the checks the unfiltered stack runs, and
+        the detector's access statistics are figure-identical."""
+        program, _plan = make_random_program(
+            pseed, n_threads=3, ops_per_thread=10, race_probability=0.2
+        )
+        on, clean_on = run_stack(program, sseed, fused=True, fastpath=True)
+        off, clean_off = run_stack(program, sseed, fused=True, fastpath=False)
+        assert clean_on.fastpath_enabled
+        assert not clean_off.fastpath_enabled
+        assert (on.race is None) == (off.race is None)
+        stats_on = clean_on.detector.stats
+        stats_off = clean_off.detector.stats
+        assert stats_on.reads == stats_off.reads
+        assert stats_on.writes == stats_off.writes
+
+    def test_fastpath_disabled_for_metadata_mutating_backends(self):
+        from repro.baselines import FastTrackDetector
+
+        monitor = CleanMonitor(
+            detector=FastTrackDetector(max_threads=4, record_only=True),
+            fastpath=True,
+        )
+        assert not monitor.fastpath_enabled
