@@ -7,6 +7,12 @@ vector-clock detector (one comparison instead of O(threads)).  The
 timings here are of *this library's* Python implementations; the paper's
 absolute numbers come from the cost model, but the ordering
 (CLEAN <= FastTrack << vector-clock) should hold even here.
+
+Each detector variant is driven through a :class:`repro.exec.Job`
+(:func:`detector_throughput` is the job function), so the same configs
+the timed tests use can be fanned out by a :class:`repro.exec.JobRunner`
+— and a crashing detector no longer kills the whole sweep, it just
+yields a failed result (see ``test_sweep_survives_bad_detector``).
 """
 
 import random
@@ -15,6 +21,8 @@ import pytest
 
 from repro.baselines import FastTrackDetector, VcRaceDetector
 from repro.core import CleanDetector
+from repro.exec import Job, JobRunner
+from repro.exec.job import run_job
 
 
 def make_workload(n_ops=2000, n_addrs=64, seed=42):
@@ -37,27 +45,62 @@ def drive(detector, ops):
     return detector
 
 
-OPS = make_workload()
+#: Detector factories by job-config name.
+DETECTORS = {
+    "clean": lambda vectorized: CleanDetector(
+        max_threads=8, **({} if vectorized is None else {"vectorized": vectorized})
+    ),
+    "fasttrack": lambda vectorized: FastTrackDetector(max_threads=8),
+    "vc": lambda vectorized: VcRaceDetector(max_threads=8),
+}
+
+
+def detector_throughput(
+    detector, n_ops=2000, n_addrs=64, seed=42, vectorized=None
+):
+    """Job function: drive one detector over the scripted workload."""
+    if detector not in DETECTORS:
+        raise ValueError(f"unknown detector {detector!r}")
+    ops = make_workload(n_ops=n_ops, n_addrs=n_addrs, seed=seed)
+    drive(DETECTORS[detector](vectorized), ops)
+    return {"detector": detector, "ops": n_ops}
+
+
+def _job(detector, **config):
+    return Job(
+        fn="bench_detectors:detector_throughput",
+        config={"detector": detector, **config},
+        name=detector,
+        group="detectors",
+    )
 
 
 def test_clean_check_throughput(benchmark):
-    benchmark(lambda: drive(CleanDetector(max_threads=8), OPS))
+    benchmark(lambda: run_job(_job("clean")))
 
 
 def test_fasttrack_check_throughput(benchmark):
-    benchmark(lambda: drive(FastTrackDetector(max_threads=8), OPS))
+    benchmark(lambda: run_job(_job("fasttrack")))
 
 
 def test_vc_check_throughput(benchmark):
-    benchmark(lambda: drive(VcRaceDetector(max_threads=8), OPS))
+    benchmark(lambda: run_job(_job("vc")))
 
 
 def test_clean_scalar_vs_vectorized(benchmark):
     """The Section-4.4 fast path also helps the Python implementation."""
-    benchmark(lambda: drive(CleanDetector(max_threads=8, vectorized=True), OPS))
+    benchmark(lambda: run_job(_job("clean", vectorized=True)))
 
 
 def test_clean_no_vectorization(benchmark):
-    benchmark(
-        lambda: drive(CleanDetector(max_threads=8, vectorized=False), OPS)
-    )
+    benchmark(lambda: run_job(_job("clean", vectorized=False)))
+
+
+def test_sweep_survives_bad_detector():
+    """One broken job yields a failed result; the rest of the sweep runs."""
+    jobs = [_job("clean"), _job("no-such-detector"), _job("vc")]
+    results = JobRunner(retries=0).run(jobs)
+    assert [r.job.name for r in results] == ["clean", "no-such-detector", "vc"]
+    assert results[0].ok and results[2].ok
+    assert not results[1].ok
+    assert "unknown detector" in results[1].error

@@ -2,8 +2,13 @@
 
 Commands
 --------
-report [--fast] [--telemetry OUT.jsonl]
+report [--fast] [--jobs N] [--no-cache] [--cache-dir DIR] [--timeout S]
+       [--retries N] [--inject-failure BENCH] [--telemetry OUT.jsonl]
     Regenerate every table/figure of the paper (EXPERIMENTS.md content).
+    Runs per-benchmark jobs through the fault-tolerant runner
+    (repro.exec): ``--jobs N`` fans out across worker processes, the
+    checkpoint cache makes interrupted runs resume, and failed jobs
+    degrade to FAILED table rows plus a non-zero exit.
 experiment NAME [--scale S]
     Run one experiment: sec62, fig6, fig7, fig8, table1, fig9, fig10,
     fig11, ablations.
@@ -13,7 +18,9 @@ bench NAME [--scale S] [--seed K] [--racy] [--json] [--telemetry OUT.jsonl]
     Run one workload model under full CLEAN and print its summary.
 profile NAME [--scale S] [--seed K] [--json] [--telemetry OUT.jsonl]
     Run one workload under the full stack with the telemetry monitor
-    attached and dump every runtime/detector counter.
+    attached and dump every runtime/detector counter.  The special
+    name ``report`` profiles the fast report's job sweep instead,
+    surfacing the ``runner.*`` counters (``--jobs N`` to fan out).
 trace NAME OUT.jsonl [--scale S] [--seed K]
     Record a benchmark's access trace to a file.
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
@@ -57,8 +64,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
         argv.append("--fast")
     if args.telemetry:
         argv.extend(["--telemetry", args.telemetry])
-    report.main(argv)
-    return 0
+    argv.extend(["--jobs", str(args.jobs)])
+    if args.no_cache:
+        argv.append("--no-cache")
+    argv.extend(["--cache-dir", args.cache_dir])
+    if args.timeout is not None:
+        argv.extend(["--timeout", str(args.timeout)])
+    argv.extend(["--retries", str(args.retries)])
+    if args.inject_failure:
+        argv.extend(["--inject-failure", args.inject_failure])
+    return report.main(argv)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -208,6 +223,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    if args.name == "report":
+        return _cmd_profile_report(args)
     from .clean import clean_stack
     from .determinism.counters import PreciseCounter
     from .obs import TelemetryMonitor
@@ -239,6 +256,34 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(registry.render())
     if result.race is not None:
         print(f"\nrace: {result.race}")
+    return 0
+
+
+def _cmd_profile_report(args: argparse.Namespace) -> int:
+    """``profile report``: the fast report through a job runner, then
+    every counter — the ``runner.*`` family shows the sweep's shape
+    (submitted / executed / cache hits / retries / failures and the
+    wall/CPU seconds spent in jobs)."""
+    from .exec import JobRunner
+    from .experiments.report import run_all
+
+    registry, tracer, exporter = _telemetry_session(args)
+    runner = JobRunner(
+        workers=getattr(args, "jobs", 1), registry=registry, tracer=tracer
+    )
+    with tracer.span("profile.report", jobs=runner.workers):
+        results = run_all(fast=True, tracer=tracer, runner=runner)
+    _close_telemetry(exporter, registry)
+    if args.json:
+        print(json.dumps({
+            "experiments": [r.experiment for r in results],
+            "runner": runner.stats,
+            "metrics": registry.snapshot(),
+        }, sort_keys=True))
+        return 0
+    print(f"== telemetry profile: report (jobs={runner.workers}) ==\n")
+    print(registry.render())
+    print(f"\n[runner] {runner.summary()}")
     return 0
 
 
@@ -335,6 +380,16 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("report", help="regenerate every table/figure")
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the per-benchmark jobs")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the checkpoint cache")
+    p.add_argument("--cache-dir", default=".cache/experiments", metavar="DIR")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-job timeout (needs process workers)")
+    p.add_argument("--retries", type=int, default=2, metavar="N")
+    p.add_argument("--inject-failure", metavar="BENCHMARK", default=None,
+                   help="make BENCHMARK's jobs fail (degradation test)")
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_report)
 
@@ -362,11 +417,15 @@ def main(argv=None) -> int:
 
     p = sub.add_parser(
         "profile",
-        help="run one workload with full telemetry and dump every counter",
+        help="run one workload with full telemetry and dump every counter "
+             "(the special name 'report' profiles the fast report's job "
+             "sweep, surfacing the runner.* counters)",
     )
     p.add_argument("name")
     p.add_argument("--scale", default="test")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes ('report' profile only)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable result on stdout")
     telemetry_flag(p)

@@ -1,0 +1,26 @@
+"""Fault-tolerant parallel job execution for the experiment harnesses.
+
+The paper's evaluation is an embarrassingly parallel sweep over
+independent benchmark runs; this package gives the reproduction the
+measurement harness such a sweep deserves:
+
+* :class:`~repro.exec.job.Job` — a pure function (named by dotted path
+  so any worker process can resolve it) plus a JSON-serializable config,
+  content-hashed into a stable job id;
+* :class:`~repro.exec.checkpoint.CheckpointStore` — one JSON result
+  file per job id, so an interrupted sweep resumes instead of
+  recomputing;
+* :class:`~repro.exec.runner.JobRunner` — fans jobs out across
+  ``multiprocessing`` workers with per-job timeouts, bounded retry with
+  exponential backoff, graceful degradation to in-process execution,
+  and deterministic (submission-order) results.
+
+See ``docs/experiment_runner.md`` for the job model, the cache layout
+and the failure semantics.
+"""
+
+from .checkpoint import CheckpointStore
+from .job import Job, resolve
+from .runner import JobResult, JobRunner
+
+__all__ = ["CheckpointStore", "Job", "JobResult", "JobRunner", "resolve"]

@@ -1,0 +1,113 @@
+"""On-disk checkpointing of job results.
+
+One JSON file per job id under the store root (default
+``.cache/experiments/``): flat, human-inspectable, and trivially safe
+for concurrent writers because files are written to a temporary name
+and atomically renamed into place.  Only *successful* results are ever
+stored — a failed job must re-run on the next invocation, which is the
+resume semantics an interrupted sweep wants.
+
+Records carry the store format version and the library version; a
+mismatch in either invalidates the entry (results produced by older
+code are recomputed, never trusted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import __version__ as _LIBRARY_VERSION
+from .job import Job
+
+__all__ = ["CheckpointStore", "FORMAT_VERSION"]
+
+#: Bump when the record schema changes; old entries become cache misses.
+FORMAT_VERSION = 1
+
+
+class CheckpointStore:
+    """One JSON result file per job id under ``root``."""
+
+    def __init__(self, root: Union[str, Path] = ".cache/experiments") -> None:
+        self.root = Path(root)
+
+    def path(self, job_id: str) -> Path:
+        """Where ``job_id``'s record lives (whether or not it exists)."""
+        return self.root / f"{job_id}.json"
+
+    def load(self, job: Job) -> Optional[Dict[str, Any]]:
+        """The stored record for ``job``, or ``None`` on any miss.
+
+        Corrupt files, schema/version mismatches and (paranoia) records
+        whose fn/config don't match the job all read as misses.
+        """
+        path = self.path(job.job_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != FORMAT_VERSION
+            or record.get("library_version") != _LIBRARY_VERSION
+            or record.get("status") != "ok"
+            or record.get("fn") != job.fn
+            or record.get("config") != job.config
+        ):
+            return None
+        return record
+
+    def store(self, job: Job, value: Any, **extra: Any) -> Path:
+        """Persist a successful result for ``job`` (atomic write)."""
+        record = {
+            "format": FORMAT_VERSION,
+            "library_version": _LIBRARY_VERSION,
+            "job_id": job.job_id,
+            "name": job.label,
+            "fn": job.fn,
+            "config": job.config,
+            "status": "ok",
+            "value": value,
+        }
+        record.update(extra)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(job.job_id)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def discard(self, job: Job) -> None:
+        """Drop ``job``'s record if present."""
+        try:
+            os.unlink(self.path(job.job_id))
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __contains__(self, job: Job) -> bool:
+        return self.load(job) is not None

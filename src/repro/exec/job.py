@@ -1,0 +1,89 @@
+"""The job abstraction: a pure function plus a JSON config.
+
+A :class:`Job` names its function by dotted path (``pkg.module:attr``)
+rather than holding the callable, so a job is (a) picklable into any
+worker process regardless of start method and (b) content-addressable:
+the job id is a hash of the function path and the canonical JSON of the
+config, which is what makes the on-disk checkpoint store safe — the
+same computation always maps to the same id, and any change to the
+inputs maps to a fresh one.
+
+Job functions must be top-level callables taking keyword arguments
+matching the config keys and returning a JSON-serializable value.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Job", "resolve", "run_job"]
+
+
+def resolve(path: str) -> Callable[..., Any]:
+    """Import and return the callable named ``module.sub:attr``."""
+    module_name, sep, attr = path.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"job function {path!r} must be a 'package.module:callable' path"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        fn = getattr(module, attr)
+    except AttributeError:
+        raise AttributeError(f"{module_name!r} has no attribute {attr!r}")
+    if not callable(fn):
+        raise TypeError(f"{path!r} is not callable")
+    return fn
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of work.
+
+    ``fn`` is a dotted ``module:callable`` path; ``config`` its keyword
+    arguments (JSON-serializable).  ``name`` and ``group`` are purely
+    presentational (display label / result routing) and do not affect
+    the job id.  ``timeout`` overrides the runner-wide per-job timeout.
+
+    Setting ``inject_failure`` in the config makes the job raise instead
+    of running — the supported way to exercise the failure paths end to
+    end (the flag participates in the job id, so injected runs never
+    pollute the checkpoint cache of real ones).
+    """
+
+    fn: str
+    config: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+    group: str = ""
+    timeout: Optional[float] = None
+
+    @property
+    def job_id(self) -> str:
+        """Content hash of (fn, config): stable across processes/runs."""
+        canonical = json.dumps(
+            {"fn": self.fn, "config": self.config},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        """Display name (falls back to ``fn#id``)."""
+        return self.name or f"{self.fn}#{self.job_id}"
+
+
+class InjectedFailure(RuntimeError):
+    """Raised by jobs whose config carries ``inject_failure``."""
+
+
+def run_job(job: Job) -> Any:
+    """Execute ``job`` in the current process and return its value."""
+    config = dict(job.config)
+    if config.pop("inject_failure", False):
+        raise InjectedFailure(f"injected failure in {job.label}")
+    return resolve(job.fn)(**config)

@@ -1,0 +1,450 @@
+"""The fault-tolerant parallel job runner.
+
+``JobRunner.run(jobs)`` returns one :class:`JobResult` per job **in
+submission order**, no matter in which order workers finish — report
+tables must not depend on scheduling noise.  Per job it provides:
+
+* checkpointing — a job whose id is already in the
+  :class:`~repro.exec.checkpoint.CheckpointStore` is served from disk
+  (``cached=True``) without executing;
+* isolation — with ``workers >= 2`` (or a timeout configured) each
+  attempt runs in its own ``multiprocessing`` process, so a crashing or
+  hanging job cannot take the sweep down;
+* per-job timeouts — a worker past its deadline is terminated and the
+  attempt counts as a (retryable) failure;
+* bounded retry — up to ``retries`` re-attempts with exponential
+  backoff (``backoff * 2**(attempt-1)`` seconds);
+* graceful degradation — a job that exhausts its retries yields a
+  structured ``failed`` result (the sweep continues), and if worker
+  processes cannot be started at all (restricted sandboxes) the runner
+  falls back to in-process execution instead of dying;
+* telemetry — one span per job on the :class:`~repro.obs.Tracer` and
+  ``runner.*`` counters in the :class:`~repro.obs.MetricsRegistry`.
+
+With ``workers <= 1`` and no timeout, jobs execute in-process (fast,
+no pickling constraints beyond the job model itself).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Dict, List, Optional, Sequence
+
+from .checkpoint import CheckpointStore
+from .job import Job, run_job
+
+__all__ = ["JobResult", "JobRunner"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: value or structured failure, never an exception."""
+
+    job: Job
+    status: str  # "ok" | "failed"
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 0
+    duration_s: float = 0.0
+    cpu_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _worker_main(fn: str, config: Dict[str, Any], conn) -> None:
+    """Child-process entry: run the job, ship (status, ...) back."""
+    cpu0 = time.process_time()
+    try:
+        value = run_job(Job(fn=fn, config=config))
+    except BaseException as exc:  # noqa: BLE001 - everything is a job failure
+        try:
+            conn.send(
+                (
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                    time.process_time() - cpu0,
+                )
+            )
+        finally:
+            conn.close()
+        return
+    try:
+        conn.send(("ok", value, time.process_time() - cpu0))
+    finally:
+        conn.close()
+
+
+class _Active:
+    """Book-keeping for one in-flight worker process."""
+
+    __slots__ = ("index", "attempt", "process", "conn", "start", "deadline")
+
+    def __init__(self, index, attempt, process, conn, start, deadline):
+        self.index = index
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.start = start
+        self.deadline = deadline
+
+
+@dataclass
+class JobRunner:
+    """Runs :class:`Job` batches with caching, retries and timeouts."""
+
+    workers: int = 1
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.25
+    store: Optional[CheckpointStore] = None
+    registry: Any = None  # MetricsRegistry-compatible (duck-typed)
+    tracer: Any = None  # Tracer-compatible (duck-typed)
+    mp_context: Optional[str] = None  # "fork"/"spawn"/None = platform pick
+    #: per-run tallies, reset by each :meth:`run` call
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute ``jobs``; results come back in submission order."""
+        jobs = list(jobs)
+        self.stats = {
+            "submitted": len(jobs),
+            "executed": 0,
+            "cache_hits": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "failures": 0,
+            "wall_seconds": 0.0,
+            "cpu_seconds": 0.0,
+            "degraded": False,
+        }
+        if self.registry is not None:
+            self.registry.inc("runner.submitted", len(jobs))
+            self.registry.set_gauge("runner.workers", self.workers)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        to_run: List[int] = []
+        for i, job in enumerate(jobs):
+            record = self.store.load(job) if self.store is not None else None
+            if record is not None:
+                results[i] = JobResult(
+                    job=job,
+                    status="ok",
+                    value=record["value"],
+                    attempts=int(record.get("attempts", 1)),
+                    duration_s=float(record.get("duration_s", 0.0)),
+                    cpu_s=float(record.get("cpu_s", 0.0)),
+                    cached=True,
+                )
+                self._tally("cache_hits")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "runner.job", job=job.label, id=job.job_id, cached=True
+                    )
+            else:
+                to_run.append(i)
+        if to_run:
+            if self.workers <= 1 and self.timeout is None and not any(
+                jobs[i].timeout for i in to_run
+            ):
+                self._run_inline(jobs, to_run, results)
+            else:
+                self._run_pool(jobs, to_run, results)
+        assert all(r is not None for r in results)
+        return results  # type: ignore[return-value]
+
+    # -- shared result plumbing --------------------------------------------
+
+    def _tally(self, key: str, amount: float = 1) -> None:
+        self.stats[key] += amount
+        if self.registry is not None:
+            self.registry.inc(f"runner.{key}", amount)
+
+    def _job_timeout(self, job: Job) -> Optional[float]:
+        return job.timeout if job.timeout is not None else self.timeout
+
+    def _finish(
+        self,
+        results: List[Optional[JobResult]],
+        index: int,
+        result: JobResult,
+        span=None,
+    ) -> None:
+        results[index] = result
+        self._tally("executed")
+        self._tally("wall_seconds", result.duration_s)
+        self._tally("cpu_seconds", result.cpu_s)
+        if not result.ok:
+            self._tally("failures")
+        if self.store is not None and result.ok:
+            self.store.store(
+                result.job,
+                result.value,
+                attempts=result.attempts,
+                duration_s=result.duration_s,
+                cpu_s=result.cpu_s,
+            )
+        if span is not None:
+            span.set("status", result.status)
+            span.set("attempts", result.attempts)
+            if result.error:
+                span.set("error", result.error)
+            self.tracer.end_span(span)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        return self.backoff * (2 ** (attempt - 1))
+
+    # -- in-process execution ----------------------------------------------
+
+    def _run_inline(
+        self,
+        jobs: Sequence[Job],
+        to_run: Sequence[int],
+        results: List[Optional[JobResult]],
+    ) -> None:
+        for index in to_run:
+            job = jobs[index]
+            span = (
+                self.tracer.start_span(
+                    "runner.job", job=job.label, id=job.job_id, cached=False
+                )
+                if self.tracer is not None
+                else None
+            )
+            start = time.perf_counter()
+            cpu0 = time.process_time()
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    value = run_job(job)
+                except BaseException as exc:  # noqa: BLE001
+                    if attempt <= self.retries:
+                        self._tally("retries")
+                        time.sleep(self._backoff_delay(attempt))
+                        continue
+                    result = JobResult(
+                        job=job,
+                        status="failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                        duration_s=time.perf_counter() - start,
+                        cpu_s=time.process_time() - cpu0,
+                    )
+                    break
+                result = JobResult(
+                    job=job,
+                    status="ok",
+                    value=value,
+                    attempts=attempt,
+                    duration_s=time.perf_counter() - start,
+                    cpu_s=time.process_time() - cpu0,
+                )
+                break
+            self._finish(results, index, result, span)
+
+    # -- multiprocessing execution -----------------------------------------
+
+    def _context(self):
+        if self.mp_context is not None:
+            return multiprocessing.get_context(self.mp_context)
+        methods = multiprocessing.get_all_start_methods()
+        # fork skips re-import of the (already warm) library in every
+        # worker; fall back to the platform default elsewhere.
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _run_pool(
+        self,
+        jobs: Sequence[Job],
+        to_run: Sequence[int],
+        results: List[Optional[JobResult]],
+    ) -> None:
+        ctx = self._context()
+        workers = max(1, self.workers)
+        pending: List[int] = list(to_run)
+        ready_at: Dict[int, float] = {i: 0.0 for i in pending}
+        attempts: Dict[int, int] = {i: 0 for i in pending}
+        started: Dict[int, float] = {}
+        spans: Dict[int, Any] = {}
+        active: List[_Active] = []
+        degraded: List[int] = []
+
+        def resolve_attempt(entry: _Active, error: Optional[str], value, cpu_s):
+            """One attempt ended (ok, error, crash or timeout)."""
+            index = entry.index
+            duration = time.perf_counter() - started[index]
+            if error is None:
+                self._finish(
+                    results,
+                    index,
+                    JobResult(
+                        job=jobs[index],
+                        status="ok",
+                        value=value,
+                        attempts=entry.attempt,
+                        duration_s=duration,
+                        cpu_s=cpu_s,
+                    ),
+                    spans.pop(index, None),
+                )
+            elif entry.attempt <= self.retries:
+                self._tally("retries")
+                ready_at[index] = (
+                    time.perf_counter() + self._backoff_delay(entry.attempt)
+                )
+                pending.append(index)
+            else:
+                self._finish(
+                    results,
+                    index,
+                    JobResult(
+                        job=jobs[index],
+                        status="failed",
+                        error=error,
+                        attempts=entry.attempt,
+                        duration_s=duration,
+                        cpu_s=cpu_s,
+                    ),
+                    spans.pop(index, None),
+                )
+
+        while pending or active:
+            now = time.perf_counter()
+            # -- launch ready jobs into free worker slots
+            launchable = [i for i in pending if ready_at[i] <= now]
+            while launchable and len(active) < workers:
+                index = launchable.pop(0)
+                pending.remove(index)
+                job = jobs[index]
+                attempts[index] += 1
+                if attempts[index] == 1:
+                    started[index] = time.perf_counter()
+                    if self.tracer is not None:
+                        spans[index] = self.tracer.start_span(
+                            "runner.job",
+                            job=job.label,
+                            id=job.job_id,
+                            cached=False,
+                        )
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(job.fn, job.config, child_conn),
+                    daemon=True,
+                )
+                try:
+                    process.start()
+                except BaseException:  # noqa: BLE001 - sandboxed environments
+                    parent_conn.close()
+                    child_conn.close()
+                    self.stats["degraded"] = True
+                    if self.registry is not None:
+                        self.registry.inc("runner.degraded")
+                    attempts[index] -= 1
+                    degraded.append(index)
+                    continue
+                child_conn.close()
+                timeout = self._job_timeout(job)
+                attempt_start = time.perf_counter()
+                active.append(
+                    _Active(
+                        index,
+                        attempts[index],
+                        process,
+                        parent_conn,
+                        attempt_start,
+                        attempt_start + timeout if timeout else None,
+                    )
+                )
+            if self.stats["degraded"] and not active:
+                break  # drain remaining work in-process below
+            if not active:
+                # everything pending is in backoff: sleep to the earliest
+                time.sleep(
+                    max(0.0, min(ready_at[i] for i in pending) - now)
+                )
+                continue
+            # -- wait for a result, the next deadline or the next backoff
+            wait_for = [entry.conn for entry in active]
+            deadlines = [e.deadline for e in active if e.deadline is not None]
+            wake: List[float] = list(deadlines)
+            if pending and len(active) < workers:
+                wake.append(min(ready_at[i] for i in pending))
+            timeout = max(0.0, min(wake) - now) if wake else None
+            ready = _wait_connections(wait_for, timeout)
+            now = time.perf_counter()
+            still_active: List[_Active] = []
+            for entry in active:
+                if entry.conn in ready:
+                    try:
+                        message = entry.conn.recv()
+                    except (EOFError, OSError):
+                        entry.process.join()
+                        code = entry.process.exitcode
+                        resolve_attempt(
+                            entry,
+                            f"WorkerCrash: worker exited with code {code} "
+                            "before reporting a result",
+                            None,
+                            0.0,
+                        )
+                    else:
+                        entry.process.join()
+                        if message[0] == "ok":
+                            _, value, cpu_s = message
+                            resolve_attempt(entry, None, value, cpu_s)
+                        else:
+                            _, error, _tb, cpu_s = message
+                            resolve_attempt(entry, error, None, cpu_s)
+                    entry.conn.close()
+                elif entry.deadline is not None and now >= entry.deadline:
+                    entry.process.terminate()
+                    entry.process.join()
+                    entry.conn.close()
+                    self._tally("timeouts")
+                    limit = self._job_timeout(jobs[entry.index])
+                    resolve_attempt(
+                        entry,
+                        f"Timeout: job exceeded {limit:.1f}s "
+                        f"(attempt {entry.attempt})",
+                        None,
+                        0.0,
+                    )
+                else:
+                    still_active.append(entry)
+            active = still_active
+        if self.stats["degraded"]:
+            leftovers = sorted(
+                set(degraded)
+                | {i for i in to_run if results[i] is None}
+            )
+            for index in leftovers:
+                span = spans.pop(index, None)
+                if span is not None:
+                    span.set("degraded", True)
+                    self.tracer.end_span(span)
+            self._run_inline(jobs, leftovers, results)
+
+    # -- reporting ----------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human summary of the last :meth:`run`."""
+        s = self.stats or {}
+        return (
+            f"jobs={s.get('submitted', 0)} "
+            f"executed={s.get('executed', 0)} "
+            f"cached={s.get('cache_hits', 0)} "
+            f"retries={s.get('retries', 0)} "
+            f"timeouts={s.get('timeouts', 0)} "
+            f"failed={s.get('failures', 0)} "
+            f"job_seconds={s.get('wall_seconds', 0.0):.1f}"
+            + (" degraded=yes" if s.get("degraded") else "")
+        )

@@ -10,10 +10,16 @@
 | ``fig9_hardware``   | Figure 9: hardware detection slowdown            |
 | ``fig10_breakdown`` | Figure 10: access breakdowns                     |
 | ``fig11_epochsize`` | Figure 11: 1B/4B epoch alternatives              |
+| ``ablations``       | A1-A4: design-choice ablations                   |
+| ``hwjobs``          | merged per-benchmark job for Figs. 9-11 + A1     |
 | ``report``          | run everything, render all tables                |
 
-Each module exposes ``run(...) -> ExperimentResult`` and a printable
-``main()``.
+Each experiment is split into per-benchmark ``compute(...) -> dict``
+jobs (JSON payloads, submittable to :class:`repro.exec.JobRunner`) and
+an ``aggregate(payloads) -> ExperimentResult`` step; ``run(...)``
+composes the two serially and ``main()`` prints the table.  The
+``report`` module fans the jobs out in parallel with checkpoint/resume
+and graceful failure handling — see ``docs/experiment_runner.md``.
 """
 
 from .common import ExperimentResult, geomean, mean_ci, render_table

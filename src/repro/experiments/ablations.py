@@ -49,6 +49,53 @@ __all__ = [
 #: outliers, a barrier code, a lock code, the byte-granular pipeline).
 A1_BENCHMARKS = ("fft", "lu_cb", "barnes", "radiosity", "dedup", "swaptions")
 
+#: Clock widths swept by A3.
+A3_CLOCK_BITS = (3, 4, 5, 6, 8, 12)
+
+
+# -- A1: WAR precision in hardware ------------------------------------------
+
+
+def compute_war(benchmark: str, trace) -> Dict[str, object]:
+    """A1 per-benchmark step: cycles for baseline/CLEAN/precise units."""
+    base = simulate_trace(trace, SimConfig(detection=False))
+    clean = simulate_trace(trace, SimConfig(detection=True))
+    precise = simulate_trace(
+        trace, SimConfig(detection=True, check_unit="precise")
+    )
+    return {
+        "benchmark": benchmark,
+        "base_cycles": base.cycles,
+        "clean_cycles": clean.cycles,
+        "precise_cycles": precise.cycles,
+    }
+
+
+def aggregate_war(payloads) -> ExperimentResult:
+    """Assemble A1 from per-benchmark payloads (A1 roster order)."""
+    result = ExperimentResult(
+        experiment="Ablation A1",
+        title="Hardware detection: CLEAN (WAW/RAW) vs precise (adds WAR)",
+        columns=["benchmark", "CLEAN", "precise", "precision cost"],
+    )
+    ratios, precises = [], []
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
+            continue
+        s_clean = p["clean_cycles"] / p["base_cycles"]
+        s_precise = p["precise_cycles"] / p["base_cycles"]
+        result.add_row(p["benchmark"], s_clean, s_precise, s_precise / s_clean)
+        ratios.append(s_precise / s_clean)
+        precises.append(s_precise)
+    if ratios:
+        result.summary = [
+            f"mean precision cost: {statistics.mean(ratios):.2f}x over CLEAN",
+            f"worst precise slowdown: {max(precises):.2f}x "
+            "(paper: RADISH-class detectors reach up to 3x)",
+        ]
+    return result
+
 
 def run_war_precision(
     scale: str = "test",
@@ -56,62 +103,110 @@ def run_war_precision(
     traces: Optional[Dict[str, Trace]] = None,
 ) -> ExperimentResult:
     """A1: CLEAN's unit vs a precise (WAR-detecting) hardware unit."""
-    result = ExperimentResult(
-        experiment="Ablation A1",
-        title="Hardware detection: CLEAN (WAW/RAW) vs precise (adds WAR)",
-        columns=["benchmark", "CLEAN", "precise", "precision cost"],
-    )
-    ratios = []
+    payloads = []
     for name in A1_BENCHMARKS:
         trace = (
             traces[name]
             if traces is not None and name in traces
             else record_trace(get_benchmark(name), scale=scale, seed=seed)
         )
-        base = simulate_trace(trace, SimConfig(detection=False))
-        clean = simulate_trace(trace, SimConfig(detection=True))
-        precise = simulate_trace(
-            trace, SimConfig(detection=True, check_unit="precise")
-        )
-        s_clean = clean.cycles / base.cycles
-        s_precise = precise.cycles / base.cycles
-        result.add_row(name, s_clean, s_precise, s_precise / s_clean)
-        ratios.append(s_precise / s_clean)
-    result.summary = [
-        f"mean precision cost: {statistics.mean(ratios):.2f}x over CLEAN",
-        f"worst precise slowdown: {max(result.column('precise')):.2f}x "
-        "(paper: RADISH-class detectors reach up to 3x)",
-    ]
-    return result
+        payloads.append(compute_war(name, trace))
+    return aggregate_war(payloads)
 
 
-def run_atomicity(scale: str = "test", seed: int = 0) -> ExperimentResult:
-    """A2: CAS-based vs lock-based check atomicity (software CLEAN)."""
+# -- A2: check atomicity ------------------------------------------------------
+
+
+def compute_atomicity(benchmark: str, scale: str = "test", seed: int = 0) -> dict:
+    """A2 per-benchmark job: detection slowdown under CAS vs locking."""
+    spec = get_benchmark(benchmark)
+    cas = run_software_clean(spec, scale=scale, seed=seed, atomicity="cas")
+    lock = run_software_clean(spec, scale=scale, seed=seed, atomicity="lock")
+    return {
+        "benchmark": benchmark,
+        "cas": cas.slowdown_detection,
+        "lock": lock.slowdown_detection,
+    }
+
+
+def aggregate_atomicity(payloads) -> ExperimentResult:
+    """Assemble A2 from per-benchmark payloads (A1 roster order)."""
     result = ExperimentResult(
         experiment="Ablation A2",
         title="Software detection atomicity: lock-free CAS vs locking",
         columns=["benchmark", "CAS", "locking", "locking share of overhead"],
     )
     shares = []
-    for name in A1_BENCHMARKS:
-        spec = get_benchmark(name)
-        cas = run_software_clean(spec, scale=scale, seed=seed, atomicity="cas")
-        lock = run_software_clean(spec, scale=scale, seed=seed, atomicity="lock")
-        lock_overhead = lock.slowdown_detection - 1.0
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
+            continue
+        lock_overhead = p["lock"] - 1.0
         share = (
-            (lock.slowdown_detection - cas.slowdown_detection) / lock_overhead
-            if lock_overhead > 0
-            else 0.0
+            (p["lock"] - p["cas"]) / lock_overhead if lock_overhead > 0 else 0.0
         )
         result.add_row(
-            name, cas.slowdown_detection, lock.slowdown_detection,
-            f"{share * 100:.0f}%",
+            p["benchmark"], p["cas"], p["lock"], f"{share * 100:.0f}%"
         )
         shares.append(share)
+    if shares:
+        result.summary = [
+            f"mean share of detection overhead spent on locking: "
+            f"{statistics.mean(shares) * 100:.0f}% "
+            "(paper cites >40% in lock-based detectors)",
+        ]
+    return result
+
+
+def run_atomicity(scale: str = "test", seed: int = 0) -> ExperimentResult:
+    """A2: CAS-based vs lock-based check atomicity (software CLEAN)."""
+    return aggregate_atomicity(
+        [compute_atomicity(name, scale=scale, seed=seed) for name in A1_BENCHMARKS]
+    )
+
+
+# -- A3: clock width ----------------------------------------------------------
+
+
+def compute_clock_width(
+    bits: int, benchmark: str = "radiosity", scale: str = "test", seed: int = 0
+) -> dict:
+    """A3 per-width job: rollover behaviour at one clock width."""
+    spec = get_benchmark(benchmark)
+    layout = EpochLayout(clock_bits=bits, tid_bits=5)
+    run = run_software_clean(
+        spec, scale=scale, seed=seed, layout=layout, rollover_slack=2
+    )
+    return {
+        "bits": bits,
+        "benchmark": benchmark,
+        "rollovers": run.rollovers,
+        "full": run.slowdown_full,
+        "reset_pct": run.rollovers * DEFAULT_PARAMS.rollover_cost / run.t0 * 100,
+    }
+
+
+def aggregate_clock_width(payloads, benchmark: str = "radiosity") -> ExperimentResult:
+    """Assemble A3 from per-width payloads (narrow to wide order)."""
+    result = ExperimentResult(
+        experiment="Ablation A3",
+        title=f"Clock width vs rollover cost ({benchmark})",
+        columns=["clock bits", "rollovers", "full slowdown", "reset overhead"],
+    )
+    ok_rollovers = []
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["bits"], p["error"])
+            continue
+        result.add_row(
+            p["bits"], p["rollovers"], p["full"], f"{p['reset_pct']:.1f}%"
+        )
+        ok_rollovers.append(p["rollovers"])
+    assert ok_rollovers == sorted(ok_rollovers, reverse=True)
     result.summary = [
-        f"mean share of detection overhead spent on locking: "
-        f"{statistics.mean(shares) * 100:.0f}% "
-        "(paper cites >40% in lock-based detectors)",
+        "rollovers fall monotonically with clock width; the default "
+        "23-bit clock is orders of magnitude beyond the widths that "
+        "still roll over at this scale",
     ]
     return result
 
@@ -120,30 +215,55 @@ def run_clock_width(
     scale: str = "test", seed: int = 0, benchmark: str = "radiosity"
 ) -> ExperimentResult:
     """A3: rollover count and cost across epoch clock widths."""
-    result = ExperimentResult(
-        experiment="Ablation A3",
-        title=f"Clock width vs rollover cost ({benchmark})",
-        columns=["clock bits", "rollovers", "full slowdown", "reset overhead"],
+    return aggregate_clock_width(
+        [
+            compute_clock_width(bits, benchmark=benchmark, scale=scale, seed=seed)
+            for bits in A3_CLOCK_BITS
+        ],
+        benchmark=benchmark,
     )
+
+
+# -- A4: instrumentation precision -------------------------------------------
+
+
+def compute_instrumentation(
+    benchmark: str, scale: str = "test", seed: int = 0
+) -> dict:
+    """A4 per-benchmark job: detection slowdown per instrumented fraction."""
     spec = get_benchmark(benchmark)
-    for bits in (3, 4, 5, 6, 8, 12):
-        layout = EpochLayout(clock_bits=bits, tid_bits=5)
+    payload: dict = {"benchmark": benchmark}
+    for key, fraction in (("exact", 0.0), ("half", 0.5), ("conservative", 1.0)):
         run = run_software_clean(
-            spec, scale=scale, seed=seed, layout=layout, rollover_slack=2
+            spec, scale=scale, seed=seed, instrument_private_fraction=fraction
         )
+        payload[key] = run.slowdown_detection
+    return payload
+
+
+def aggregate_instrumentation(payloads) -> ExperimentResult:
+    """Assemble A4 from per-benchmark payloads (A1 roster order)."""
+    result = ExperimentResult(
+        experiment="Ablation A4",
+        title="Instrumentation precision: private accesses mistakenly checked",
+        columns=["benchmark", "escape-exact", "half-conservative",
+                 "fully conservative", "waste"],
+    )
+    wastes = []
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
+            continue
+        waste = p["conservative"] / p["exact"]
         result.add_row(
-            bits,
-            run.rollovers,
-            run.slowdown_full,
-            f"{run.rollovers * DEFAULT_PARAMS.rollover_cost / run.t0 * 100:.1f}%",
+            p["benchmark"], p["exact"], p["half"], p["conservative"], waste
         )
-    rollover_counts = result.column("rollovers")
-    assert rollover_counts == sorted(rollover_counts, reverse=True)
-    result.summary = [
-        "rollovers fall monotonically with clock width; the default "
-        "23-bit clock is orders of magnitude beyond the widths that "
-        "still roll over at this scale",
-    ]
+        wastes.append(waste)
+    if wastes:
+        result.summary = [
+            f"mean cost of a fully conservative estimate: "
+            f"{statistics.mean(wastes):.2f}x over exact escape analysis",
+        ]
     return result
 
 
@@ -155,30 +275,12 @@ def run_instrumentation(scale: str = "test", seed: int = 0) -> ExperimentResult:
     accesses instrumented shows the detection cost of imprecise escape
     analysis (0.0 = perfect, 1.0 = everything instrumented).
     """
-    result = ExperimentResult(
-        experiment="Ablation A4",
-        title="Instrumentation precision: private accesses mistakenly checked",
-        columns=["benchmark", "escape-exact", "half-conservative",
-                 "fully conservative", "waste"],
+    return aggregate_instrumentation(
+        [
+            compute_instrumentation(name, scale=scale, seed=seed)
+            for name in A1_BENCHMARKS
+        ]
     )
-    wastes = []
-    for name in A1_BENCHMARKS:
-        spec = get_benchmark(name)
-        rows = {}
-        for fraction in (0.0, 0.5, 1.0):
-            run = run_software_clean(
-                spec, scale=scale, seed=seed,
-                instrument_private_fraction=fraction,
-            )
-            rows[fraction] = run.slowdown_detection
-        waste = rows[1.0] / rows[0.0]
-        result.add_row(name, rows[0.0], rows[0.5], rows[1.0], waste)
-        wastes.append(waste)
-    result.summary = [
-        f"mean cost of a fully conservative estimate: "
-        f"{statistics.mean(wastes):.2f}x over exact escape analysis",
-    ]
-    return result
 
 
 def main() -> None:

@@ -29,6 +29,10 @@ class ExperimentResult:
     columns: List[str]
     rows: List[List[object]] = field(default_factory=list)
     summary: List[str] = field(default_factory=list)
+    #: benchmarks whose job failed: ``"<key>: <error>"`` lines (the
+    #: table carries a matching FAILED row; the report harness prints
+    #: these and exits non-zero when any exist).
+    failures: List[str] = field(default_factory=list)
 
     def add_row(self, *values: object) -> None:
         """Append one row (must match ``columns``)."""
@@ -37,6 +41,21 @@ class ExperimentResult:
                 f"row has {len(values)} values, expected {len(self.columns)}"
             )
         self.rows.append(list(values))
+
+    def add_failure(self, key: object, error: str) -> None:
+        """Record a failed per-benchmark job as a structured table row.
+
+        The row keeps the table rectangular (``FAILED`` marker plus
+        ``-`` padding) so the report still renders; the full error is
+        kept on :attr:`failures` for the end-of-report summary.
+        """
+        marker = f"FAILED: {error}"
+        if len(marker) > 40:
+            marker = marker[:37] + "..."
+        row: List[object] = [key, marker]
+        row.extend("-" for _ in range(len(self.columns) - 2))
+        self.rows.append(row)
+        self.failures.append(f"{self.experiment}/{key}: {error}")
 
     def column(self, name: str) -> List[object]:
         """All values of one column."""
@@ -73,15 +92,19 @@ def mean_ci(values: Sequence[float], confidence: float = 0.95) -> tuple:
 
     The paper reports averages with 95% confidence intervals over 10
     runs; with small n this normal approximation is what error bars in
-    systems papers typically are.
+    systems papers typically are.  The z-value is computed from the
+    requested ``confidence`` (two-sided), so 0.90/0.95/0.99 all get
+    their own quantile rather than a hard-coded constant.
     """
     values = list(values)
     if not values:
         return (0.0, 0.0)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     mean = statistics.mean(values)
     if len(values) < 2:
         return (mean, 0.0)
-    z = 1.959963984540054 if abs(confidence - 0.95) < 1e-9 else 2.575829
+    z = statistics.NormalDist().inv_cdf((1.0 + confidence) / 2.0)
     half = z * statistics.stdev(values) / math.sqrt(len(values))
     return (mean, half)
 

@@ -14,12 +14,16 @@ Machine note: this experiment uses a further-scaled cache hierarchy
 the LLC the way the real simsmall footprints stress the real 16MB LLC —
 under 4-byte epochs the ocean/radix metadata exceeds the LLC and their
 miss rates jump to ~20%, the paper's ">9%" effect.
+
+Structured as a per-benchmark :func:`compute` step over a recorded
+trace plus an :func:`aggregate` step; :func:`run` composes the two
+serially.
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..hardware.simulator import SimConfig, simulate_trace
 from ..runtime.trace import Trace
@@ -27,10 +31,54 @@ from ..workloads.suite import HW_BENCHMARKS, get_benchmark
 from .common import ExperimentResult
 from .traces import record_trace
 
-__all__ = ["run", "main", "FIG11_MACHINE"]
+__all__ = ["compute", "aggregate", "run", "main", "FIG11_MACHINE"]
 
 #: Cache capacities scaled so metadata pressure reaches the LLC.
 FIG11_MACHINE = dict(l1_size=4 * 1024, l2_size=8 * 1024, l3_size=64 * 1024)
+
+
+def compute(benchmark: str, trace) -> Dict[str, object]:
+    """Normalized time per metadata design for ``benchmark``'s trace."""
+    base = simulate_trace(trace, SimConfig(detection=False, **FIG11_MACHINE))
+    payload: Dict[str, object] = {"benchmark": benchmark}
+    for mode in ("clean", "epoch1", "epoch4"):
+        det = simulate_trace(
+            trace, SimConfig(detection=True, metadata_mode=mode, **FIG11_MACHINE)
+        )
+        payload[mode] = det.cycles / base.cycles
+        if mode == "epoch4":
+            payload["llc4"] = det.hierarchy.stats.llc_miss_rate * 100
+    return payload
+
+
+def aggregate(payloads: List[Dict[str, object]]) -> ExperimentResult:
+    """Assemble Figure 11 from per-benchmark payloads (roster order)."""
+    result = ExperimentResult(
+        experiment="Figure 11",
+        title="Race detection with 1-byte / 4-byte epochs (normalized time)",
+        columns=["benchmark", "CLEAN", "1B epochs", "4B epochs", "4B LLC miss %"],
+    )
+    deltas = {}
+    gap_to_bound = []
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
+            continue
+        result.add_row(
+            p["benchmark"], p["clean"], p["epoch1"], p["epoch4"], p["llc4"]
+        )
+        deltas[p["benchmark"]] = p["epoch4"] / p["clean"]
+        if p["benchmark"] != "dedup":
+            gap_to_bound.append(p["clean"] / p["epoch1"])
+    if deltas:
+        worst3 = sorted(deltas, key=deltas.get, reverse=True)[:3]
+        result.summary = [
+            f"CLEAN vs 1B-epoch bound (non-dedup geomean ratio): "
+            f"{statistics.geometric_mean(gap_to_bound):.3f} (paper: close to 1)",
+            f"benchmarks hurt most by 4B epochs: {', '.join(sorted(worst3))} "
+            "(paper: ocean_cp, ocean_ncp, radix)",
+        ]
+    return result
 
 
 def run(
@@ -39,41 +87,15 @@ def run(
     traces: Optional[Dict[str, Trace]] = None,
 ) -> ExperimentResult:
     """Regenerate Figure 11: normalized time per metadata design."""
-    result = ExperimentResult(
-        experiment="Figure 11",
-        title="Race detection with 1-byte / 4-byte epochs (normalized time)",
-        columns=["benchmark", "CLEAN", "1B epochs", "4B epochs", "4B LLC miss %"],
-    )
-    deltas = {}
+    payloads = []
     for name in HW_BENCHMARKS:
         trace = (
             traces[name]
             if traces is not None
             else record_trace(get_benchmark(name), scale=scale, seed=seed)
         )
-        base = simulate_trace(trace, SimConfig(detection=False, **FIG11_MACHINE))
-        row = {}
-        llc4 = 0.0
-        for mode in ("clean", "epoch1", "epoch4"):
-            det = simulate_trace(
-                trace, SimConfig(detection=True, metadata_mode=mode, **FIG11_MACHINE)
-            )
-            row[mode] = det.cycles / base.cycles
-            if mode == "epoch4":
-                llc4 = det.hierarchy.stats.llc_miss_rate * 100
-        result.add_row(name, row["clean"], row["epoch1"], row["epoch4"], llc4)
-        deltas[name] = row["epoch4"] / row["clean"]
-    gap_to_bound = [
-        row[1] / row[2] for row in result.rows if row[0] != "dedup"
-    ]
-    worst3 = sorted(deltas, key=deltas.get, reverse=True)[:3]
-    result.summary = [
-        f"CLEAN vs 1B-epoch bound (non-dedup geomean ratio): "
-        f"{statistics.geometric_mean(gap_to_bound):.3f} (paper: close to 1)",
-        f"benchmarks hurt most by 4B epochs: {', '.join(sorted(worst3))} "
-        "(paper: ocean_cp, ocean_ncp, radix)",
-    ]
-    return result
+        payloads.append(compute(name, trace))
+    return aggregate(payloads)
 
 
 def main() -> None:

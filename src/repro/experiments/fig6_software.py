@@ -7,56 +7,84 @@ Headline numbers: 7.8x mean full slowdown, of which race detection
 contributes 5.8x; streamcluster *speeds up* under deterministic
 synchronization; fmm/radiosity/fluidanimate expose deterministic-sync
 latency; dedup/ferret/vips expose counter imprecision.
+
+Structured as per-benchmark :func:`compute` jobs plus an
+:func:`aggregate` step; :func:`run` composes the two serially.
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..swclean.runner import run_software_clean
-from ..workloads.suite import ALL_BENCHMARKS
+from ..workloads.suite import ALL_BENCHMARKS, get_benchmark
 from .common import ExperimentResult
 
-__all__ = ["run", "main"]
+__all__ = ["compute", "aggregate", "run", "main"]
 
 
-def run(scale: str = "test", seeds: Optional[List[int]] = None) -> ExperimentResult:
-    """Regenerate Figure 6 over the race-free benchmark variants."""
-    seeds = seeds if seeds is not None else [0]
+def compute(
+    benchmark: str, scale: str = "test", seeds: Sequence[int] = (0,)
+) -> Dict[str, object]:
+    """Per-benchmark job: mean slowdowns over ``seeds``."""
+    sync_vals, det_vals, full_vals = [], [], []
+    spec = get_benchmark(benchmark)
+    for seed in seeds:
+        r = run_software_clean(spec, scale=scale, seed=seed)
+        sync_vals.append(r.slowdown_detsync)
+        det_vals.append(r.slowdown_detection)
+        full_vals.append(r.slowdown_full)
+    return {
+        "benchmark": benchmark,
+        "sync": statistics.mean(sync_vals),
+        "detection": statistics.mean(det_vals),
+        "full": statistics.mean(full_vals),
+    }
+
+
+def aggregate(payloads: List[Dict[str, object]]) -> ExperimentResult:
+    """Assemble Figure 6 from per-benchmark payloads (roster order)."""
     result = ExperimentResult(
         experiment="Figure 6",
         title="Software-only CLEAN performance (normalized execution time)",
         columns=["benchmark", "det-sync only", "detection only", "full CLEAN"],
     )
-    fulls, detections, syncs = [], [], []
-    for spec in ALL_BENCHMARKS:
-        if spec.style == "lock_free":
-            continue  # canneal has no race-free variant to time (§6.1)
-        sync_vals, det_vals, full_vals = [], [], []
-        for seed in seeds:
-            r = run_software_clean(spec, scale=scale, seed=seed)
-            sync_vals.append(r.slowdown_detsync)
-            det_vals.append(r.slowdown_detection)
-            full_vals.append(r.slowdown_full)
-        sync = statistics.mean(sync_vals)
-        det = statistics.mean(det_vals)
-        full = statistics.mean(full_vals)
-        result.add_row(spec.name, sync, det, full)
-        syncs.append(sync)
-        detections.append(det)
-        fulls.append(full)
-    result.summary = [
-        f"mean det-sync-only slowdown:  {statistics.mean(syncs):.2f}x",
-        f"mean detection-only slowdown: {statistics.mean(detections):.2f}x"
-        "  (paper: 5.8x)",
-        f"mean full-CLEAN slowdown:     {statistics.mean(fulls):.2f}x"
-        "  (paper: 7.8x)",
-        f"worst detection-only: "
-        f"{max(zip(detections, (r[0] for r in result.rows)))[1]} "
-        f"{max(detections):.1f}x  (paper: 22x on lu benchmarks)",
-    ]
+    names, syncs, detections, fulls = [], [], [], []
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
+            continue
+        result.add_row(p["benchmark"], p["sync"], p["detection"], p["full"])
+        names.append(p["benchmark"])
+        syncs.append(p["sync"])
+        detections.append(p["detection"])
+        fulls.append(p["full"])
+    if names:
+        result.summary = [
+            f"mean det-sync-only slowdown:  {statistics.mean(syncs):.2f}x",
+            f"mean detection-only slowdown: {statistics.mean(detections):.2f}x"
+            "  (paper: 5.8x)",
+            f"mean full-CLEAN slowdown:     {statistics.mean(fulls):.2f}x"
+            "  (paper: 7.8x)",
+            f"worst detection-only: "
+            f"{max(zip(detections, names))[1]} "
+            f"{max(detections):.1f}x  (paper: 22x on lu benchmarks)",
+        ]
     return result
+
+
+def run(scale: str = "test", seeds: Optional[List[int]] = None) -> ExperimentResult:
+    """Regenerate Figure 6 over the race-free benchmark variants."""
+    seeds = seeds if seeds is not None else [0]
+    return aggregate(
+        [
+            compute(spec.name, scale=scale, seeds=seeds)
+            for spec in ALL_BENCHMARKS
+            # canneal has no race-free variant to time (§6.1)
+            if spec.style != "lock_free"
+        ]
+    )
 
 
 def main() -> None:

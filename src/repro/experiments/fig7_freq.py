@@ -4,38 +4,66 @@ The paper's Figure 7 plots shared-access frequency per benchmark and
 notes that detection cost tracks it: lu_cb and lu_ncb access shared data
 far more often than the others, which is why they are the worst
 detection-slowdown benchmarks in Figure 6.
+
+Structured as per-benchmark :func:`compute` jobs (JSON payload in, JSON
+payload out — submittable to :class:`repro.exec.JobRunner`) plus an
+:func:`aggregate` step that assembles the table; :func:`run` composes
+the two serially.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List
 
 from ..swclean.runner import run_software_clean
-from ..workloads.suite import ALL_BENCHMARKS
+from ..workloads.suite import ALL_BENCHMARKS, get_benchmark
 from .common import ExperimentResult
 
-__all__ = ["run", "main"]
+__all__ = ["compute", "aggregate", "run", "main"]
 
 
-def run(scale: str = "test", seed: int = 0) -> ExperimentResult:
-    """Regenerate Figure 7: shared accesses per executed instruction."""
+def compute(benchmark: str, scale: str = "test", seed: int = 0) -> Dict[str, object]:
+    """Per-benchmark job: shared-access density and detection slowdown."""
+    r = run_software_clean(get_benchmark(benchmark), scale=scale, seed=seed)
+    return {
+        "benchmark": benchmark,
+        "density": r.shared_access_density,
+        "detection": r.slowdown_detection,
+    }
+
+
+def aggregate(payloads: List[Dict[str, object]]) -> ExperimentResult:
+    """Assemble Figure 7 from per-benchmark payloads (roster order)."""
     result = ExperimentResult(
         experiment="Figure 7",
         title="Frequency of shared accesses (per executed instruction)",
         columns=["benchmark", "shared-access density", "detection slowdown"],
     )
-    for spec in ALL_BENCHMARKS:
-        if spec.style == "lock_free":
+    densities: Dict[str, float] = {}
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
             continue
-        r = run_software_clean(spec, scale=scale, seed=seed)
-        result.add_row(spec.name, r.shared_access_density, r.slowdown_detection)
-    densities = {row[0]: row[1] for row in result.rows}
-    top_two = sorted(densities, key=densities.get, reverse=True)[:2]
-    result.summary = [
-        f"two highest densities: {top_two[0]}, {top_two[1]} "
-        "(paper: lu_cb, lu_ncb)",
-    ]
+        result.add_row(p["benchmark"], p["density"], p["detection"])
+        densities[p["benchmark"]] = p["density"]
+    if densities:
+        top_two = sorted(densities, key=densities.get, reverse=True)[:2]
+        result.summary = [
+            f"two highest densities: {top_two[0]}, {top_two[1]} "
+            "(paper: lu_cb, lu_ncb)",
+        ]
     return result
+
+
+def run(scale: str = "test", seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 7: shared accesses per executed instruction."""
+    return aggregate(
+        [
+            compute(spec.name, scale=scale, seed=seed)
+            for spec in ALL_BENCHMARKS
+            if spec.style != "lock_free"
+        ]
+    )
 
 
 def main() -> None:

@@ -6,22 +6,39 @@ vector verification that all bytes of an access share one epoch).  The
 optimization works because (i) on average more than 91.9% of shared
 accesses are 4+ bytes wide, and (ii) for more than 99.7% of shared
 accesses the epochs of all accessed bytes are equal.
+
+Structured as per-benchmark :func:`compute` jobs plus an
+:func:`aggregate` step; :func:`run` composes the two serially.
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Optional
+from typing import Dict, List
 
 from ..swclean.runner import run_software_clean
-from ..workloads.suite import ALL_BENCHMARKS
+from ..workloads.suite import ALL_BENCHMARKS, get_benchmark
 from .common import ExperimentResult
 
-__all__ = ["run", "main"]
+__all__ = ["compute", "aggregate", "run", "main"]
 
 
-def run(scale: str = "test", seed: int = 0) -> ExperimentResult:
-    """Regenerate Figure 8: detection slowdown, vectorized vs. not."""
+def compute(benchmark: str, scale: str = "test", seed: int = 0) -> Dict[str, object]:
+    """Per-benchmark job: detection slowdown with and without vectorization."""
+    spec = get_benchmark(benchmark)
+    with_vec = run_software_clean(spec, scale=scale, seed=seed, vectorized=True)
+    without = run_software_clean(spec, scale=scale, seed=seed, vectorized=False)
+    return {
+        "benchmark": benchmark,
+        "vectorized": with_vec.slowdown_detection,
+        "scalar": without.slowdown_detection,
+        "wide_pct": with_vec.stats.fraction_wide * 100,
+        "uniform_pct": with_vec.stats.fraction_uniform_epoch * 100,
+    }
+
+
+def aggregate(payloads: List[Dict[str, object]]) -> ExperimentResult:
+    """Assemble Figure 8 from per-benchmark payloads (roster order)."""
     result = ExperimentResult(
         experiment="Figure 8",
         title="Impact of vectorization on WAW/RAW detection slowdown",
@@ -35,33 +52,42 @@ def run(scale: str = "test", seed: int = 0) -> ExperimentResult:
         ],
     )
     gains, wides, uniforms = [], [], []
-    for spec in ALL_BENCHMARKS:
-        if spec.style == "lock_free":
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
             continue
-        with_vec = run_software_clean(spec, scale=scale, seed=seed, vectorized=True)
-        without = run_software_clean(spec, scale=scale, seed=seed, vectorized=False)
-        gain = without.slowdown_detection / with_vec.slowdown_detection
-        wide = with_vec.stats.fraction_wide * 100
-        uniform = with_vec.stats.fraction_uniform_epoch * 100
+        gain = p["scalar"] / p["vectorized"]
         result.add_row(
-            spec.name,
-            with_vec.slowdown_detection,
-            without.slowdown_detection,
+            p["benchmark"],
+            p["vectorized"],
+            p["scalar"],
             gain,
-            wide,
-            uniform,
+            p["wide_pct"],
+            p["uniform_pct"],
         )
         gains.append(gain)
-        wides.append(wide)
-        uniforms.append(uniform)
-    result.summary = [
-        f"mean vectorization gain: {statistics.mean(gains):.2f}x",
-        f"mean wide-access share:  {statistics.mean(wides):.1f}% "
-        "(paper: >91.9%)",
-        f"mean uniform-epoch share: {statistics.mean(uniforms):.1f}% "
-        "(paper: >99.7% per benchmark)",
-    ]
+        wides.append(p["wide_pct"])
+        uniforms.append(p["uniform_pct"])
+    if gains:
+        result.summary = [
+            f"mean vectorization gain: {statistics.mean(gains):.2f}x",
+            f"mean wide-access share:  {statistics.mean(wides):.1f}% "
+            "(paper: >91.9%)",
+            f"mean uniform-epoch share: {statistics.mean(uniforms):.1f}% "
+            "(paper: >99.7% per benchmark)",
+        ]
     return result
+
+
+def run(scale: str = "test", seed: int = 0) -> ExperimentResult:
+    """Regenerate Figure 8: detection slowdown, vectorized vs. not."""
+    return aggregate(
+        [
+            compute(spec.name, scale=scale, seed=seed)
+            for spec in ALL_BENCHMARKS
+            if spec.style != "lock_free"
+        ]
+    )
 
 
 def main() -> None:

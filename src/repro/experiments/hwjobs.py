@@ -1,0 +1,54 @@
+"""Merged per-benchmark job for the hardware experiments.
+
+Figures 9, 10, 11 and ablation A1 all replay the same recorded trace of
+a benchmark's race-free variant.  When the report fans benchmarks out
+across worker processes, shipping traces between processes would dwarf
+the simulation work, so each worker instead records the trace itself and
+runs every per-trace ``compute`` step locally, returning one combined
+JSON payload:
+
+```
+{"benchmark": ..., "fig9": {...}, "fig10": {...}, "fig11": {...},
+ "a1": {...}}            # "a1" only for the A1 roster
+```
+
+The aggregate steps of the individual experiment modules then consume
+the matching sub-payloads.  Figure 11 may use a different workload scale
+(its LLC-pressure effect needs the larger footprints); when it does, the
+job records a second trace at that scale.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..workloads.suite import get_benchmark
+from . import ablations, fig9_hardware, fig10_breakdown, fig11_epochsize
+from .traces import record_trace
+
+__all__ = ["compute"]
+
+
+def compute(
+    benchmark: str,
+    scale: str = "simsmall",
+    fig11_scale: Optional[str] = None,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """All per-trace hardware payloads for ``benchmark`` in one job."""
+    trace = record_trace(get_benchmark(benchmark), scale=scale, seed=seed)
+    payload: Dict[str, object] = {
+        "benchmark": benchmark,
+        "fig9": fig9_hardware.compute(benchmark, trace),
+        "fig10": fig10_breakdown.compute(benchmark, trace),
+    }
+    if fig11_scale is not None and fig11_scale != scale:
+        fig11_trace = record_trace(
+            get_benchmark(benchmark), scale=fig11_scale, seed=seed
+        )
+    else:
+        fig11_trace = trace
+    payload["fig11"] = fig11_epochsize.compute(benchmark, fig11_trace)
+    if benchmark in ablations.A1_BENCHMARKS:
+        payload["a1"] = ablations.compute_war(benchmark, trace)
+    return payload

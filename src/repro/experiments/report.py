@@ -1,18 +1,34 @@
 """Render every experiment, in paper order — the EXPERIMENTS.md generator.
 
-Run as ``python -m repro.experiments.report [--fast] [--telemetry OUT]``.
+Run as ``python -m repro.experiments.report [options]``.  The report is
+built from per-benchmark **jobs** (see :mod:`repro.exec`): every
+experiment contributes one job per benchmark (or per clock width), the
+:class:`~repro.exec.JobRunner` executes them — optionally across worker
+processes (``--jobs N``) with per-job timeouts, retries and an on-disk
+checkpoint cache — and the experiments' ``aggregate`` steps assemble
+the tables from the job payloads.  Because aggregation consumes
+payloads in submission order, ``--jobs 8`` renders byte-identical
+tables to a serial run.
+
+Failed jobs do not kill the report: their benchmarks appear as
+``FAILED`` rows, the remaining tables render normally, and the process
+exits non-zero with a failure summary.
+
 ``--fast`` uses reduced scales/run counts for a quick smoke pass; the
 default settings match what EXPERIMENTS.md records.  ``--telemetry``
-writes a JSONL timeline (one span per experiment, via
+writes a JSONL timeline (one span per experiment plus one per job, via
 :mod:`repro.obs`) so slow reproduction passes can be profiled.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from ..obs import JsonlExporter, Tracer
+from ..exec import CheckpointStore, Job, JobRunner
+from ..obs import JsonlExporter, MetricsRegistry, Tracer
+from ..workloads.suite import ALL_BENCHMARKS, HW_BENCHMARKS
 from . import (
     ablations,
     fig6_software,
@@ -25,73 +41,236 @@ from . import (
     table1_rollover,
 )
 from .common import ExperimentResult
-from .traces import record_all_traces
 
-__all__ = ["run_all", "main"]
+__all__ = ["build_jobs", "run_all", "main"]
+
+#: Aggregation order — one entry per rendered experiment, paper order.
+_EXPERIMENT_ORDER = (
+    "sec62", "fig6", "fig7", "fig8", "table1",
+    "fig9", "fig10", "fig11", "a1", "a2", "a3", "a4",
+)
 
 
-def run_all(
-    fast: bool = False, tracer: Optional[Tracer] = None
-) -> List[ExperimentResult]:
-    """Run every experiment; returns their results in paper order.
+def build_jobs(
+    fast: bool = False, inject_failure: Optional[str] = None
+) -> List[Job]:
+    """The report's full job list, one :class:`Job` per benchmark/sweep
+    point, grouped by experiment.
 
-    Each experiment runs inside a tracer span named after it, so a
-    caller-supplied tracer yields a per-figure timing breakdown.
+    ``inject_failure`` marks every job of the named benchmark to raise
+    (a test hook for the graceful-degradation path — the report must
+    render FAILED rows and exit non-zero, not die).
     """
-    tracer = tracer if tracer is not None else Tracer()
-    results: List[ExperimentResult] = []
     # The "test" scale is the calibration point for both the software
     # cost model and the hardware machine scaling; larger scales keep the
     # ordering but drift in magnitude (see EXPERIMENTS.md).
     sw_scale = "test"
     hw_scale = "test"
     det_runs = 3 if fast else 10
-
-    def staged(name, thunk):
-        with tracer.span(name, fast=fast):
-            results.append(thunk())
-
-    staged("sec62", lambda: sec62_detection.run(
-        scale="test" if fast else "simsmall", runs=det_runs))
-    staged("fig6", lambda: fig6_software.run(scale=sw_scale))
-    staged("fig7", lambda: fig7_freq.run(scale=sw_scale))
-    staged("fig8", lambda: fig8_vector.run(scale=sw_scale))
-    staged("table1", lambda: table1_rollover.run(
-        scale="simsmall" if fast else "simlarge"))
-    with tracer.span("record_traces", scale=hw_scale):
-        traces = record_all_traces(scale=hw_scale)
-    staged("fig9", lambda: fig9_hardware.run(traces=traces))
-    staged("fig10", lambda: fig10_breakdown.run(traces=traces))
+    sec62_scale = "test" if fast else "simsmall"
+    table1_scale = "simsmall" if fast else "simlarge"
     # Figure 11 stresses LLC capacity, which needs the larger footprints
     # of the simsmall-scale traces to materialize.
-    if fast:
-        fig11_traces = traces
-    else:
-        with tracer.span("record_traces", scale="simsmall"):
-            fig11_traces = record_all_traces(scale="simsmall")
-    staged("fig11", lambda: fig11_epochsize.run(traces=fig11_traces))
-    staged("ablation_war", lambda: ablations.run_war_precision(traces=traces))
-    staged("ablation_atomicity", lambda: ablations.run_atomicity())
-    staged("ablation_clock_width", lambda: ablations.run_clock_width())
-    staged("ablation_instrumentation", lambda: ablations.run_instrumentation())
+    fig11_scale = hw_scale if fast else "simsmall"
+
+    sw_names = [s.name for s in ALL_BENCHMARKS if s.style != "lock_free"]
+    jobs: List[Job] = []
+
+    def add(group: str, fn: str, name: Any, config: Dict[str, Any]) -> None:
+        if inject_failure is not None and (
+            config.get("benchmark") == inject_failure
+        ):
+            config = dict(config, inject_failure=True)
+        jobs.append(Job(fn=fn, config=config, name=str(name), group=group))
+
+    for spec in ALL_BENCHMARKS:
+        add("sec62", "repro.experiments.sec62_detection:compute", spec.name,
+            {"benchmark": spec.name, "scale": sec62_scale, "runs": det_runs})
+    for name in sw_names:
+        add("fig6", "repro.experiments.fig6_software:compute", name,
+            {"benchmark": name, "scale": sw_scale, "seeds": [0]})
+    for name in sw_names:
+        add("fig7", "repro.experiments.fig7_freq:compute", name,
+            {"benchmark": name, "scale": sw_scale, "seed": 0})
+    for name in sw_names:
+        add("fig8", "repro.experiments.fig8_vector:compute", name,
+            {"benchmark": name, "scale": sw_scale, "seed": 0})
+    for name in sw_names:
+        add("table1", "repro.experiments.table1_rollover:compute", name,
+            {"benchmark": name, "scale": table1_scale, "seed": 0})
+    # One job per hardware benchmark covering Figures 9-11 and A1: the
+    # worker records the trace itself (traces never cross processes).
+    for name in HW_BENCHMARKS:
+        add("hw", "repro.experiments.hwjobs:compute", name,
+            {"benchmark": name, "scale": hw_scale,
+             "fig11_scale": fig11_scale, "seed": 0})
+    for name in ablations.A1_BENCHMARKS:
+        add("a2", "repro.experiments.ablations:compute_atomicity", name,
+            {"benchmark": name, "scale": sw_scale, "seed": 0})
+    for bits in ablations.A3_CLOCK_BITS:
+        add("a3", "repro.experiments.ablations:compute_clock_width",
+            f"radiosity/{bits}b",
+            {"bits": bits, "benchmark": "radiosity",
+             "scale": sw_scale, "seed": 0})
+    for name in ablations.A1_BENCHMARKS:
+        add("a4", "repro.experiments.ablations:compute_instrumentation", name,
+            {"benchmark": name, "scale": sw_scale, "seed": 0})
+    return jobs
+
+
+def _error_payload(job: Job, error: str) -> Dict[str, Any]:
+    """The ``{"error": ...}`` payload aggregates turn into FAILED rows."""
+    payload: Dict[str, Any] = {"error": error}
+    for key in ("benchmark", "bits"):
+        if key in job.config:
+            payload[key] = job.config[key]
+    return payload
+
+
+def run_all(
+    fast: bool = False,
+    tracer: Optional[Tracer] = None,
+    runner: Optional[JobRunner] = None,
+    inject_failure: Optional[str] = None,
+) -> List[ExperimentResult]:
+    """Run every experiment; returns their results in paper order.
+
+    Without a ``runner`` the jobs execute in-process (serial, no cache);
+    a caller-supplied runner brings worker processes, retries, timeouts
+    and checkpoint/resume.  Either way the tables are identical: the
+    same jobs run, and aggregation consumes payloads in submission
+    order.
+    """
+    tracer = tracer if tracer is not None else Tracer()
+    if runner is None:
+        runner = JobRunner(tracer=tracer)
+    jobs = build_jobs(fast=fast, inject_failure=inject_failure)
+    with tracer.span("jobs", count=len(jobs), workers=runner.workers):
+        job_results = runner.run(jobs)
+
+    payloads: Dict[str, List[Dict[str, Any]]] = {
+        g: [] for g in ("sec62", "fig6", "fig7", "fig8", "table1",
+                        "hw", "a2", "a3", "a4")
+    }
+    for res in job_results:
+        payloads[res.job.group].append(
+            res.value if res.ok else _error_payload(res.job, res.error)
+        )
+
+    # Split the merged hardware payloads into their per-figure streams.
+    fig9_p, fig10_p, fig11_p, a1_p = [], [], [], []
+    for p in payloads["hw"]:
+        if "error" in p:
+            failed = {"benchmark": p["benchmark"], "error": p["error"]}
+            fig9_p.append(failed)
+            fig10_p.append(failed)
+            fig11_p.append(failed)
+            if p["benchmark"] in ablations.A1_BENCHMARKS:
+                a1_p.append(failed)
+            continue
+        fig9_p.append(p["fig9"])
+        fig10_p.append(p["fig10"])
+        fig11_p.append(p["fig11"])
+        if "a1" in p:
+            a1_p.append(p["a1"])
+
+    aggregates = {
+        "sec62": lambda: sec62_detection.aggregate(payloads["sec62"]),
+        "fig6": lambda: fig6_software.aggregate(payloads["fig6"]),
+        "fig7": lambda: fig7_freq.aggregate(payloads["fig7"]),
+        "fig8": lambda: fig8_vector.aggregate(payloads["fig8"]),
+        "table1": lambda: table1_rollover.aggregate(payloads["table1"]),
+        "fig9": lambda: fig9_hardware.aggregate(fig9_p),
+        "fig10": lambda: fig10_breakdown.aggregate(fig10_p),
+        "fig11": lambda: fig11_epochsize.aggregate(fig11_p),
+        "a1": lambda: ablations.aggregate_war(a1_p),
+        "a2": lambda: ablations.aggregate_atomicity(payloads["a2"]),
+        "a3": lambda: ablations.aggregate_clock_width(payloads["a3"]),
+        "a4": lambda: ablations.aggregate_instrumentation(payloads["a4"]),
+    }
+    results: List[ExperimentResult] = []
+    for name in _EXPERIMENT_ORDER:
+        with tracer.span(name, fast=fast):
+            results.append(aggregates[name]())
     return results
 
 
-def main(argv: Optional[Sequence[str]] = None) -> None:
-    argv = list(sys.argv[1:] if argv is None else argv)
-    fast = "--fast" in argv
-    exporter = None
-    if "--telemetry" in argv:
-        exporter = JsonlExporter(argv[argv.index("--telemetry") + 1])
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.report",
+        description="Regenerate every experiment table, in paper order.",
+    )
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="reduced scales/run counts for a quick smoke pass",
+    )
+    parser.add_argument(
+        "--telemetry", metavar="OUT",
+        help="write a JSONL span timeline + metrics snapshot to OUT",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the per-benchmark jobs (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk checkpoint cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".cache/experiments", metavar="DIR",
+        help="checkpoint cache location (default: .cache/experiments)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job timeout (needs process workers to enforce)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-attempts per failing job (default: 2)",
+    )
+    parser.add_argument(
+        "--inject-failure", metavar="BENCHMARK",
+        help="make BENCHMARK's jobs fail (tests graceful degradation)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    exporter = JsonlExporter(args.telemetry) if args.telemetry else None
     tracer = Tracer(exporter)
-    with tracer.span("report", fast=fast) as report_span:
-        for result in run_all(fast=fast, tracer=tracer):
+    registry = MetricsRegistry()
+    store = None if args.no_cache else CheckpointStore(args.cache_dir)
+    runner = JobRunner(
+        workers=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        store=store,
+        registry=registry,
+        tracer=tracer,
+    )
+    with tracer.span("report", fast=args.fast) as report_span:
+        results = run_all(
+            fast=args.fast,
+            tracer=tracer,
+            runner=runner,
+            inject_failure=args.inject_failure,
+        )
+        for result in results:
             print(result.render())
             print()
     print(f"[report completed in {report_span.duration:.1f}s]")
+    print(f"[runner] {runner.summary()}")
+    failures = [line for result in results for line in result.failures]
+    if failures:
+        print(f"[failures] {len(failures)} job(s) failed:")
+        for line in failures:
+            print(f"  - {line}")
     if exporter is not None:
+        exporter.export_metrics(registry, label="report")
         exporter.close()
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

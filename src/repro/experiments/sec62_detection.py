@@ -26,7 +26,7 @@ from ..workloads.kernels import build_program
 from ..workloads.suite import ALL_BENCHMARKS, RACY_BENCHMARKS, get_benchmark
 from .common import ExperimentResult
 
-__all__ = ["run", "main"]
+__all__ = ["compute", "aggregate", "run", "main"]
 
 
 def _run_once(spec, scale, racy, schedule_seed, program_seed=0):
@@ -40,14 +40,33 @@ def _run_once(spec, scale, racy, schedule_seed, program_seed=0):
     )
 
 
-def run(scale: str = "simsmall", runs: int = 10) -> ExperimentResult:
-    """Regenerate the Section 6.2.2 validation.
+def compute(benchmark: str, scale: str = "simsmall", runs: int = 10) -> dict:
+    """Per-benchmark job: exception counts for the racy variant and
+    exception/determinism behaviour of the race-free variant."""
+    spec = get_benchmark(benchmark)
+    payload: dict = {"benchmark": benchmark, "runs": runs}
+    if spec.racy:
+        exceptions = 0
+        for seed in range(runs):
+            outcome = _run_once(spec, scale, racy=True, schedule_seed=seed)
+            if outcome.race is not None:
+                exceptions += 1
+        payload["racy_exceptions"] = exceptions
+    if spec.style != "lock_free":  # canneal has no race-free variant
+        fingerprints = set()
+        exceptions = 0
+        for seed in range(runs):
+            outcome = _run_once(spec, scale, racy=False, schedule_seed=seed)
+            if outcome.race is not None:
+                exceptions += 1
+            fingerprints.add(outcome.fingerprint())
+        payload["racefree_exceptions"] = exceptions
+        payload["deterministic"] = len(fingerprints) == 1 and exceptions == 0
+    return payload
 
-    ``runs`` plays the role of the paper's 100 repetitions (each run uses
-    a distinct scheduling seed, which is *stronger* than the paper's
-    wall-clock timing variation); pass ``runs=100`` for the full-scale
-    version — the benchmark harness uses a smaller default to stay fast.
-    """
+
+def aggregate(payloads: List[dict]) -> ExperimentResult:
+    """Assemble the Section 6.2.2 table from per-benchmark payloads."""
     result = ExperimentResult(
         experiment="Section 6.2.2",
         title="Detected races and determinism of exception-free runs",
@@ -56,31 +75,26 @@ def run(scale: str = "simsmall", runs: int = 10) -> ExperimentResult:
     always_stopped: List[str] = []
     never_stopped_racefree = True
     all_deterministic = True
-    for spec in ALL_BENCHMARKS:
-        if spec.racy:
-            exceptions = 0
-            for seed in range(runs):
-                outcome = _run_once(spec, scale, racy=True, schedule_seed=seed)
-                if outcome.race is not None:
-                    exceptions += 1
-            result.add_row(spec.name, "unmodified", runs, exceptions, "-")
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
+            continue
+        runs = p["runs"]
+        if "racy_exceptions" in p:
+            exceptions = p["racy_exceptions"]
+            result.add_row(p["benchmark"], "unmodified", runs, exceptions, "-")
             if exceptions == runs:
-                always_stopped.append(spec.name)
-        if spec.style == "lock_free":
-            continue  # no race-free variant (canneal)
-        fingerprints = set()
-        exceptions = 0
-        for seed in range(runs):
-            outcome = _run_once(spec, scale, racy=False, schedule_seed=seed)
-            if outcome.race is not None:
-                exceptions += 1
-            fingerprints.add(outcome.fingerprint())
-        deterministic = len(fingerprints) == 1 and exceptions == 0
-        result.add_row(
-            spec.name, "race-free", runs, exceptions, str(deterministic)
-        )
-        never_stopped_racefree &= exceptions == 0
-        all_deterministic &= deterministic
+                always_stopped.append(p["benchmark"])
+        if "racefree_exceptions" in p:
+            result.add_row(
+                p["benchmark"],
+                "race-free",
+                runs,
+                p["racefree_exceptions"],
+                str(p["deterministic"]),
+            )
+            never_stopped_racefree &= p["racefree_exceptions"] == 0
+            all_deterministic &= p["deterministic"]
     result.summary = [
         f"racy benchmarks always stopped: {len(always_stopped)}/"
         f"{len(RACY_BENCHMARKS)} (paper: 17/17)",
@@ -88,6 +102,19 @@ def run(scale: str = "simsmall", runs: int = 10) -> ExperimentResult:
         f"race-free runs deterministic: {all_deterministic} (paper: true)",
     ]
     return result
+
+
+def run(scale: str = "simsmall", runs: int = 10) -> ExperimentResult:
+    """Regenerate the Section 6.2.2 validation.
+
+    ``runs`` plays the role of the paper's 100 repetitions (each run uses
+    a distinct scheduling seed, which is *stronger* than the paper's
+    wall-clock timing variation); pass ``runs=100`` for the full-scale
+    version — the benchmark harness uses a smaller default to stay fast.
+    """
+    return aggregate(
+        [compute(spec.name, scale=scale, runs=runs) for spec in ALL_BENCHMARKS]
+    )
 
 
 def tsan_methodology_check(scale: str = "simsmall", seed: int = 0) -> dict:

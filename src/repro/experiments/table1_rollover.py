@@ -12,18 +12,21 @@ scaled stand-in for the paper's 23-bit configuration and a 12-bit clock
 for the rollover-free 28-bit configuration; which benchmarks roll over is
 *emergent* (it depends only on their synchronization rates) and matches
 the paper's list.
+
+Structured as per-benchmark :func:`compute` jobs plus an
+:func:`aggregate` step; :func:`run` composes the two serially.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List
 
 from ..core.epoch import EpochLayout
 from ..swclean.runner import run_software_clean
-from ..workloads.suite import ALL_BENCHMARKS
+from ..workloads.suite import ALL_BENCHMARKS, get_benchmark
 from .common import ExperimentResult
 
-__all__ = ["run", "main", "NARROW_LAYOUT", "WIDE_LAYOUT"]
+__all__ = ["compute", "aggregate", "run", "main", "NARROW_LAYOUT", "WIDE_LAYOUT"]
 
 #: Scaled stand-in for the paper's default 23-bit-clock epoch.
 NARROW_LAYOUT = EpochLayout(clock_bits=6, tid_bits=5, reserve_expanded_bit=True)
@@ -35,9 +38,29 @@ WIDE_LAYOUT = EpochLayout(clock_bits=12, tid_bits=5, reserve_expanded_bit=True)
 PAPER_ROSTER = ("barnes", "fmm", "radiosity", "facesim", "fluidanimate")
 
 
-def run(scale: str = "simlarge", seed: int = 0) -> ExperimentResult:
-    """Regenerate Table 1 across all benchmarks (rollover-free ones are
-    verified to stay rollover-free and excluded from the table body)."""
+def compute(benchmark: str, scale: str = "simlarge", seed: int = 0) -> Dict[str, object]:
+    """Per-benchmark job: rollover behaviour, narrow vs. wide clock."""
+    spec = get_benchmark(benchmark)
+    narrow = run_software_clean(
+        spec, scale=scale, seed=seed, layout=NARROW_LAYOUT, rollover_slack=4
+    )
+    if narrow.rollovers == 0:
+        return {"benchmark": benchmark, "quiet": True}
+    wide = run_software_clean(
+        spec, scale=scale, seed=seed, layout=WIDE_LAYOUT, rollover_slack=4
+    )
+    assert wide.rollovers == 0, f"{benchmark} rolled over with the wide clock"
+    return {
+        "benchmark": benchmark,
+        "quiet": False,
+        "rollovers": narrow.rollovers,
+        "rate": narrow.rollovers_per_second,
+        "decrease": (narrow.t_full - wide.t_full) / narrow.t_full,
+    }
+
+
+def aggregate(payloads: List[Dict[str, object]]) -> ExperimentResult:
+    """Assemble Table 1 from per-benchmark payloads (roster order)."""
     result = ExperimentResult(
         experiment="Table 1",
         title="Impact of clock rollover (narrow vs. wide clock)",
@@ -50,26 +73,19 @@ def run(scale: str = "simlarge", seed: int = 0) -> ExperimentResult:
     )
     rolled: List[str] = []
     quiet: List[str] = []
-    for spec in ALL_BENCHMARKS:
-        if spec.style == "lock_free":
+    for p in payloads:
+        if "error" in p:
+            result.add_failure(p["benchmark"], p["error"])
             continue
-        narrow = run_software_clean(
-            spec, scale=scale, seed=seed, layout=NARROW_LAYOUT, rollover_slack=4
-        )
-        if narrow.rollovers == 0:
-            quiet.append(spec.name)
+        if p["quiet"]:
+            quiet.append(p["benchmark"])
             continue
-        wide = run_software_clean(
-            spec, scale=scale, seed=seed, layout=WIDE_LAYOUT, rollover_slack=4
-        )
-        assert wide.rollovers == 0, f"{spec.name} rolled over with the wide clock"
-        decrease = (narrow.t_full - wide.t_full) / narrow.t_full
-        rolled.append(spec.name)
+        rolled.append(p["benchmark"])
         result.add_row(
-            spec.name,
-            narrow.rollovers,
-            narrow.rollovers_per_second,
-            f"{decrease * 100:.1f}%",
+            p["benchmark"],
+            p["rollovers"],
+            p["rate"],
+            f"{p['decrease'] * 100:.1f}%",
         )
     matches = set(rolled) == set(PAPER_ROSTER)
     result.summary = [
@@ -79,6 +95,18 @@ def run(scale: str = "simlarge", seed: int = 0) -> ExperimentResult:
         f"rollover-free benchmarks verified: {len(quiet)}",
     ]
     return result
+
+
+def run(scale: str = "simlarge", seed: int = 0) -> ExperimentResult:
+    """Regenerate Table 1 across all benchmarks (rollover-free ones are
+    verified to stay rollover-free and excluded from the table body)."""
+    return aggregate(
+        [
+            compute(spec.name, scale=scale, seed=seed)
+            for spec in ALL_BENCHMARKS
+            if spec.style != "lock_free"
+        ]
+    )
 
 
 def main() -> None:

@@ -9,15 +9,17 @@ scale, and facesim is omitted, both as in Section 6.3.1.
 
 from __future__ import annotations
 
-from typing import Dict
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 from ..runtime.scheduler import RoundRobinPolicy
-from ..runtime.trace import Trace, TraceRecorder
+from ..runtime.trace import Trace, TraceRecorder, open_trace
 from ..workloads.kernels import build_program
 from ..workloads.spec import BenchmarkSpec
 from ..workloads.suite import HW_BENCHMARKS, get_benchmark
 
-__all__ = ["record_trace", "record_all_traces"]
+__all__ = ["record_trace", "record_trace_file", "record_all_traces"]
 
 
 def record_trace(
@@ -35,9 +37,82 @@ def record_trace(
     return recorder.trace
 
 
-def record_all_traces(scale: str = "simsmall", seed: int = 0) -> Dict[str, Trace]:
-    """Traces of every hardware-experiment benchmark, by name."""
-    return {
-        name: record_trace(get_benchmark(name), scale=scale, seed=seed)
+def record_trace_file(
+    benchmark: str,
+    out: Union[str, Path],
+    scale: str = "simsmall",
+    seed: int = 0,
+) -> str:
+    """Job form of :func:`record_trace`: record ``benchmark``'s trace and
+    save it (binary format) to ``out``, returning the path.
+
+    Traces are too large to ship through job-result JSON, so parallel
+    trace recording goes through the filesystem: workers write binary
+    trace files, the parent replays them with :func:`open_trace`.
+    """
+    trace = record_trace(get_benchmark(benchmark), scale=scale, seed=seed)
+    trace.save(out)
+    return str(out)
+
+
+def record_all_traces(
+    scale: str = "simsmall",
+    seed: int = 0,
+    runner=None,
+    out_dir: Optional[Union[str, Path]] = None,
+) -> Dict[str, Trace]:
+    """Traces of every hardware-experiment benchmark, by name.
+
+    With a :class:`repro.exec.JobRunner`, recording fans out across its
+    workers via :func:`record_trace_file`; the returned traces then
+    stream from disk.  ``out_dir`` keeps the files (defaults to a
+    temporary directory that lives as long as the traces do).
+    """
+    if runner is None:
+        return {
+            name: record_trace(get_benchmark(name), scale=scale, seed=seed)
+            for name in HW_BENCHMARKS
+        }
+    from ..exec import Job
+
+    if out_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-traces-")
+        out_dir = tmp.name
+    else:
+        tmp = None
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    jobs = [
+        Job(
+            fn="repro.experiments.traces:record_trace_file",
+            config={
+                "benchmark": name,
+                "out": str(out_dir / f"{name}-{scale}-{seed}.trace"),
+                "scale": scale,
+                "seed": seed,
+            },
+            name=name,
+            group="record_traces",
+        )
         for name in HW_BENCHMARKS
-    }
+    ]
+    traces: Dict[str, Trace] = {}
+    for result in runner.run(jobs):
+        if not result.ok:
+            raise RuntimeError(
+                f"trace recording failed for {result.job.name}: {result.error}"
+            )
+        if not Path(result.value).exists():
+            # A checkpoint-served path whose file has since been cleaned
+            # up (e.g. it lived in a previous run's temporary directory):
+            # fall back to recording in-process.
+            traces[result.job.name] = record_trace(
+                get_benchmark(result.job.name), scale=scale, seed=seed
+            )
+        else:
+            traces[result.job.name] = open_trace(result.value)
+    if tmp is not None:
+        # Tie the tempdir's lifetime to the returned traces.
+        for trace in traces.values():
+            trace._tmpdir = tmp  # type: ignore[attr-defined]
+    return traces

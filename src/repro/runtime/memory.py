@@ -15,7 +15,16 @@ __all__ = ["SharedMemory"]
 
 
 class SharedMemory:
-    """Sparse byte-addressable memory with little-endian integer helpers."""
+    """Sparse byte-addressable memory with little-endian integer helpers.
+
+    Access accounting: ``loads`` and ``stores`` count **operations**,
+    not bytes — one call to any accessor is exactly one load or one
+    store, regardless of its width.  A 4-byte ``load_int`` therefore
+    counts once, matching how the runtime issues one ``Read``/``Write``
+    op per access and how the paper's instrumentation counts one check
+    per instrumented instruction; code that touches N bytes through the
+    byte helpers performs (and counts) N separate operations.
+    """
 
     def __init__(self, alloc_base: int = 0x1000) -> None:
         self._bytes: Dict[int, int] = {}
@@ -56,7 +65,11 @@ class SharedMemory:
     # -- integer access (little-endian) ----------------------------------------
 
     def load_int(self, address: int, size: int) -> int:
-        """Load a ``size``-byte little-endian unsigned integer."""
+        """Load a ``size``-byte little-endian unsigned integer.
+
+        Counts as **one** load (per-operation accounting, see the class
+        docstring), not ``size`` loads.
+        """
         self.loads += 1
         get = self._bytes.get
         value = 0
@@ -65,7 +78,11 @@ class SharedMemory:
         return value
 
     def store_int(self, address: int, size: int, value: int) -> None:
-        """Store a ``size``-byte little-endian unsigned integer."""
+        """Store a ``size``-byte little-endian unsigned integer.
+
+        Counts as **one** store (per-operation accounting, see the
+        class docstring), not ``size`` stores.
+        """
         if value < 0:
             value &= (1 << (8 * size)) - 1
         self.stores += 1

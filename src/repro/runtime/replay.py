@@ -104,11 +104,15 @@ class ReplayPolicy(SchedulingPolicy):
             )
         index = self.log[self._step]
         self._step += 1
-        if index >= len(candidates):
+        # A recording only ever stores indices in [0, len(candidates));
+        # anything else — including a *negative* index from a corrupt or
+        # hand-edited log, which Python would otherwise silently resolve
+        # from the end of the candidate list — is a divergence.
+        if not 0 <= index < len(candidates):
             raise ReplayDivergence(
                 f"log index {index} out of range for {len(candidates)} "
                 f"candidates at step {self._step - 1}: the replayed program "
-                "diverged from the recording"
+                "diverged from the recording (or the log is corrupt)"
             )
         return candidates[index]
 

@@ -1,0 +1,40 @@
+"""Top-level job functions for the exec-runner tests.
+
+Job functions are resolved by dotted path in worker processes, so they
+must live in an importable module — not inside a test class.
+"""
+
+import json
+import os
+import time
+
+
+def double(x):
+    return {"x": x, "doubled": 2 * x}
+
+
+def boom(message="kaboom"):
+    raise RuntimeError(message)
+
+
+def sleeper(seconds, value="done"):
+    time.sleep(seconds)
+    return value
+
+
+def flaky(counter_file, fail_times=1, value="eventually"):
+    """Fail the first ``fail_times`` calls, then succeed.
+
+    Attempts are counted in a file so the count survives process
+    boundaries (each pool attempt runs in a fresh worker).
+    """
+    count = 0
+    if os.path.exists(counter_file):
+        with open(counter_file) as fh:
+            count = json.load(fh)
+    count += 1
+    with open(counter_file, "w") as fh:
+        json.dump(count, fh)
+    if count <= fail_times:
+        raise RuntimeError(f"flaky failure #{count}")
+    return {"value": value, "calls": count}

@@ -48,6 +48,43 @@ class TestCommonHelpers:
         assert half > 0
         assert mean_ci([5.0]) == (5.0, 0.0)
 
+    def test_mean_ci_uses_requested_confidence(self):
+        """Regression: non-0.95 confidences silently used the 99% z-value
+        (2.576); each level must get its own two-sided normal quantile."""
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        expected_z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+        halves = {}
+        for confidence, z in expected_z.items():
+            mean, half = mean_ci(values, confidence=confidence)
+            assert mean == pytest.approx(3.0)
+            halves[confidence] = half
+            # Recover the z-value the implementation used.
+            import math
+            import statistics
+
+            used = half * math.sqrt(len(values)) / statistics.stdev(values)
+            assert used == pytest.approx(z, abs=1e-3), confidence
+        assert halves[0.90] < halves[0.95] < halves[0.99]
+
+    def test_mean_ci_rejects_bad_confidence(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                mean_ci([1.0, 2.0], confidence=bad)
+
+    def test_add_failure_keeps_table_rectangular(self):
+        r = ExperimentResult("X", "t", ["benchmark", "a", "b", "c"])
+        r.add_row("ok_bench", 1.0, 2.0, 3.0)
+        r.add_failure("bad_bench", "RuntimeError: it broke")
+        assert len(r.rows) == 2
+        assert len(r.rows[1]) == len(r.columns)
+        assert r.failures == ["X/bad_bench: RuntimeError: it broke"]
+        text = r.render()
+        assert "FAILED: RuntimeError: it broke" in text
+        # A long error is truncated in the cell, kept whole in failures.
+        r.add_failure("worse", "E" * 100)
+        assert any(len(str(v)) <= 40 for v in r.rows[2])
+        assert r.failures[1].endswith("E" * 100)
+
     def test_render_table_alignment(self):
         text = render_table(["col"], [["x"], ["longer"]])
         lines = text.splitlines()
@@ -79,6 +116,29 @@ class TestFig6:
     def test_streamcluster_sync_speedup(self):
         result = fig6_software.run(scale="test")
         assert result.row_for("streamcluster")[1] < 1.0
+
+
+class TestAggregateFailurePayloads:
+    def test_fig7_aggregate_handles_error_payload(self):
+        payloads = [
+            {"benchmark": "fft", "density": 0.1, "detection": 2.0},
+            {"benchmark": "barnes", "error": "Timeout: job exceeded 5.0s"},
+            {"benchmark": "lu_cb", "density": 0.4, "detection": 6.0},
+        ]
+        result = fig7_freq.aggregate(payloads)
+        assert len(result.rows) == 3
+        assert result.failures == [
+            "Figure 7/barnes: Timeout: job exceeded 5.0s"
+        ]
+        # Summary computed from the surviving payloads only.
+        assert any("lu_cb" in line for line in result.summary)
+
+    def test_fig6_aggregate_all_failed_has_no_summary(self):
+        result = fig6_software.aggregate(
+            [{"benchmark": "fft", "error": "boom"}]
+        )
+        assert result.summary == []
+        assert result.failures
 
 
 class TestFig7:

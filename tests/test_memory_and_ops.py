@@ -94,6 +94,31 @@ class TestSharedMemory:
         assert mem.stores == 1
         assert mem.loads == 2
 
+    def test_counters_are_per_operation_not_per_byte(self):
+        """The documented accounting: one call = one load/store, no
+        matter how many bytes the operation touches.  A 4-byte
+        ``load_int`` is one load; reading the same word with four
+        ``load_byte`` calls is four."""
+        mem = SharedMemory()
+        mem.store_int(0, 4, 0x01020304)
+        assert mem.stores == 1  # not 4
+        mem.load_int(0, 4)
+        assert mem.loads == 1  # not 4
+        for i in range(4):
+            mem.load_byte(i)
+        assert mem.loads == 5  # 1 wide + 4 byte operations
+        for i in range(4):
+            mem.store_byte(i, 0)
+        assert mem.stores == 5
+
+    def test_counter_width_independence(self):
+        """Operation counts must not depend on access width at all."""
+        for size in (1, 2, 4, 8):
+            mem = SharedMemory()
+            mem.store_int(0, size, 1)
+            mem.load_int(0, size)
+            assert (mem.stores, mem.loads) == (1, 1), size
+
 
 class TestOpProperties:
     def test_costs(self):

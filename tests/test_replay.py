@@ -110,6 +110,22 @@ class TestRecordReplay:
         )
         assert first.fingerprint() == second.fingerprint()
 
+    def test_negative_log_index_is_divergence(self):
+        """Regression: a negative index from a corrupt/hand-edited log
+        passed the old ``index >= len(candidates)`` check and silently
+        indexed from the *end* of the candidate list — a wrong schedule
+        replayed without any error."""
+        policy = ReplayPolicy([-1])
+        with pytest.raises(ReplayDivergence, match="out of range"):
+            policy.pick([10, 20, 30], step=0)
+
+    def test_out_of_range_log_index_is_divergence(self):
+        policy = ReplayPolicy([3])
+        with pytest.raises(ReplayDivergence, match="out of range"):
+            policy.pick([10, 20, 30], step=0)
+        # In-range indices still replay exactly.
+        assert ReplayPolicy([2]).pick([10, 20, 30], step=0) == 30
+
     def test_divergence_detected_on_wrong_program(self):
         recording = RecordingPolicy(RandomPolicy(1))
         racy_program().run(policy=recording, max_threads=8)
