@@ -4,11 +4,17 @@ Commands
 --------
 report [--fast] [--jobs N] [--no-cache] [--cache-dir DIR] [--timeout S]
        [--retries N] [--inject-failure BENCH] [--telemetry OUT.jsonl]
+       [--status PATH] [--serve PORT] [--prom PATH] [--sites]
     Regenerate every table/figure of the paper (EXPERIMENTS.md content).
     Runs per-benchmark jobs through the fault-tolerant runner
     (repro.exec): ``--jobs N`` fans out across worker processes, the
     checkpoint cache makes interrupted runs resume, and failed jobs
-    degrade to FAILED table rows plus a non-zero exit.
+    degrade to FAILED table rows plus a non-zero exit.  Workers ship
+    their telemetry back with each result, so the merged counters match
+    a serial run.  ``--status`` republishes live progress as JSON,
+    ``--serve`` exposes /metrics + /status over HTTP during the run,
+    ``--prom`` writes a final Prometheus snapshot, and ``--sites``
+    prints the merged hot-site attribution table.
 experiment NAME [--scale S]
     Run one experiment: sec62, fig6, fig7, fig8, table1, fig9, fig10,
     fig11, ablations.
@@ -16,11 +22,16 @@ check PROGRAM_KIND [--seeds N] [--json] [--telemetry OUT.jsonl]
     Quick demos on built-in programs: ``racy`` / ``war`` / ``torn``.
 bench NAME [--scale S] [--seed K] [--racy] [--json] [--telemetry OUT.jsonl]
     Run one workload model under full CLEAN and print its summary.
-profile NAME [--scale S] [--seed K] [--json] [--telemetry OUT.jsonl]
+profile NAME [--scale S] [--seed K] [--format text|json|prom] [--sites]
+        [--serve PORT] [--telemetry OUT.jsonl]
     Run one workload under the full stack with the telemetry monitor
     attached and dump every runtime/detector counter.  The special
     name ``report`` profiles the fast report's job sweep instead,
-    surfacing the ``runner.*`` counters (``--jobs N`` to fan out).
+    surfacing the ``runner.*`` counters (``--jobs N`` to fan out) and
+    the ``clean.*`` counters merged back from the workers.  ``--sites``
+    adds the hot-site attribution tables, ``--serve`` exposes /metrics
+    over HTTP during the run, and ``--format prom`` emits the final
+    snapshot as Prometheus text.
 trace NAME OUT.jsonl [--scale S] [--seed K]
     Record a benchmark's access trace to a file.
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
@@ -73,6 +84,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     argv.extend(["--retries", str(args.retries)])
     if args.inject_failure:
         argv.extend(["--inject-failure", args.inject_failure])
+    if args.status:
+        argv.extend(["--status", args.status])
+    if args.serve is not None:
+        argv.extend(["--serve", str(args.serve)])
+    if args.prom:
+        argv.extend(["--prom", args.prom])
+    if args.sites:
+        argv.append("--sites")
     return report.main(argv)
 
 
@@ -222,38 +241,72 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_format(args: argparse.Namespace) -> str:
+    """Resolve ``--format``; ``--json`` stays as a back-compat alias."""
+    if getattr(args, "format", None):
+        return args.format
+    return "json" if getattr(args, "json", False) else "text"
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     if args.name == "report":
         return _cmd_profile_report(args)
     from .clean import clean_stack
     from .determinism.counters import PreciseCounter
-    from .obs import TelemetryMonitor
+    from .obs import (
+        SiteProfiler,
+        TelemetryMonitor,
+        TelemetryServer,
+        render_prom,
+        telemetry_scope,
+    )
     from .runtime import RoundRobinPolicy
     from .workloads import build_program, get_benchmark
 
+    fmt = _profile_format(args)
     spec = get_benchmark(args.name)
     registry, tracer, exporter = _telemetry_session(args)
+    server = None
+    if args.serve is not None:
+        server = TelemetryServer(registry=registry, port=args.serve)
+        server.start()
+        print(f"[serving] http://127.0.0.1:{server.port}/metrics", flush=True)
+    profiler = SiteProfiler() if args.sites else None
     program = build_program(spec, scale=args.scale, racy=False, seed=args.seed)
-    monitors, _clean, _gate = clean_stack(registry=registry, max_threads=24)
-    monitors.append(TelemetryMonitor(registry=registry, tracer=tracer))
-    with tracer.span("profile", benchmark=spec.name, scale=args.scale):
-        result = program.run(
-            policy=RoundRobinPolicy(),
-            monitors=monitors,
-            max_threads=24,
-            counter_cost=PreciseCounter(),
-        )
+    # The scope makes the profiler ambient, so the CleanMonitor built by
+    # clean_stack picks it up without signature changes.
+    with telemetry_scope(registry=registry, tracer=tracer, sites=profiler):
+        monitors, _clean, _gate = clean_stack(registry=registry, max_threads=24)
+        monitors.append(TelemetryMonitor(registry=registry, tracer=tracer))
+        with tracer.span("profile", benchmark=spec.name, scale=args.scale):
+            result = program.run(
+                policy=RoundRobinPolicy(),
+                monitors=monitors,
+                max_threads=24,
+                counter_cost=PreciseCounter(),
+            )
     _close_telemetry(exporter, registry)
-    if args.json:
-        print(json.dumps({
+    if server is not None:
+        server.stop()
+    if fmt == "json":
+        payload = {
             "benchmark": spec.name,
             "scale": args.scale,
             "race": str(result.race) if result.race else None,
             "metrics": registry.snapshot(),
-        }, sort_keys=True))
+        }
+        if profiler is not None:
+            payload["sites"] = profiler.to_payload()
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    if fmt == "prom":
+        print(render_prom(registry), end="")
         return 0
     print(f"== telemetry profile: {spec.name} (scale={args.scale}) ==\n")
     print(registry.render())
+    if profiler is not None:
+        print()
+        print(profiler.render())
     if result.race is not None:
         print(f"\nrace: {result.race}")
     return 0
@@ -263,26 +316,55 @@ def _cmd_profile_report(args: argparse.Namespace) -> int:
     """``profile report``: the fast report through a job runner, then
     every counter — the ``runner.*`` family shows the sweep's shape
     (submitted / executed / cache hits / retries / failures and the
-    wall/CPU seconds spent in jobs)."""
+    wall/CPU seconds spent in jobs), and the merged worker telemetry
+    surfaces the ``clean.*`` detector counters."""
     from .exec import JobRunner
     from .experiments.report import run_all
+    from .obs import TelemetryServer, render_prom
 
+    fmt = _profile_format(args)
     registry, tracer, exporter = _telemetry_session(args)
     runner = JobRunner(
-        workers=getattr(args, "jobs", 1), registry=registry, tracer=tracer
+        workers=getattr(args, "jobs", 1),
+        registry=registry,
+        tracer=tracer,
+        profile_sites=args.sites,
     )
-    with tracer.span("profile.report", jobs=runner.workers):
-        results = run_all(fast=True, tracer=tracer, runner=runner)
+    server = None
+    if args.serve is not None:
+        server = TelemetryServer(
+            registry=registry,
+            status_fn=runner.status_snapshot,
+            port=args.serve,
+        )
+        server.start()
+        print(f"[serving] http://127.0.0.1:{server.port}/metrics "
+              f"and /status", flush=True)
+    try:
+        with tracer.span("profile.report", jobs=runner.workers):
+            results = run_all(fast=True, tracer=tracer, runner=runner)
+    finally:
+        if server is not None:
+            server.stop()
     _close_telemetry(exporter, registry)
-    if args.json:
-        print(json.dumps({
+    if fmt == "json":
+        payload = {
             "experiments": [r.experiment for r in results],
             "runner": runner.stats,
             "metrics": registry.snapshot(),
-        }, sort_keys=True))
+        }
+        if runner.sites is not None:
+            payload["sites"] = runner.sites.to_payload()
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    if fmt == "prom":
+        print(render_prom(registry), end="")
         return 0
     print(f"== telemetry profile: report (jobs={runner.workers}) ==\n")
     print(registry.render())
+    if runner.sites is not None:
+        print()
+        print(runner.sites.render())
     print(f"\n[runner] {runner.summary()}")
     return 0
 
@@ -390,6 +472,14 @@ def main(argv=None) -> int:
     p.add_argument("--retries", type=int, default=2, metavar="N")
     p.add_argument("--inject-failure", metavar="BENCHMARK", default=None,
                    help="make BENCHMARK's jobs fail (degradation test)")
+    p.add_argument("--status", metavar="PATH", default=None,
+                   help="republish live run progress as JSON to PATH")
+    p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                   help="serve /metrics + /status over HTTP during the run")
+    p.add_argument("--prom", metavar="PATH", default=None,
+                   help="write a final Prometheus text snapshot")
+    p.add_argument("--sites", action="store_true",
+                   help="hot-site attribution: print the merged top-K table")
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_report)
 
@@ -426,8 +516,16 @@ def main(argv=None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker processes ('report' profile only)")
+    p.add_argument("--format", choices=["text", "json", "prom"], default=None,
+                   help="output format (default: text)")
     p.add_argument("--json", action="store_true",
-                   help="machine-readable result on stdout")
+                   help="deprecated alias for --format json")
+    p.add_argument("--sites", action="store_true",
+                   help="hot-site attribution: collect and print the "
+                        "top-K addresses/SFRs by race-check work")
+    p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                   help="serve /metrics (+ /status for 'report') over "
+                        "HTTP during the run; 0 picks an ephemeral port")
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_profile)
 

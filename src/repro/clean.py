@@ -29,6 +29,8 @@ from .core.rollover import RolloverPolicy
 from .determinism.counters import PreciseCounter
 from .determinism.kendo import KendoGate
 from .obs import MetricsRegistry, publish_detector_metrics
+from .obs.context import current_registry, current_sites
+from .obs.sites import SiteProfiler
 from .runtime.ops import Op
 from .runtime.program import Program
 from .runtime.scheduler import (
@@ -82,6 +84,7 @@ class CleanMonitor(ExecutionMonitor):
         instrument_private_fraction: float = 0.0,
         registry: Optional[MetricsRegistry] = None,
         fastpath: bool = True,
+        sites: Optional[SiteProfiler] = None,
     ) -> None:
         if not 0.0 <= instrument_private_fraction <= 1.0:
             raise ValueError("instrument_private_fraction must be in [0, 1]")
@@ -93,6 +96,10 @@ class CleanMonitor(ExecutionMonitor):
         self.rollover = rollover
         self.instrument_private_fraction = instrument_private_fraction
         self.registry = registry
+        # Hot-site attribution: explicit profiler, else whatever the
+        # ambient telemetry scope carries (None outside a scope — the
+        # hot path then pays a single attribute test).
+        self.sites = sites if sites is not None else current_sites()
         self._sync_index = 0
         self._fastpath = bool(fastpath) and bool(
             getattr(self.detector, "same_epoch_filter", False)
@@ -162,6 +169,7 @@ class CleanMonitor(ExecutionMonitor):
             return
         tid = event.tid
         size = event.size
+        sites = self.sites
         if self._fastpath:
             written = self._epoch_writes.get(tid)
             if written is not None and (
@@ -171,13 +179,19 @@ class CleanMonitor(ExecutionMonitor):
             ):
                 self.fastpath_hits += 1
                 self.detector.note_same_epoch(tid, address, size, is_read=False)
+                if sites is not None:
+                    sites.note_same_epoch(tid, address, is_write=True)
                 return
             self.fastpath_misses += 1
+            if sites is not None:
+                sites.note_check(tid, address, is_write=True)
             self.detector.check_write(tid, address, size)
             if written is None:
                 written = self._epoch_writes.setdefault(tid, set())
             written.update(range(address, address + size))
         else:
+            if sites is not None:
+                sites.note_check(tid, address, is_write=True)
             self.detector.check_write(tid, address, size)
 
     def after_access(self, event: AccessEvent) -> None:
@@ -188,6 +202,7 @@ class CleanMonitor(ExecutionMonitor):
             return
         tid = event.tid
         size = event.size
+        sites = self.sites
         if self._fastpath:
             written = self._epoch_writes.get(tid)
             if written is not None and (
@@ -197,8 +212,12 @@ class CleanMonitor(ExecutionMonitor):
             ):
                 self.fastpath_hits += 1
                 self.detector.note_same_epoch(tid, address, size, is_read=True)
+                if sites is not None:
+                    sites.note_same_epoch(tid, address, is_write=False)
                 return
             self.fastpath_misses += 1
+        if sites is not None:
+            sites.note_check(tid, address, is_write=False)
         self.detector.check_read(tid, address, size)
 
     # -- synchronization (vector-clock maintenance) ----------------------------
@@ -233,6 +252,8 @@ class CleanMonitor(ExecutionMonitor):
 
     def on_sync_commit(self, tid: int, op: Op) -> None:
         self._invalidate(tid)
+        if self.sites is not None:
+            self.sites.note_sync(tid)
         self._sync_index += 1
         if self.rollover is not None and self.rollover.should_reset(self.detector):
             self.rollover.perform_reset(self.detector, self._sync_index)
@@ -246,6 +267,39 @@ class CleanMonitor(ExecutionMonitor):
     def on_finish(self, result: ExecutionResult) -> None:
         if self.registry is not None:
             self.publish_metrics(self.registry)
+        if self.sites is not None and result.race is not None:
+            self.sites.note_race(result.race.address)
+        ambient = current_registry()
+        if ambient is not None:
+            self.accumulate_metrics(ambient)
+
+    def accumulate_metrics(self, registry: MetricsRegistry) -> None:
+        """Add this run's detector totals to ``registry`` (``clean.*``).
+
+        Unlike :meth:`publish_metrics` — an idempotent absolute mirror
+        (``set_to``) of *one* detector's stats struct — this family
+        *accumulates*: a worker job that executes twenty detector runs
+        sums them, and the parent process sums worker snapshots again
+        via :meth:`~repro.obs.registry.MetricsRegistry.merge_snapshot`.
+        That is what makes ``clean.checks`` totals identical between a
+        serial and a ``--jobs N`` report.
+        """
+        stats = getattr(self.detector, "stats", None)
+        if stats is not None:
+            accesses = getattr(stats, "accesses", None)
+            if isinstance(accesses, (int, float)):
+                registry.inc("clean.checks", accesses)
+            for field in (
+                "reads", "writes", "epoch_comparisons", "epoch_updates",
+                "cas_failures", "races_raised", "rollovers",
+            ):
+                value = getattr(stats, field, None)
+                if isinstance(value, (int, float)) and value:
+                    registry.inc(f"clean.{field}", value)
+        if self._fastpath:
+            registry.inc("clean.same_epoch.hits", self.fastpath_hits)
+            registry.inc("clean.same_epoch.misses", self.fastpath_misses)
+        registry.inc("clean.runs")
 
     def publish_metrics(self, registry: MetricsRegistry) -> None:
         """Mirror the detector's counters into ``registry``.

@@ -21,8 +21,8 @@ Attach it *before* the CLEAN monitor in the stack, and ask it for
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
 from .core.exceptions import RaceException
 from .runtime.scheduler import ExecutionMonitor
@@ -52,12 +52,22 @@ class AccessSite:
 
 @dataclass(frozen=True)
 class RaceReport:
-    """Both sides of a detected race, ready to print."""
+    """Both sides of a detected race, ready to print.
+
+    ``hot_site`` is optional hot-site provenance from a
+    :class:`~repro.obs.sites.SiteProfiler`: how much detector work this
+    address attracted before the exception fired and where it ranks
+    among all checked sites — the Fig.-10-style attribution that tells a
+    developer whether the racing address is also a hot one.  The keys
+    are ``rank``, ``checks``, ``reads``, ``writes``, ``same_epoch`` and
+    ``races``.
+    """
 
     kind: str
     address: int
     current: AccessSite
     previous: Optional[AccessSite]
+    hot_site: Optional[Dict[str, Any]] = field(default=None)
 
     def render(self) -> str:
         lines = [
@@ -71,6 +81,14 @@ class RaceReport:
             )
         else:
             lines.append("  first access:  (no recorded shared write)")
+        if self.hot_site is not None:
+            s = self.hot_site
+            lines.append(
+                f"  hot-site profile: rank #{s.get('rank', '?')} by "
+                f"race-check work ({s.get('checks', 0)} checks, "
+                f"{s.get('same_epoch', 0)} same-epoch hits, "
+                f"{s.get('races', 0)} race(s) here)"
+            )
         return "\n".join(lines)
 
 
@@ -132,20 +150,34 @@ class RaceContextMonitor(ExecutionMonitor):
 
     # -- reporting --------------------------------------------------------------
 
-    def report(self, exc: RaceException) -> RaceReport:
-        """Build the two-sided report for a raised race exception."""
+    def report(
+        self, exc: RaceException, sites: Optional[Any] = None
+    ) -> RaceReport:
+        """Build the two-sided report for a raised race exception.
+
+        ``sites`` — a :class:`~repro.obs.sites.SiteProfiler` that
+        observed the same run — adds hot-site provenance (rank and
+        per-site check counts for the faulting address).
+        """
         current = self._current
         if current is None:
             current = AccessSite(exc.accessing_tid, -1, -1,
                                  exc.kind != "RAW", exc.address, exc.size)
         previous = self._last_writer.get(exc.address)
+        hot_site = None
+        if sites is not None:
+            stats = sites.addresses.get(exc.address)
+            if stats is not None:
+                hot_site = dict(stats)
+                hot_site["rank"] = sites.site_rank(exc.address)
         return RaceReport(
             kind=exc.kind,
             address=exc.address,
             current=current,
             previous=previous,
+            hot_site=hot_site,
         )
 
-    def render(self, exc: RaceException) -> str:
+    def render(self, exc: RaceException, sites: Optional[Any] = None) -> str:
         """Shortcut: the printable report text."""
-        return self.report(exc).render()
+        return self.report(exc, sites=sites).render()

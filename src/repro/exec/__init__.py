@@ -13,14 +13,26 @@ measurement harness such a sweep deserves:
 * :class:`~repro.exec.runner.JobRunner` — fans jobs out across
   ``multiprocessing`` workers with per-job timeouts, bounded retry with
   exponential backoff, graceful degradation to in-process execution,
-  and deterministic (submission-order) results.
+  deterministic (submission-order) results, and a cross-process
+  telemetry pipeline: each job executes inside a fresh telemetry scope
+  (:func:`~repro.exec.job.run_job_traced`) and its metrics/spans/
+  hot-site payload is merged back in submission order, so parallel and
+  serial sweeps report identical telemetry totals.
 
 See ``docs/experiment_runner.md`` for the job model, the cache layout
 and the failure semantics.
 """
 
 from .checkpoint import CheckpointStore
-from .job import Job, resolve
+from .job import Job, resolve, run_job, run_job_traced
 from .runner import JobResult, JobRunner
 
-__all__ = ["CheckpointStore", "Job", "JobResult", "JobRunner", "resolve"]
+__all__ = [
+    "CheckpointStore",
+    "Job",
+    "JobResult",
+    "JobRunner",
+    "resolve",
+    "run_job",
+    "run_job_traced",
+]

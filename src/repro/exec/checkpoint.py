@@ -26,7 +26,10 @@ from .job import Job
 __all__ = ["CheckpointStore", "FORMAT_VERSION"]
 
 #: Bump when the record schema changes; old entries become cache misses.
-FORMAT_VERSION = 1
+#: v2: records may carry a ``telemetry`` payload (metrics snapshot,
+#: instrument kinds, span records, hot-site profile) so cache-served
+#: jobs replay the telemetry of their original execution.
+FORMAT_VERSION = 2
 
 
 class CheckpointStore:

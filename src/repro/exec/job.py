@@ -18,9 +18,9 @@ import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
-__all__ = ["Job", "resolve", "run_job"]
+__all__ = ["Job", "resolve", "run_job", "run_job_traced"]
 
 
 def resolve(path: str) -> Callable[..., Any]:
@@ -87,3 +87,42 @@ def run_job(job: Job) -> Any:
     if config.pop("inject_failure", False):
         raise InjectedFailure(f"injected failure in {job.label}")
     return resolve(job.fn)(**config)
+
+
+def run_job_traced(
+    job: Job, sites: bool = False, sample_every: int = 1
+) -> Tuple[Any, Dict[str, Any]]:
+    """Execute ``job`` inside a fresh telemetry scope.
+
+    Returns ``(value, telemetry)`` where ``telemetry`` is a JSON-ready
+    dict carrying everything the job's execution published into the
+    ambient scope (see :mod:`repro.obs.context`):
+
+    * ``metrics`` / ``kinds`` — the worker registry's snapshot plus
+      instrument kinds, mergeable into a parent registry via
+      ``MetricsRegistry.merge_snapshot``;
+    * ``spans`` — finished span records (at least the wrapping
+      ``job.run`` span);
+    * ``sites`` — the hot-site profile payload when ``sites=True``,
+      else ``None``.
+
+    Telemetry rides in the worker's result message *and* in the
+    checkpoint record, so a cache-served job replays the exact
+    telemetry its original execution produced — a resumed report
+    aggregates the same totals as the run it resumed.
+    """
+    from ..obs import MetricsRegistry, SiteProfiler, Tracer, telemetry_scope
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    profiler = SiteProfiler(sample_every=sample_every) if sites else None
+    with telemetry_scope(registry=registry, tracer=tracer, sites=profiler):
+        with tracer.span("job.run", job=job.label, id=job.job_id):
+            value = run_job(job)
+    telemetry: Dict[str, Any] = {
+        "metrics": registry.snapshot(),
+        "kinds": registry.kinds(),
+        "spans": [span.to_record() for span in tracer.finished],
+        "sites": profiler.to_payload() if profiler is not None else None,
+    }
+    return value, telemetry

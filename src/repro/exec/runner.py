@@ -19,7 +19,21 @@ tables must not depend on scheduling noise.  Per job it provides:
   processes cannot be started at all (restricted sandboxes) the runner
   falls back to in-process execution instead of dying;
 * telemetry — one span per job on the :class:`~repro.obs.Tracer` and
-  ``runner.*`` counters in the :class:`~repro.obs.MetricsRegistry`.
+  ``runner.*`` counters in the :class:`~repro.obs.MetricsRegistry`;
+* cross-process telemetry — with ``job_telemetry`` on (the default)
+  every attempt executes inside a fresh telemetry scope
+  (:func:`~repro.exec.job.run_job_traced`) and ships its metrics
+  snapshot, span records and optional hot-site profile back alongside
+  the value; after the run the runner merges the per-job payloads **in
+  submission order** into its own registry/tracer/:attr:`sites`, so a
+  ``--jobs 4`` sweep aggregates exactly the totals of the serial one.
+  Telemetry also rides in the checkpoint record, so cache-served jobs
+  replay the telemetry of their original execution;
+* live status — when :attr:`JobRunner.status` is set to a
+  :class:`~repro.obs.StatusFile`, progress (totals, currently running
+  jobs, ETA) is atomically republished as the sweep advances, and
+  :meth:`JobRunner.status_snapshot` serves the same dict to the
+  ``/status`` HTTP endpoint.
 
 With ``workers <= 1`` and no timeout, jobs execute in-process (fast,
 no pickling constraints beyond the job model itself).
@@ -35,14 +49,20 @@ from multiprocessing.connection import wait as _wait_connections
 from typing import Any, Dict, List, Optional, Sequence
 
 from .checkpoint import CheckpointStore
-from .job import Job, run_job
+from .job import Job, run_job, run_job_traced
 
 __all__ = ["JobResult", "JobRunner"]
 
 
 @dataclass
 class JobResult:
-    """Outcome of one job: value or structured failure, never an exception."""
+    """Outcome of one job: value or structured failure, never an exception.
+
+    ``telemetry`` is the job's cross-process telemetry payload (metrics
+    snapshot + instrument kinds + span records + optional hot-site
+    profile) when the runner collects it — see
+    :func:`~repro.exec.job.run_job_traced` — else ``None``.
+    """
 
     job: Job
     status: str  # "ok" | "failed"
@@ -52,17 +72,35 @@ class JobResult:
     duration_s: float = 0.0
     cpu_s: float = 0.0
     cached: bool = False
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
         return self.status == "ok"
 
 
-def _worker_main(fn: str, config: Dict[str, Any], conn) -> None:
-    """Child-process entry: run the job, ship (status, ...) back."""
+def _worker_main(
+    fn: str,
+    config: Dict[str, Any],
+    conn,
+    telemetry: bool = True,
+    sites: bool = False,
+    sample_every: int = 1,
+) -> None:
+    """Child-process entry: run the job, ship (status, ...) back.
+
+    Telemetry options arrive as extra process args — never through the
+    job config, which is content-hashed into the job id.
+    """
     cpu0 = time.process_time()
     try:
-        value = run_job(Job(fn=fn, config=config))
+        job = Job(fn=fn, config=config)
+        if telemetry:
+            value, telem = run_job_traced(
+                job, sites=sites, sample_every=sample_every
+            )
+        else:
+            value, telem = run_job(job), None
     except BaseException as exc:  # noqa: BLE001 - everything is a job failure
         try:
             conn.send(
@@ -77,7 +115,7 @@ def _worker_main(fn: str, config: Dict[str, Any], conn) -> None:
             conn.close()
         return
     try:
-        conn.send(("ok", value, time.process_time() - cpu0))
+        conn.send(("ok", value, time.process_time() - cpu0, telem))
     finally:
         conn.close()
 
@@ -108,8 +146,20 @@ class JobRunner:
     registry: Any = None  # MetricsRegistry-compatible (duck-typed)
     tracer: Any = None  # Tracer-compatible (duck-typed)
     mp_context: Optional[str] = None  # "fork"/"spawn"/None = platform pick
+    #: collect per-job telemetry payloads and merge them post-run
+    job_telemetry: bool = True
+    #: attribute detector work to addresses/SFRs (fills :attr:`sites`)
+    profile_sites: bool = False
+    #: hot-site sampling period (1 = exact)
+    sample_every: int = 1
+    #: StatusFile-compatible sink for live progress (duck-typed)
+    status: Any = None
+    #: minimum seconds between status-file rewrites
+    status_interval: float = 0.5
     #: per-run tallies, reset by each :meth:`run` call
     stats: Dict[str, Any] = field(default_factory=dict)
+    #: merged SiteProfiler after a run with ``profile_sites`` (else None)
+    sites: Any = field(default=None, repr=False)
 
     # -- public API ---------------------------------------------------------
 
@@ -127,6 +177,13 @@ class JobRunner:
             "cpu_seconds": 0.0,
             "degraded": False,
         }
+        self._run_start = time.perf_counter()
+        self._running: Dict[int, str] = {}
+        self._done = 0
+        self._ok = 0
+        self._last_status = 0.0
+        self._total = len(jobs)
+        self._publish_status(state="starting", force=True)
         if self.registry is not None:
             self.registry.inc("runner.submitted", len(jobs))
             self.registry.set_gauge("runner.workers", self.workers)
@@ -143,14 +200,18 @@ class JobRunner:
                     duration_s=float(record.get("duration_s", 0.0)),
                     cpu_s=float(record.get("cpu_s", 0.0)),
                     cached=True,
+                    telemetry=record.get("telemetry"),
                 )
                 self._tally("cache_hits")
+                self._done += 1
+                self._ok += 1
                 if self.tracer is not None:
                     self.tracer.event(
                         "runner.job", job=job.label, id=job.job_id, cached=True
                     )
             else:
                 to_run.append(i)
+        self._publish_status(state="running", force=True)
         if to_run:
             if self.workers <= 1 and self.timeout is None and not any(
                 jobs[i].timeout for i in to_run
@@ -159,7 +220,78 @@ class JobRunner:
             else:
                 self._run_pool(jobs, to_run, results)
         assert all(r is not None for r in results)
+        self._merge_telemetry(results)
+        self._running = {}
+        self._publish_status(state="done", force=True)
         return results  # type: ignore[return-value]
+
+    def status_snapshot(self, state: Optional[str] = None) -> Dict[str, Any]:
+        """The live progress dict (also what :attr:`status` publishes)."""
+        if state is None:
+            state = getattr(self, "_state", "idle")
+        s = self.stats or {}
+        total = getattr(self, "_total", 0)
+        done = getattr(self, "_done", 0)
+        elapsed = time.perf_counter() - getattr(
+            self, "_run_start", time.perf_counter()
+        )
+        executed = s.get("executed", 0)
+        remaining = max(0, total - done)
+        eta_s: Optional[float] = None
+        if executed > 0 and remaining and state != "done":
+            # Cache hits are ~free; pace on executed jobs only.
+            eta_s = s.get("wall_seconds", 0.0) / executed * remaining / max(
+                1, min(self.workers, remaining)
+            )
+        return {
+            "state": state,
+            "total": total,
+            "done": done,
+            "ok": getattr(self, "_ok", 0),
+            "failed": s.get("failures", 0),
+            "cached": s.get("cache_hits", 0),
+            "executed": executed,
+            "retries": s.get("retries", 0),
+            "timeouts": s.get("timeouts", 0),
+            "workers": self.workers,
+            "degraded": bool(s.get("degraded")),
+            "running": sorted(getattr(self, "_running", {}).values()),
+            "elapsed_s": round(elapsed, 3),
+            "eta_s": round(eta_s, 3) if eta_s is not None else None,
+        }
+
+    def _publish_status(
+        self, state: Optional[str] = None, force: bool = False
+    ) -> None:
+        if state is not None:
+            self._state = state
+        if self.status is None:
+            return
+        now = time.perf_counter()
+        if not force and now - self._last_status < self.status_interval:
+            return
+        self._last_status = now
+        self.status.write(self.status_snapshot(state=state))
+
+    def _merge_telemetry(self, results: Sequence[Optional[JobResult]]) -> None:
+        """Fold per-job payloads into registry/tracer/sites, submission order."""
+        self.sites = None
+        if self.profile_sites:
+            from ..obs.sites import SiteProfiler
+
+            self.sites = SiteProfiler(sample_every=self.sample_every)
+        for result in results:
+            if result is None or not result.telemetry:
+                continue
+            telem = result.telemetry
+            if self.registry is not None and telem.get("metrics"):
+                self.registry.merge_snapshot(
+                    telem["metrics"], kinds=telem.get("kinds")
+                )
+            if self.tracer is not None and telem.get("spans"):
+                self.tracer.ingest(telem["spans"], job=result.job.label)
+            if self.sites is not None and telem.get("sites"):
+                self.sites.merge_payload(telem["sites"])
 
     # -- shared result plumbing --------------------------------------------
 
@@ -182,16 +314,25 @@ class JobRunner:
         self._tally("executed")
         self._tally("wall_seconds", result.duration_s)
         self._tally("cpu_seconds", result.cpu_s)
-        if not result.ok:
+        self._done += 1
+        if result.ok:
+            self._ok += 1
+        else:
             self._tally("failures")
+        self._running.pop(index, None)
         if self.store is not None and result.ok:
+            extra: Dict[str, Any] = {}
+            if result.telemetry is not None:
+                extra["telemetry"] = result.telemetry
             self.store.store(
                 result.job,
                 result.value,
                 attempts=result.attempts,
                 duration_s=result.duration_s,
                 cpu_s=result.cpu_s,
+                **extra,
             )
+        self._publish_status()
         if span is not None:
             span.set("status", result.status)
             span.set("attempts", result.attempts)
@@ -219,13 +360,22 @@ class JobRunner:
                 if self.tracer is not None
                 else None
             )
+            self._running[index] = job.label
+            self._publish_status()
             start = time.perf_counter()
             cpu0 = time.process_time()
             attempt = 0
             while True:
                 attempt += 1
                 try:
-                    value = run_job(job)
+                    if self.job_telemetry:
+                        value, telem = run_job_traced(
+                            job,
+                            sites=self.profile_sites,
+                            sample_every=self.sample_every,
+                        )
+                    else:
+                        value, telem = run_job(job), None
                 except BaseException as exc:  # noqa: BLE001
                     if attempt <= self.retries:
                         self._tally("retries")
@@ -247,6 +397,7 @@ class JobRunner:
                     attempts=attempt,
                     duration_s=time.perf_counter() - start,
                     cpu_s=time.process_time() - cpu0,
+                    telemetry=telem,
                 )
                 break
             self._finish(results, index, result, span)
@@ -277,7 +428,9 @@ class JobRunner:
         active: List[_Active] = []
         degraded: List[int] = []
 
-        def resolve_attempt(entry: _Active, error: Optional[str], value, cpu_s):
+        def resolve_attempt(
+            entry: _Active, error: Optional[str], value, cpu_s, telemetry=None
+        ):
             """One attempt ended (ok, error, crash or timeout)."""
             index = entry.index
             duration = time.perf_counter() - started[index]
@@ -292,11 +445,13 @@ class JobRunner:
                         attempts=entry.attempt,
                         duration_s=duration,
                         cpu_s=cpu_s,
+                        telemetry=telemetry,
                     ),
                     spans.pop(index, None),
                 )
             elif entry.attempt <= self.retries:
                 self._tally("retries")
+                self._running.pop(index, None)
                 ready_at[index] = (
                     time.perf_counter() + self._backoff_delay(entry.attempt)
                 )
@@ -337,7 +492,14 @@ class JobRunner:
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_worker_main,
-                    args=(job.fn, job.config, child_conn),
+                    args=(
+                        job.fn,
+                        job.config,
+                        child_conn,
+                        self.job_telemetry,
+                        self.profile_sites,
+                        self.sample_every,
+                    ),
                     daemon=True,
                 )
                 try:
@@ -352,6 +514,8 @@ class JobRunner:
                     degraded.append(index)
                     continue
                 child_conn.close()
+                self._running[index] = job.label
+                self._publish_status()
                 timeout = self._job_timeout(job)
                 attempt_start = time.perf_counter()
                 active.append(
@@ -399,8 +563,8 @@ class JobRunner:
                     else:
                         entry.process.join()
                         if message[0] == "ok":
-                            _, value, cpu_s = message
-                            resolve_attempt(entry, None, value, cpu_s)
+                            _, value, cpu_s, telem = message
+                            resolve_attempt(entry, None, value, cpu_s, telem)
                         else:
                             _, error, _tb, cpu_s = message
                             resolve_attempt(entry, error, None, cpu_s)

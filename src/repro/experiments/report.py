@@ -18,6 +18,14 @@ exits non-zero with a failure summary.
 default settings match what EXPERIMENTS.md records.  ``--telemetry``
 writes a JSONL timeline (one span per experiment plus one per job, via
 :mod:`repro.obs`) so slow reproduction passes can be profiled.
+
+Observability options (see docs/observability.md): ``--status PATH``
+atomically republishes live progress (totals, running jobs, ETA) as
+JSON while the sweep runs; ``--serve PORT`` exposes ``/metrics``
+(Prometheus text) and ``/status`` over HTTP for the duration of the
+run; ``--prom PATH`` writes a final Prometheus snapshot; ``--sites``
+collects hot-site attribution in every worker and prints the merged
+top-K table after the report.
 """
 
 from __future__ import annotations
@@ -27,7 +35,14 @@ import sys
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..exec import CheckpointStore, Job, JobRunner
-from ..obs import JsonlExporter, MetricsRegistry, Tracer
+from ..obs import (
+    JsonlExporter,
+    MetricsRegistry,
+    StatusFile,
+    TelemetryServer,
+    Tracer,
+    render_prom,
+)
 from ..workloads.suite import ALL_BENCHMARKS, HW_BENCHMARKS
 from . import (
     ablations,
@@ -232,6 +247,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--inject-failure", metavar="BENCHMARK",
         help="make BENCHMARK's jobs fail (tests graceful degradation)",
     )
+    parser.add_argument(
+        "--status", metavar="PATH", default=None,
+        help="atomically republish live run progress as JSON to PATH",
+    )
+    parser.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help="serve /metrics + /status over HTTP during the run "
+             "(0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--prom", metavar="PATH", default=None,
+        help="write a final Prometheus text snapshot of every metric",
+    )
+    parser.add_argument(
+        "--sites", action="store_true",
+        help="collect hot-site attribution in workers and print the "
+             "merged top-K table",
+    )
     return parser
 
 
@@ -241,6 +274,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     tracer = Tracer(exporter)
     registry = MetricsRegistry()
     store = None if args.no_cache else CheckpointStore(args.cache_dir)
+    status = StatusFile(args.status) if args.status else None
     runner = JobRunner(
         workers=args.jobs,
         timeout=args.timeout,
@@ -248,27 +282,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         store=store,
         registry=registry,
         tracer=tracer,
+        status=status,
+        profile_sites=args.sites,
     )
-    with tracer.span("report", fast=args.fast) as report_span:
-        results = run_all(
-            fast=args.fast,
-            tracer=tracer,
-            runner=runner,
-            inject_failure=args.inject_failure,
+    server = None
+    if args.serve is not None:
+        server = TelemetryServer(
+            registry=registry,
+            status_fn=runner.status_snapshot,
+            port=args.serve,
         )
-        for result in results:
-            print(result.render())
+        server.start()
+        print(f"[serving] http://127.0.0.1:{server.port}/metrics "
+              f"and /status", flush=True)
+    try:
+        with tracer.span("report", fast=args.fast) as report_span:
+            results = run_all(
+                fast=args.fast,
+                tracer=tracer,
+                runner=runner,
+                inject_failure=args.inject_failure,
+            )
+            for result in results:
+                print(result.render())
+                print()
+        print(f"[report completed in {report_span.duration:.1f}s]")
+        print(f"[runner] {runner.summary()}")
+        if args.sites and runner.sites is not None:
             print()
-    print(f"[report completed in {report_span.duration:.1f}s]")
-    print(f"[runner] {runner.summary()}")
-    failures = [line for result in results for line in result.failures]
-    if failures:
-        print(f"[failures] {len(failures)} job(s) failed:")
-        for line in failures:
-            print(f"  - {line}")
-    if exporter is not None:
-        exporter.export_metrics(registry, label="report")
-        exporter.close()
+            print(runner.sites.render())
+        failures = [line for result in results for line in result.failures]
+        if failures:
+            print(f"[failures] {len(failures)} job(s) failed:")
+            for line in failures:
+                print(f"  - {line}")
+        if args.prom:
+            with open(args.prom, "w", encoding="utf-8") as fh:
+                fh.write(render_prom(registry))
+            print(f"[prom] wrote metrics snapshot to {args.prom}")
+        if exporter is not None:
+            exporter.export_metrics(registry, label="report")
+            exporter.close()
+    finally:
+        if server is not None:
+            server.stop()
     return 1 if failures else 0
 
 

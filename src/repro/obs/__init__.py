@@ -14,15 +14,34 @@ gives every layer of the reproduction one way to expose those numbers:
   ratios, the synchronization-op mix, SFR lengths and lock contention
   without perturbing detection order;
 * :func:`publish_detector_metrics` - mirror any detector's counters
-  (CLEAN or the baselines) into a registry.
+  (CLEAN or the baselines) into a registry;
+* :func:`telemetry_scope` + ``current_*`` - the ambient per-process
+  context worker jobs publish into (the cross-process pipeline);
+* :class:`SiteProfiler` - hot-site attribution of detector work and
+  races to addresses/SFRs;
+* :func:`render_prom` / :class:`TelemetryServer` / :class:`StatusFile` -
+  Prometheus text exposition, the ``/metrics`` + ``/status`` HTTP
+  endpoint, and the atomically rewritten live-progress file.
 
-See ``docs/observability.md`` for the metric name glossary and the span
-schema.
+See ``docs/observability.md`` for the metric name glossary, the span
+schema, the merge rules and the exposition format.
 """
 
 from .bridges import publish_detector_metrics, publish_sim_metrics
+from .context import (
+    TelemetryContext,
+    current_context,
+    current_registry,
+    current_sites,
+    current_tracer,
+    telemetry_scope,
+)
 from .monitor import TelemetryMonitor
+from .prom import prom_name, render_prom
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .serve import TelemetryServer
+from .sites import SiteProfiler
+from .status import StatusFile
 from .tracer import JsonlExporter, Span, Timer, Tracer, read_jsonl
 
 __all__ = [
@@ -31,11 +50,22 @@ __all__ = [
     "Histogram",
     "JsonlExporter",
     "MetricsRegistry",
+    "SiteProfiler",
     "Span",
+    "StatusFile",
+    "TelemetryContext",
     "TelemetryMonitor",
+    "TelemetryServer",
     "Timer",
     "Tracer",
+    "current_context",
+    "current_registry",
+    "current_sites",
+    "current_tracer",
+    "prom_name",
     "publish_detector_metrics",
     "publish_sim_metrics",
     "read_jsonl",
+    "render_prom",
+    "telemetry_scope",
 ]

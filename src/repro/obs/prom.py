@@ -1,0 +1,73 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+Zero dependencies: the renderer emits the `text-based exposition
+format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4) that any Prometheus-compatible scraper parses:
+
+* counters and gauges become one ``# TYPE`` line plus one sample;
+* gauges additionally expose their high-water mark as
+  ``<name>_high_water``;
+* histograms become the canonical triplet — cumulative
+  ``<name>_bucket{le="..."}`` series ending in ``le="+Inf"``, plus
+  ``<name>_sum`` and ``<name>_count``.
+
+Dotted registry names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*``
+metric-name alphabet (``mem.reads.shared`` → ``mem_reads_shared``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["prom_name", "render_prom"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prom_name(name: str) -> str:
+    """A registry name as a valid Prometheus metric name."""
+    sanitized = _INVALID.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _fmt(value: Union[int, float]) -> str:
+    """A sample value in exposition syntax (ints without a dot)."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prom(registry: MetricsRegistry) -> str:
+    """The registry's current state in Prometheus text format."""
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        name = prom_name(instrument.name)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(instrument.value)}")
+            lines.append(f"# TYPE {name}_high_water gauge")
+            lines.append(f"{name}_high_water {_fmt(instrument.high_water)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(instrument.bounds, instrument.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            lines.append(
+                f'{name}_bucket{{le="+Inf"}} {instrument.count}'
+            )
+            lines.append(f"{name}_sum {_fmt(instrument.total)}")
+            lines.append(f"{name}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

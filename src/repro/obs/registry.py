@@ -12,6 +12,23 @@ on first use.  Names are dotted strings; the glossary lives in
 ``docs/observability.md``.  Snapshots are plain dicts (JSON-ready), and
 ``diff`` turns two snapshots into the delta a single phase contributed —
 the idiom the hardware simulator uses to discard its warmup pass.
+
+Instruments additionally have well-defined **merge** semantics so
+telemetry survives process fan-out (the parallel experiment runner ships
+each worker's snapshot back to the parent):
+
+* counters *add* (``merge(v)`` == ``inc(v)``) — order-independent;
+* gauges *take the incoming value* (last-write-wins) while the high
+  water mark takes the maximum — merging in submission order therefore
+  reproduces a serial run exactly;
+* histograms add bucket-by-bucket (bounds must be compatible: every
+  incoming bucket bound must exist in the receiving histogram).
+
+``MetricsRegistry.merge_snapshot(snapshot, kinds)`` applies one worker
+snapshot; because a scalar snapshot value cannot distinguish a counter
+from a gauge, the optional ``kinds`` mapping (from
+:meth:`MetricsRegistry.kinds`) carries the instrument kind — without it,
+unknown scalar names default to counters.
 """
 
 from __future__ import annotations
@@ -52,6 +69,10 @@ class Counter:
         """
         self.value = value
 
+    def merge(self, value: Number) -> None:
+        """Fold another counter's snapshot in: counts add."""
+        self.value += value
+
     def snapshot(self) -> Number:
         return self.value
 
@@ -78,6 +99,11 @@ class Gauge:
 
     def add(self, amount: Number) -> None:
         self.set(self.value + amount)
+
+    def merge(self, value: Number) -> None:
+        """Fold another gauge's snapshot in: last write wins, the high
+        water mark keeps the maximum either side ever held."""
+        self.set(value)
 
     def snapshot(self) -> Number:
         return self.value
@@ -136,6 +162,34 @@ class Histogram:
                 if n
             ] + ([[None, self.bucket_counts[-1]]] if self.bucket_counts[-1] else []),
         }
+
+    def merge(self, snap: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` in, bucket by bucket.
+
+        Every incoming bucket bound must exist in this histogram's
+        bounds (``None`` is the shared overflow bucket); anything else
+        raises ``ValueError`` — silently re-bucketing samples would make
+        merged distributions lie.
+        """
+        index = {bound: i for i, bound in enumerate(self.bounds)}
+        for bound, n in snap.get("buckets", []):  # type: ignore[union-attr]
+            if bound is None:
+                self.bucket_counts[-1] += n
+            elif bound in index:
+                self.bucket_counts[index[bound]] += n
+            else:
+                raise ValueError(
+                    f"histogram {self.name!r} has no bucket bound {bound!r}; "
+                    "merging histograms needs compatible bounds"
+                )
+        self.count += snap.get("count", 0)
+        self.total += snap.get("sum", 0)
+        for other in (snap.get("min"),):
+            if other is not None and (self.min is None or other < self.min):
+                self.min = other
+        for other in (snap.get("max"),):
+            if other is not None and (self.max is None or other > self.max):
+                self.max = other
 
     def reset(self) -> None:
         self.bucket_counts = [0] * (len(self.bounds) + 1)
@@ -220,7 +274,12 @@ class MetricsRegistry:
     def instruments(self) -> Iterable[Instrument]:
         return (self._instruments[name] for name in self.names())
 
-    # -- snapshot / diff / export ------------------------------------------
+    def kinds(self) -> Dict[str, str]:
+        """Instrument kind per name — ship alongside :meth:`snapshot` so
+        a merging peer can tell counters from gauges."""
+        return {name: self._instruments[name].kind for name in self.names()}
+
+    # -- snapshot / diff / merge / export ----------------------------------
 
     def snapshot(self) -> Dict[str, object]:
         """All instruments as a plain JSON-ready dict, sorted by name."""
@@ -232,26 +291,77 @@ class MetricsRegistry:
     ) -> Dict[str, object]:
         """What changed between two snapshots.
 
-        Scalar entries (counters/gauges) report ``after - before``;
-        histogram entries report the delta of ``count`` and ``sum``.
-        Entries absent from ``before`` count from zero; unchanged entries
-        are omitted.
+        Scalar entries (counters/gauges) report ``after - before``.  A
+        histogram entry reports a dict of exactly three keys:
+        ``{"count": int, "sum": number, "buckets": [[bound, n], ...]}``
+        — the delta of sample count, sample sum, and per-bucket counts
+        (only buckets whose count changed appear; ``None`` is the
+        overflow bucket; the list is ordered by bound, overflow last).
+        Entries absent from ``before`` count from zero; unchanged
+        entries are omitted.
         """
         delta: Dict[str, object] = {}
         for name, now in after.items():
             prev = before.get(name)
             if isinstance(now, dict):
+                prev_buckets = (
+                    {b: n for b, n in prev.get("buckets", [])}
+                    if isinstance(prev, dict)
+                    else {}
+                )
                 prev_count = prev.get("count", 0) if isinstance(prev, dict) else 0
                 prev_sum = prev.get("sum", 0) if isinstance(prev, dict) else 0
                 d_count = now.get("count", 0) - prev_count
                 d_sum = now.get("sum", 0) - prev_sum
-                if d_count or d_sum:
-                    delta[name] = {"count": d_count, "sum": d_sum}
+                d_buckets = []
+                for bound, n in now.get("buckets", []):
+                    d = n - prev_buckets.pop(bound, 0)
+                    if d:
+                        d_buckets.append([bound, d])
+                # Buckets that emptied out entirely (possible after reset).
+                for bound, n in prev_buckets.items():
+                    if n:
+                        d_buckets.append([bound, -n])
+                if d_count or d_sum or d_buckets:
+                    delta[name] = {
+                        "count": d_count, "sum": d_sum, "buckets": d_buckets
+                    }
             else:
                 d = now - (prev if isinstance(prev, (int, float)) else 0)
                 if d:
                     delta[name] = d
         return delta
+
+    def merge_snapshot(
+        self,
+        snapshot: Dict[str, object],
+        kinds: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Fold one :meth:`snapshot` (e.g. from a worker process) in.
+
+        Dict-valued entries merge as histograms; scalar entries consult
+        ``kinds`` (then any existing instrument of that name, then
+        default to counter) to decide between counter-add and
+        gauge-last-write semantics.  Iteration is name-sorted, so
+        merging the same snapshots in the same order is deterministic.
+        """
+        kinds = kinds or {}
+        for name in sorted(snapshot):
+            value = snapshot[name]
+            if isinstance(value, dict):
+                self.histogram(name).merge(value)
+                continue
+            kind = kinds.get(name)
+            if kind is None and name in self._instruments:
+                kind = self._instruments[name].kind
+            if kind == "gauge":
+                self.gauge(name).merge(value)  # type: ignore[arg-type]
+            else:
+                self.counter(name).merge(value)  # type: ignore[arg-type]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another live registry in (see :meth:`merge_snapshot`)."""
+        self.merge_snapshot(other.snapshot(), other.kinds())
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """The snapshot as a JSON document."""

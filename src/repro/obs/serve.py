@@ -1,0 +1,117 @@
+"""A zero-dependency telemetry HTTP endpoint (stdlib ``http.server``).
+
+``repro profile --serve PORT`` / ``report --serve PORT`` start one of
+these next to a long run:
+
+* ``GET /metrics`` — the shared registry in Prometheus text format
+  (see :mod:`repro.obs.prom`), scrapable by any Prometheus-compatible
+  collector;
+* ``GET /status``  — the live job-progress JSON (the same payload the
+  :class:`~repro.obs.status.StatusFile` publishes);
+* ``GET /``        — a one-line index.
+
+The server runs in a daemon thread and binds ``127.0.0.1`` only — this
+is an operator convenience, not a hardened service.  Reads are lock-free
+snapshots of in-memory dicts; under CPython's GIL a scrape can at worst
+observe a metrically-consistent mid-run state, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+
+from .prom import render_prom
+from .registry import MetricsRegistry
+
+__all__ = ["TelemetryServer"]
+
+
+class TelemetryServer:
+    """Serves ``/metrics`` and ``/status`` for a registry + status source.
+
+    ``status_fn`` is any zero-argument callable returning a JSON-ready
+    dict (e.g. ``runner.status_snapshot``); omitted, ``/status`` serves
+    ``{}``.  ``port=0`` binds an ephemeral port — read :attr:`port`
+    after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        status_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.status_fn = status_fn
+        self._requested = (host, port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> int:
+        """Bind and start serving in a daemon thread; returns the port."""
+        if self._httpd is not None:
+            return self.port
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0].rstrip("/") or "/"
+                if path == "/metrics":
+                    body = render_prom(server.registry).encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif path == "/status":
+                    payload = (
+                        server.status_fn() if server.status_fn is not None
+                        else {}
+                    )
+                    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+                    ctype = "application/json"
+                elif path == "/":
+                    body = b"repro telemetry: /metrics /status\n"
+                    ctype = "text/plain; charset=utf-8"
+                else:
+                    self.send_error(404, "unknown endpoint")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes must not interleave with report output
+
+        self._httpd = ThreadingHTTPServer(self._requested, Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    @property
+    def port(self) -> int:
+        """The bound port (0 before :meth:`start`)."""
+        return self._httpd.server_address[1] if self._httpd else 0
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

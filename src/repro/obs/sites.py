@@ -1,0 +1,171 @@
+"""Hot-site attribution: *where* detector work and races concentrate.
+
+The paper attributes cost, not just totals — Figure 10 splits slowdown
+into instrumentation vs. race-check work, Section 6.2 reports which
+benchmarks raise exceptions.  The :class:`SiteProfiler` carries that
+attribution down to program sites: for every checked address it counts
+full race checks (split read/write), same-epoch fast-path hits, and
+raised races; per synchronization-free region (``t<tid>/r<index>``) it
+counts the checks issued inside it.  ``top_sites()`` / ``top_regions()``
+return the top-K ranked by work, with address/key as a deterministic
+tie-break, so a seeded workload always prints the same table.
+
+Sampling: ``sample_every=N`` records every Nth attribution event, with
+each recorded event weighted by N, trading exactness for hot-path cost;
+the default ``1`` is exact (and what the deterministic tables use).
+
+Profiles are mergeable across processes: :meth:`to_payload` is a plain
+JSON dict, :meth:`merge_payload` sums one in — the same discipline the
+metrics registry uses for counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["SiteProfiler"]
+
+_SITE_FIELDS = ("checks", "reads", "writes", "same_epoch", "races")
+
+
+class SiteProfiler:
+    """Attributes detector work to addresses and SFRs; mergeable."""
+
+    def __init__(self, sample_every: int = 1, top_k: int = 10) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = int(sample_every)
+        self.top_k = int(top_k)
+        #: address -> {checks, reads, writes, same_epoch, races}
+        self.addresses: Dict[int, Dict[str, int]] = {}
+        #: "t<tid>/r<region>" -> checks issued inside that SFR
+        self.regions: Dict[str, int] = {}
+        self._region_index: Dict[int, int] = {}
+        self._tick = 0
+
+    # -- recording (called from the CleanMonitor hot path) ------------------
+
+    def _site(self, address: int) -> Dict[str, int]:
+        site = self.addresses.get(address)
+        if site is None:
+            site = self.addresses[address] = dict.fromkeys(_SITE_FIELDS, 0)
+        return site
+
+    def _sampled(self) -> int:
+        """The weight of this event: 0 (skipped) or ``sample_every``."""
+        self._tick += 1
+        if self._tick % self.sample_every:
+            return 0
+        return self.sample_every
+
+    def note_check(self, tid: int, address: int, is_write: bool) -> None:
+        """One full race check of ``address`` by thread ``tid``."""
+        weight = self._sampled()
+        if not weight:
+            return
+        site = self._site(address)
+        site["checks"] += weight
+        site["writes" if is_write else "reads"] += weight
+        region = f"t{tid}/r{self._region_index.get(tid, 0)}"
+        self.regions[region] = self.regions.get(region, 0) + weight
+
+    def note_same_epoch(self, tid: int, address: int, is_write: bool) -> None:
+        """One same-epoch fast-path hit (a check that was skipped)."""
+        weight = self._sampled()
+        if weight:
+            self._site(address)["same_epoch"] += weight
+
+    def note_sync(self, tid: int) -> None:
+        """Thread ``tid`` committed a sync op: its next SFR begins."""
+        self._region_index[tid] = self._region_index.get(tid, 0) + 1
+
+    def note_race(self, address: int) -> None:
+        """A race exception fired on ``address`` (never sampled away)."""
+        self._site(address)["races"] += 1
+
+    # -- ranking ------------------------------------------------------------
+
+    @staticmethod
+    def _work(site: Dict[str, int]) -> int:
+        """Total attributed shadow-memory work at one site."""
+        return site["checks"] + site["same_epoch"]
+
+    def top_sites(
+        self, k: Optional[int] = None
+    ) -> List[Tuple[int, Dict[str, int]]]:
+        """Top-K ``(address, stats)`` by work, then races, then address."""
+        ranked = sorted(
+            self.addresses.items(),
+            key=lambda item: (-self._work(item[1]), -item[1]["races"], item[0]),
+        )
+        return ranked[: (k if k is not None else self.top_k)]
+
+    def top_regions(self, k: Optional[int] = None) -> List[Tuple[str, int]]:
+        """Top-K ``(sfr_key, checks)`` by checks, then key."""
+        ranked = sorted(
+            self.regions.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[: (k if k is not None else self.top_k)]
+
+    def site_rank(self, address: int) -> Optional[int]:
+        """1-based rank of ``address`` in the full site ordering."""
+        for rank, (addr, _) in enumerate(self.top_sites(len(self.addresses)), 1):
+            if addr == address:
+                return rank
+        return None
+
+    # -- merge / serialize ---------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready dict (addresses stringified for JSON object keys)."""
+        return {
+            "sample_every": self.sample_every,
+            "addresses": {
+                str(addr): dict(site) for addr, site in self.addresses.items()
+            },
+            "regions": dict(self.regions),
+        }
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Sum another profiler's :meth:`to_payload` into this one."""
+        for addr_str, stats in payload.get("addresses", {}).items():
+            site = self._site(int(addr_str))
+            for field in _SITE_FIELDS:
+                site[field] += stats.get(field, 0)
+        for region, checks in payload.get("regions", {}).items():
+            self.regions[region] = self.regions.get(region, 0) + checks
+
+    # -- presentation --------------------------------------------------------
+
+    def render(self, k: Optional[int] = None) -> str:
+        """The two top-K tables (addresses, then SFRs) as printable text."""
+        k = k if k is not None else self.top_k
+        lines = [
+            f"== hot sites: top {k} addresses by race-check work ==",
+            "",
+            f"{'rank':<5} {'address':<12} {'checks':>9} {'reads':>9} "
+            f"{'writes':>9} {'same-ep':>9} {'races':>6}",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for rank, (addr, s) in enumerate(self.top_sites(k), 1):
+            lines.append(
+                f"{rank:<5} {addr:#012x} {s['checks']:>9} {s['reads']:>9} "
+                f"{s['writes']:>9} {s['same_epoch']:>9} {s['races']:>6}"
+            )
+        if not self.addresses:
+            lines.append("(no attributed checks)")
+        lines += [
+            "",
+            f"== hot SFRs: top {k} synchronization-free regions by checks ==",
+            "",
+            f"{'rank':<5} {'sfr':<16} {'checks':>9}",
+        ]
+        lines.append("-" * len(lines[-1]))
+        for rank, (region, checks) in enumerate(self.top_regions(k), 1):
+            lines.append(f"{rank:<5} {region:<16} {checks:>9}")
+        if not self.regions:
+            lines.append("(no attributed regions)")
+        if self.sample_every > 1:
+            lines += ["", f"(sampled: every {self.sample_every}th event, "
+                          "counts scaled)"]
+        return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Live run status, atomically published to a file.
+
+A long report run is opaque from the outside: the tables only print at
+the end.  :class:`StatusFile` gives the runner a place to publish its
+progress — jobs done / failed / cached, the currently running ("hot")
+jobs, and an ETA — that any other process can read at any instant
+without ever observing a torn write: every update goes to a temporary
+file in the same directory and is renamed into place (``os.replace`` is
+atomic on POSIX and Windows).
+
+The payload is one JSON object; :meth:`StatusFile.read` loads it back
+(``None`` while the file does not exist yet or mid-create).  The
+telemetry HTTP server's ``/status`` endpoint serves the same shape
+directly from the runner's memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["StatusFile"]
+
+
+class StatusFile:
+    """Atomically rewritten JSON snapshot of a run's progress."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def write(self, payload: Dict[str, Any]) -> None:
+        """Replace the file's contents with ``payload`` (plus a wall-clock
+        ``updated_at`` stamp), atomically."""
+        record = dict(payload)
+        record.setdefault("updated_at", time.time())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), suffix=".status.tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(record, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def read(self) -> Optional[Dict[str, Any]]:
+        """The last published payload, or ``None`` if absent/corrupt."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def remove(self) -> None:
+        """Delete the file if present (end-of-run cleanup is optional —
+        the final payload is often worth keeping as an artifact)."""
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

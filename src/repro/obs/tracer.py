@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import IO, Any, Dict, List, Optional, Union
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
 __all__ = ["JsonlExporter", "Span", "Timer", "Tracer", "read_jsonl"]
 
@@ -80,6 +80,8 @@ class Tracer:
     def __init__(self, exporter: Optional["JsonlExporter"] = None) -> None:
         self.exporter = exporter
         self.finished: List[Span] = []
+        #: span *records* adopted from other processes via :meth:`ingest`.
+        self.ingested: List[Dict[str, Any]] = []
         self._stack: List[Span] = []
         self._next_id = 1
 
@@ -99,9 +101,20 @@ class Tracer:
         return span
 
     def end_span(self, span: Span) -> Span:
+        """Finish ``span``, tolerating out-of-order closes.
+
+        Removal from the open-span stack is *by identity*, scanning from
+        the top: closing a span does not disturb any other open span, so
+        a parent closed before its child (monitors with overlapping
+        lifetimes do this) leaves the child's — and every later span's —
+        parent attribution intact.  Double-closing is a no-op on the
+        stack.
+        """
         span.end = time.perf_counter()
-        if span in self._stack:
-            self._stack.remove(span)
+        for i in range(len(self._stack) - 1, -1, -1):
+            if self._stack[i] is span:
+                del self._stack[i]
+                break
         self.finished.append(span)
         if self.exporter is not None:
             self.exporter.export(span.to_record())
@@ -110,6 +123,32 @@ class Tracer:
     def event(self, name: str, **attrs: Any) -> Span:
         """A zero-duration marker span."""
         return self.end_span(self.start_span(name, **attrs))
+
+    def ingest(
+        self, records: Iterable[Dict[str, Any]], **attrs: Any
+    ) -> int:
+        """Adopt finished span *records* from another process.
+
+        Worker processes cannot share a tracer; they ship
+        ``Span.to_record()`` dicts back instead.  ``attrs`` (e.g. the
+        owning job's label) are merged into each record's ``attrs`` so
+        provenance survives the flattening of per-process span-id
+        namespaces.  Records are re-exported when an exporter is
+        attached and kept on :attr:`ingested`; returns how many were
+        adopted.
+        """
+        count = 0
+        for record in records:
+            if attrs:
+                record = dict(record)
+                merged = dict(record.get("attrs") or {})
+                merged.update(attrs)
+                record["attrs"] = merged
+            self.ingested.append(record)
+            if self.exporter is not None:
+                self.exporter.export(record)
+            count += 1
+        return count
 
     def spans_named(self, name: str) -> List[Span]:
         return [s for s in self.finished if s.name == name]

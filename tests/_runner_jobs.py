@@ -22,6 +22,28 @@ def sleeper(seconds, value="done"):
     return value
 
 
+def clean_workload(seed=0, runs=1, race_probability=0.0):
+    """Seeded CLEAN runs that publish ``clean.*`` telemetry.
+
+    Exercises the cross-process pipeline: the CleanMonitor accumulates
+    its counters (and feeds the site profiler) into whatever ambient
+    telemetry scope the runner installed around this job.
+    """
+    from repro.clean import run_clean
+    from repro.runtime import RandomPolicy
+    from repro.workloads import make_random_program
+
+    races = 0
+    for i in range(runs):
+        program, _ = make_random_program(
+            seed + i, race_probability=race_probability
+        )
+        result = run_clean(program, policy=RandomPolicy(seed + i))
+        if result.race is not None:
+            races += 1
+    return {"seed": seed, "runs": runs, "races": races}
+
+
 def flaky(counter_file, fail_times=1, value="eventually"):
     """Fail the first ``fail_times`` calls, then succeed.
 

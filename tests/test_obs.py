@@ -90,7 +90,8 @@ class TestMetricsRegistry:
         reg.inc("new", 1)
         delta = MetricsRegistry.diff(before, reg.snapshot())
         assert delta["c"] == 3
-        assert delta["h"] == {"count": 1, "sum": 5}
+        assert delta["h"]["count"] == 1 and delta["h"]["sum"] == 5
+        assert delta["h"]["buckets"] == [[8, 1]]  # 5 lands in the <=8 bucket
         assert delta["new"] == 1
         assert MetricsRegistry.diff(reg.snapshot(), reg.snapshot()) == {}
 
