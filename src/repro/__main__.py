@@ -37,6 +37,13 @@ trace NAME OUT.jsonl [--scale S] [--seed K]
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
          [--telemetry OUT.jsonl]
     Replay a recorded trace on the hardware simulator.
+chaos [--seed N] [--faults KINDS] [--jobs N] [--watchdog S]
+      [--workdir DIR] [--report PATH] [--json]
+    Inject faults (trace-bitflip, checkpoint-truncate, worker-crash,
+    worker-hang, monitor-raise) under a seeded plan and assert the
+    recovery invariants end to end: every fault detected and survived,
+    no hang, surviving results deterministic across two passes.  Exits
+    non-zero only if an invariant fails (see docs/robustness.md).
 list
     List the modelled benchmarks and their characteristics.
 
@@ -414,6 +421,53 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .faults import run_chaos
+    from .obs import MetricsRegistry
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    registry = MetricsRegistry()
+    report = run_chaos(
+        seed=args.seed,
+        faults=args.faults,
+        workdir=workdir,
+        workers=args.jobs,
+        watchdog=args.watchdog,
+        registry=registry,
+    )
+    if args.report:
+        import shutil
+
+        shutil.copyfile(f"{workdir}/chaos_report.json", args.report)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"chaos: seed={report['seed']} faults={','.join(report['faults'])}")
+        for c in report["checks"]:
+            state = (
+                "ok"
+                if c["detected"] and c["recovered"]
+                else "NOT DETECTED" if not c["detected"] else "NOT RECOVERED"
+            )
+            target = f" -> {c['target']}" if "target" in c else ""
+            print(f"  {c['fault']:<20s}{target:<18s} {state}")
+        print(
+            f"  deterministic: {'yes' if report['deterministic'] else 'NO'}; "
+            f"report: {workdir}/chaos_report.json"
+        )
+    counters = {
+        k: v
+        for k, v in registry.snapshot().items()
+        if k.startswith(("faults.", "trace.", "checkpoint."))
+    }
+    if counters and not args.json:
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     from .workloads import ALL_BENCHMARKS
 
@@ -543,6 +597,30 @@ def main(argv=None) -> int:
     p.add_argument("--unit", default="clean", choices=["clean", "precise"])
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser(
+        "chaos",
+        help="inject faults end to end and assert every recovery invariant",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--faults",
+        default="trace-bitflip,checkpoint-truncate,worker-crash",
+        metavar="KINDS",
+        help="comma-separated fault kinds (trace-bitflip, "
+             "checkpoint-truncate, worker-crash, worker-hang, monitor-raise)",
+    )
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="worker processes for the chaos job passes")
+    p.add_argument("--watchdog", type=float, default=3.0, metavar="SECONDS",
+                   help="silent-worker window before the watchdog kills it")
+    p.add_argument("--workdir", default=None, metavar="DIR",
+                   help="working directory for artifacts (default: temp dir)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="copy the JSON chaos report to PATH")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser("list", help="list the modelled benchmarks")
     p.add_argument("--measured", action="store_true",

@@ -250,6 +250,12 @@ class CleanMonitor(ExecutionMonitor):
 
     # -- rollover -----------------------------------------------------------------
 
+    def on_rollback(self, tid: int) -> None:
+        # Recovery discarded ``tid``'s open SFR: the epochs its buffered
+        # writes installed were scrubbed, so the written-this-epoch set
+        # no longer describes shadow state.
+        self._invalidate(tid)
+
     def on_sync_commit(self, tid: int, op: Op) -> None:
         self._invalidate(tid)
         if self.sites is not None:
@@ -371,12 +377,20 @@ def run_clean(
     raise_on_race: bool = False,
     registry: Optional[MetricsRegistry] = None,
     fastpath: bool = True,
+    recovery: Optional[object] = None,
 ) -> ExecutionResult:
     """Run ``program`` under CLEAN and return its execution result.
 
     The returned result's ``race`` field carries the
     :class:`~repro.core.exceptions.RaceException` if the execution was
     stopped; ``raise_on_race=True`` re-raises it instead.
+
+    ``recovery`` — a mode string (``"abort"``, ``"quarantine"``,
+    ``"rollback-retry"``) or a
+    :class:`~repro.runtime.recovery.RecoveryPolicy` — makes the
+    scheduler buffer SFR writes and *survive* race exceptions instead of
+    stopping; the result's ``recovery`` field then carries the
+    :class:`~repro.runtime.recovery.RecoveryReport`.
     """
     monitors, _clean, _gate = clean_stack(
         detect=detect,
@@ -395,4 +409,5 @@ def run_clean(
         max_threads=max_threads,
         counter_cost=counter_cost if counter_cost is not None else PreciseCounter(),
         raise_on_race=raise_on_race,
+        recovery=recovery,
     )

@@ -25,7 +25,7 @@ update any metadata, and writes are only compared against the last write.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from .epoch import DEFAULT_LAYOUT, EpochLayout
 from .events import DetectorBackend, stable_sync_id
@@ -354,6 +354,52 @@ class CleanDetector(DetectorBackend):
         """Wide-CAS update of all epochs of a uniform multi-byte access."""
         for i in range(size):
             self._cas_update(address + i, expected, new_epoch, thread, size)
+
+    # -- recovery hooks -------------------------------------------------------
+    #
+    # Race-exception recovery (repro.runtime.recovery) leans on two
+    # operations the epoch scheme makes cheap.  Both are conservative in
+    # the missed-race direction only — exactly the trade the paper's own
+    # rollover reset already makes — and neither touches the access-
+    # statistics counters, so the cost model stays faithful to the
+    # checks actually performed.
+
+    def rollback_writes(self, tid: int, addresses: Iterable[int]) -> int:
+        """Forget ``tid``'s open-epoch write metadata at ``addresses``.
+
+        Called when recovery discards an SFR whose buffered stores never
+        became visible: any epoch still carrying the faulting thread's
+        current ``(tid, clock)`` pair describes a write that no longer
+        exists.  Scrubbed locations read as epoch 0 afterwards (like a
+        never-written byte).  Returns how many epochs were scrubbed.
+        """
+        thread = self._threads.get(tid)
+        if thread is None:
+            return 0
+        mine = thread.vc.element(tid)
+        shadow = self.shadow
+        scrubbed = 0
+        for address in addresses:
+            if shadow.peek(address) == mine:
+                shadow.clear(address)
+                scrubbed += 1
+        return scrubbed
+
+    def absorb_epoch(self, tid: int, writer_tid: int, writer_clock: int) -> None:
+        """Order a prior write before everything ``tid`` does from now on.
+
+        Recovery *serializes* the two sides of a detected race: after the
+        faulting SFR is discarded, the retried SFR must be ordered after
+        the conflicting write, or the deterministic re-execution would
+        re-raise the very same exception.  Joining the writer's clock
+        into ``tid``'s vector clock is precisely the effect an acquire of
+        a lock released by the writer would have had.
+        """
+        thread = self._threads.get(tid)
+        if thread is None:
+            return
+        if thread.vc.clock_of(writer_tid) < writer_clock:
+            thread.vc.set_clock(writer_tid, writer_clock)
 
     # -- rollover (Section 4.5) ---------------------------------------------
 

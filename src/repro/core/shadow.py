@@ -72,6 +72,22 @@ class SparseShadow:
         self.loads += size
         return [get(address + i, 0) for i in range(size)]
 
+    def peek(self, address: int) -> int:
+        """Epoch at ``address`` without touching the access counters.
+
+        Recovery-path inspection only — never part of a race check, so
+        it must not skew the cost-model statistics.
+        """
+        return self._epochs.get(address, 0)
+
+    def clear(self, address: int) -> None:
+        """Forget the epoch at ``address`` (reads as 0 afterwards).
+
+        Recovery uses this to scrub the metadata of discarded SFR
+        writes; uncounted for the same reason as :meth:`peek`.
+        """
+        self._epochs.pop(address, None)
+
     def store_range(self, address: int, size: int, epoch: int) -> None:
         """Set ``size`` consecutive bytes' epochs to the same ``epoch``."""
         self.stores += size
@@ -143,6 +159,14 @@ class DenseShadow:
         self._index(address + size - 1)
         self.loads += size
         return [int(e) for e in self._epochs[start : start + size]]
+
+    def peek(self, address: int) -> int:
+        """Uncounted epoch inspection (see :meth:`SparseShadow.peek`)."""
+        return int(self._epochs[self._index(address)])
+
+    def clear(self, address: int) -> None:
+        """Uncounted epoch scrub (see :meth:`SparseShadow.clear`)."""
+        self._epochs[self._index(address)] = 0
 
     def store_range(self, address: int, size: int, epoch: int) -> None:
         start = self._index(address)

@@ -25,9 +25,47 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from .core.exceptions import RaceException
+from .runtime.recovery import RecoveryReport
 from .runtime.scheduler import ExecutionMonitor
 
-__all__ = ["AccessSite", "RaceContextMonitor", "RaceReport"]
+__all__ = [
+    "AccessSite",
+    "RaceContextMonitor",
+    "RaceReport",
+    "render_recovery",
+]
+
+
+def render_recovery(report: RecoveryReport) -> str:
+    """Printable summary of a run's recovery actions.
+
+    The counterpart of :meth:`RaceReport.render` for executions that ran
+    under a :class:`~repro.runtime.recovery.RecoveryPolicy`: which races
+    fired, what recovery did about each (retried / quarantined /
+    aborted), and how the run ended.
+    """
+    if report.clean:
+        return f"recovery ({report.policy}): no races, no recovery actions"
+    lines = [
+        f"recovery ({report.policy}): {report.races} race(s), "
+        f"{report.rollbacks} rollback(s), "
+        f"{len(report.quarantined)} thread(s) quarantined"
+    ]
+    for event in report.events:
+        lines.append(
+            f"  step {event.step}: {event.kind} race at {event.address:#x} "
+            f"in thread {event.tid} (SFR #{event.region}) -> {event.action}"
+            + (f" (retry {event.retry + 1})" if event.action == "retried" else "")
+        )
+    if report.quarantined:
+        parked = ", ".join(f"T{t}" for t in report.quarantined)
+        lines.append(f"  quarantined threads: {parked}")
+    if report.deadlocked:
+        lines.append(
+            "  run ended in a post-quarantine deadlock: surviving threads "
+            "waited on a quarantined peer (graceful stop, not a hang)"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

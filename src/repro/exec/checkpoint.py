@@ -10,6 +10,13 @@ resume semantics an interrupted sweep wants.
 Records carry the store format version and the library version; a
 mismatch in either invalidates the entry (results produced by older
 code are recomputed, never trusted).
+
+Damaged records — unreadable files or non-JSON garbage — are not
+silently dropped: they are *quarantined* to ``<root>/quarantine/``
+alongside a ``.reason`` file so a flaky disk or a torn write leaves
+evidence, and counted in the ``checkpoint.corrupt`` telemetry counter.
+Stale records (version/schema/config mismatches) are ordinary cache
+misses, not corruption, and stay in place to be overwritten.
 """
 
 from __future__ import annotations
@@ -23,7 +30,10 @@ from typing import Any, Dict, Optional, Union
 from .. import __version__ as _LIBRARY_VERSION
 from .job import Job
 
-__all__ = ["CheckpointStore", "FORMAT_VERSION"]
+__all__ = ["CheckpointStore", "FORMAT_VERSION", "QUARANTINE_DIR"]
+
+#: Subdirectory of the store root holding quarantined corrupt records.
+QUARANTINE_DIR = "quarantine"
 
 #: Bump when the record schema changes; old entries become cache misses.
 #: v2: records may carry a ``telemetry`` payload (metrics snapshot,
@@ -37,22 +47,61 @@ class CheckpointStore:
 
     def __init__(self, root: Union[str, Path] = ".cache/experiments") -> None:
         self.root = Path(root)
+        #: Corrupt records hit (and quarantined) by this store instance.
+        self.corrupt_records = 0
 
     def path(self, job_id: str) -> Path:
         """Where ``job_id``'s record lives (whether or not it exists)."""
         return self.root / f"{job_id}.json"
 
+    def quarantine_path(self, job_id: str) -> Path:
+        """Where ``job_id``'s record lands if it turns out corrupt."""
+        return self.root / QUARANTINE_DIR / f"{job_id}.json"
+
+    def quarantined(self) -> int:
+        """How many quarantined records the store currently holds."""
+        qdir = self.root / QUARANTINE_DIR
+        if not qdir.is_dir():
+            return 0
+        return sum(1 for _ in qdir.glob("*.json"))
+
+    def _quarantine(self, job: Job, reason: str) -> None:
+        """Move ``job``'s damaged record aside and leave a reason file."""
+        self.corrupt_records += 1
+        src = self.path(job.job_id)
+        dst = self.quarantine_path(job.job_id)
+        try:
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(src, dst)
+            dst.with_suffix(".reason").write_text(reason + "\n", encoding="utf-8")
+        except OSError:
+            # Quarantine is best-effort forensics; a miss is still a miss.
+            pass
+        from ..obs.context import current_registry
+
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("checkpoint.corrupt")
+
     def load(self, job: Job) -> Optional[Dict[str, Any]]:
         """The stored record for ``job``, or ``None`` on any miss.
 
-        Corrupt files, schema/version mismatches and (paranoia) records
-        whose fn/config don't match the job all read as misses.
+        Unreadable or non-JSON files are quarantined (see module docs)
+        and counted in :attr:`corrupt_records`; schema/version
+        mismatches and (paranoia) records whose fn/config don't match
+        the job are plain misses.
         """
         path = self.path(job.job_id)
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 record = json.load(fh)
-        except (OSError, ValueError):
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            self._quarantine(job, f"unreadable checkpoint record: {exc}")
+            return None
+        except ValueError as exc:
+            self._quarantine(job, f"invalid JSON in checkpoint record: {exc}")
             return None
         if (
             not isinstance(record, dict)

@@ -82,10 +82,26 @@ class InjectedFailure(RuntimeError):
 
 
 def run_job(job: Job) -> Any:
-    """Execute ``job`` in the current process and return its value."""
+    """Execute ``job`` in the current process and return its value.
+
+    A config carrying ``inject_fault`` (a spec dict from
+    :mod:`repro.faults`) has that fault delivered at attempt start:
+    process-level faults (``worker-crash``, ``worker-hang``) fire right
+    here; ``monitor-raise`` is forwarded to the job function, which
+    arms it inside the run.  Spent faults (scar present) drop the key,
+    so the retry runs clean.  Like ``inject_failure``, the key
+    participates in the job id, so injected runs never pollute the
+    checkpoint cache of real ones.
+    """
     config = dict(job.config)
     if config.pop("inject_failure", False):
         raise InjectedFailure(f"injected failure in {job.label}")
+    if "inject_fault" in config:
+        from ..faults import deliver
+
+        live = deliver(config.pop("inject_fault"), job.label)
+        if live is not None:
+            config["inject_fault"] = live
     return resolve(job.fn)(**config)
 
 

@@ -13,7 +13,15 @@ tables must not depend on scheduling noise.  Per job it provides:
 * per-job timeouts — a worker past its deadline is terminated and the
   attempt counts as a (retryable) failure;
 * bounded retry — up to ``retries`` re-attempts with exponential
-  backoff (``backoff * 2**(attempt-1)`` seconds);
+  backoff (``backoff * 2**(attempt-1)`` seconds, capped at
+  ``max_backoff``); optional *deterministic* jitter spreads retry
+  storms without breaking reproducibility — the jitter factor is seeded
+  from the job id and attempt number, so serial and parallel runs (and
+  re-runs) compute identical delays;
+* stuck-worker detection — with ``watchdog`` set, worker processes
+  heartbeat over their result pipe; a worker silent for longer than the
+  watchdog window is terminated and the attempt counts as a (retryable)
+  failure, so a wedged child cannot stall the sweep forever;
 * graceful degradation — a job that exhausts its retries yields a
   structured ``failed`` result (the sweep continues), and if worker
   processes cannot be started at all (restricted sandboxes) the runner
@@ -42,6 +50,9 @@ no pickling constraints beyond the job model itself).
 from __future__ import annotations
 
 import multiprocessing
+import random
+import sys
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -79,6 +90,16 @@ class JobResult:
         return self.status == "ok"
 
 
+def _worker_wedged() -> bool:
+    """True when fault injection has wedged this worker (see repro.faults).
+
+    Looked up dynamically so the runner keeps zero dependency on the
+    fault-injection module in normal operation.
+    """
+    faults = sys.modules.get("repro.faults")
+    return bool(faults is not None and faults.is_wedged())
+
+
 def _worker_main(
     fn: str,
     config: Dict[str, Any],
@@ -86,12 +107,33 @@ def _worker_main(
     telemetry: bool = True,
     sites: bool = False,
     sample_every: int = 1,
+    heartbeat: float = 0.0,
 ) -> None:
     """Child-process entry: run the job, ship (status, ...) back.
 
     Telemetry options arrive as extra process args — never through the
-    job config, which is content-hashed into the job id.
+    job config, which is content-hashed into the job id.  With
+    ``heartbeat`` > 0, a daemon thread sends ``("hb",)`` over the pipe
+    every ``heartbeat`` seconds so the parent's watchdog can tell a
+    slow worker from a wedged one.
     """
+    send_lock = threading.Lock()
+    stop_beat = threading.Event()
+    if heartbeat > 0:
+
+        def _beat() -> None:
+            while not stop_beat.wait(heartbeat):
+                if _worker_wedged():
+                    # An injected hang swallows heartbeats too: the whole
+                    # point is to look dead so the watchdog must act.
+                    continue
+                try:
+                    with send_lock:
+                        conn.send(("hb",))
+                except OSError:
+                    return
+
+        threading.Thread(target=_beat, daemon=True).start()
     cpu0 = time.process_time()
     try:
         job = Job(fn=fn, config=config)
@@ -102,20 +144,24 @@ def _worker_main(
         else:
             value, telem = run_job(job), None
     except BaseException as exc:  # noqa: BLE001 - everything is a job failure
+        stop_beat.set()
         try:
-            conn.send(
-                (
-                    "error",
-                    f"{type(exc).__name__}: {exc}",
-                    traceback.format_exc(),
-                    time.process_time() - cpu0,
+            with send_lock:
+                conn.send(
+                    (
+                        "error",
+                        f"{type(exc).__name__}: {exc}",
+                        traceback.format_exc(),
+                        time.process_time() - cpu0,
+                    )
                 )
-            )
         finally:
             conn.close()
         return
+    stop_beat.set()
     try:
-        conn.send(("ok", value, time.process_time() - cpu0, telem))
+        with send_lock:
+            conn.send(("ok", value, time.process_time() - cpu0, telem))
     finally:
         conn.close()
 
@@ -123,7 +169,9 @@ def _worker_main(
 class _Active:
     """Book-keeping for one in-flight worker process."""
 
-    __slots__ = ("index", "attempt", "process", "conn", "start", "deadline")
+    __slots__ = (
+        "index", "attempt", "process", "conn", "start", "deadline", "last_beat",
+    )
 
     def __init__(self, index, attempt, process, conn, start, deadline):
         self.index = index
@@ -132,6 +180,7 @@ class _Active:
         self.conn = conn
         self.start = start
         self.deadline = deadline
+        self.last_beat = start
 
 
 @dataclass
@@ -142,6 +191,15 @@ class JobRunner:
     timeout: Optional[float] = None
     retries: int = 2
     backoff: float = 0.25
+    #: ceiling on any single backoff delay, jitter included
+    max_backoff: float = 30.0
+    #: relative jitter width (0 = none); deterministic per (job id, attempt)
+    backoff_jitter: float = 0.0
+    #: seconds a worker may stay silent (no heartbeat, no result) before
+    #: the watchdog declares it stuck; ``None`` disables the watchdog
+    watchdog: Optional[float] = None
+    #: seconds between worker heartbeats when the watchdog is armed
+    heartbeat_every: float = 0.0
     store: Optional[CheckpointStore] = None
     registry: Any = None  # MetricsRegistry-compatible (duck-typed)
     tracer: Any = None  # Tracer-compatible (duck-typed)
@@ -172,7 +230,9 @@ class JobRunner:
             "cache_hits": 0,
             "retries": 0,
             "timeouts": 0,
+            "stuck": 0,
             "failures": 0,
+            "corrupt_checkpoints": 0,
             "wall_seconds": 0.0,
             "cpu_seconds": 0.0,
             "degraded": False,
@@ -189,6 +249,9 @@ class JobRunner:
             self.registry.set_gauge("runner.workers", self.workers)
         results: List[Optional[JobResult]] = [None] * len(jobs)
         to_run: List[int] = []
+        corrupt_before = (
+            self.store.corrupt_records if self.store is not None else 0
+        )
         for i, job in enumerate(jobs):
             record = self.store.load(job) if self.store is not None else None
             if record is not None:
@@ -211,6 +274,13 @@ class JobRunner:
                     )
             else:
                 to_run.append(i)
+        if self.store is not None:
+            hit = self.store.corrupt_records - corrupt_before
+            if hit:
+                # The store already moved the damaged records to its
+                # quarantine directory and bumped ``checkpoint.corrupt``;
+                # here we just surface the count in the run's stats.
+                self.stats["corrupt_checkpoints"] = hit
         self._publish_status(state="running", force=True)
         if to_run:
             if self.workers <= 1 and self.timeout is None and not any(
@@ -253,6 +323,8 @@ class JobRunner:
             "executed": executed,
             "retries": s.get("retries", 0),
             "timeouts": s.get("timeouts", 0),
+            "stuck": s.get("stuck", 0),
+            "corrupt_checkpoints": s.get("corrupt_checkpoints", 0),
             "workers": self.workers,
             "degraded": bool(s.get("degraded")),
             "running": sorted(getattr(self, "_running", {}).values()),
@@ -340,8 +412,16 @@ class JobRunner:
                 span.set("error", result.error)
             self.tracer.end_span(span)
 
-    def _backoff_delay(self, attempt: int) -> float:
-        return self.backoff * (2 ** (attempt - 1))
+    def _backoff_delay(self, attempt: int, job_id: str = "") -> float:
+        """Delay before retry ``attempt + 1``: capped exponential, with
+        optional jitter that is a pure function of (job id, attempt) —
+        the same job retries after the same delay whether the sweep runs
+        serially, in parallel, or is re-run tomorrow."""
+        delay = min(self.max_backoff, self.backoff * (2 ** (attempt - 1)))
+        if self.backoff_jitter:
+            rng = random.Random(f"{job_id}:{attempt}")
+            delay *= 1.0 + self.backoff_jitter * (rng.random() - 0.5)
+        return max(0.0, min(self.max_backoff, delay))
 
     # -- in-process execution ----------------------------------------------
 
@@ -379,7 +459,7 @@ class JobRunner:
                 except BaseException as exc:  # noqa: BLE001
                     if attempt <= self.retries:
                         self._tally("retries")
-                        time.sleep(self._backoff_delay(attempt))
+                        time.sleep(self._backoff_delay(attempt, job.job_id))
                         continue
                     result = JobResult(
                         job=job,
@@ -420,6 +500,10 @@ class JobRunner:
     ) -> None:
         ctx = self._context()
         workers = max(1, self.workers)
+        heartbeat = self.heartbeat_every
+        if self.watchdog is not None and heartbeat <= 0:
+            # Default: beat a few times per watchdog window.
+            heartbeat = max(0.05, self.watchdog / 4.0)
         pending: List[int] = list(to_run)
         ready_at: Dict[int, float] = {i: 0.0 for i in pending}
         attempts: Dict[int, int] = {i: 0 for i in pending}
@@ -452,8 +536,8 @@ class JobRunner:
             elif entry.attempt <= self.retries:
                 self._tally("retries")
                 self._running.pop(index, None)
-                ready_at[index] = (
-                    time.perf_counter() + self._backoff_delay(entry.attempt)
+                ready_at[index] = time.perf_counter() + self._backoff_delay(
+                    entry.attempt, jobs[index].job_id
                 )
                 pending.append(index)
             else:
@@ -499,6 +583,7 @@ class JobRunner:
                         self.job_telemetry,
                         self.profile_sites,
                         self.sample_every,
+                        heartbeat if self.watchdog is not None else 0.0,
                     ),
                     daemon=True,
                 )
@@ -536,10 +621,13 @@ class JobRunner:
                     max(0.0, min(ready_at[i] for i in pending) - now)
                 )
                 continue
-            # -- wait for a result, the next deadline or the next backoff
+            # -- wait for a result/heartbeat, the next deadline, the next
+            # backoff, or the next watchdog expiry
             wait_for = [entry.conn for entry in active]
             deadlines = [e.deadline for e in active if e.deadline is not None]
             wake: List[float] = list(deadlines)
+            if self.watchdog is not None:
+                wake.extend(e.last_beat + self.watchdog for e in active)
             if pending and len(active) < workers:
                 wake.append(min(ready_at[i] for i in pending))
             timeout = max(0.0, min(wake) - now) if wake else None
@@ -561,6 +649,10 @@ class JobRunner:
                             0.0,
                         )
                     else:
+                        if message[0] == "hb":
+                            entry.last_beat = now
+                            still_active.append(entry)
+                            continue
                         entry.process.join()
                         if message[0] == "ok":
                             _, value, cpu_s, telem = message
@@ -569,6 +661,22 @@ class JobRunner:
                             _, error, _tb, cpu_s = message
                             resolve_attempt(entry, error, None, cpu_s)
                     entry.conn.close()
+                elif (
+                    self.watchdog is not None
+                    and now - entry.last_beat >= self.watchdog
+                ):
+                    entry.process.terminate()
+                    entry.process.join()
+                    entry.conn.close()
+                    self._tally("stuck")
+                    resolve_attempt(
+                        entry,
+                        f"Stuck: worker silent for {now - entry.last_beat:.1f}s "
+                        f"(watchdog {self.watchdog:.1f}s, "
+                        f"attempt {entry.attempt})",
+                        None,
+                        0.0,
+                    )
                 elif entry.deadline is not None and now >= entry.deadline:
                     entry.process.terminate()
                     entry.process.join()
@@ -610,5 +718,13 @@ class JobRunner:
             f"timeouts={s.get('timeouts', 0)} "
             f"failed={s.get('failures', 0)} "
             f"job_seconds={s.get('wall_seconds', 0.0):.1f}"
+            + (
+                f" stuck={s['stuck']}" if s.get("stuck") else ""
+            )
+            + (
+                f" corrupt_checkpoints={s['corrupt_checkpoints']}"
+                if s.get("corrupt_checkpoints")
+                else ""
+            )
             + (" degraded=yes" if s.get("degraded") else "")
         )

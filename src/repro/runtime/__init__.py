@@ -27,6 +27,13 @@ from .ops import (
 )
 from .explore import ExplorationStats, explore, explore_results
 from .program import Program
+from .recovery import (
+    Quarantined,
+    RecoveryError,
+    RecoveryEvent,
+    RecoveryPolicy,
+    RecoveryReport,
+)
 from .replay import RecordingPolicy, ReplayDivergence, ReplayPolicy
 from .regions import (
     IsolationOracle,
@@ -90,6 +97,11 @@ __all__ = [
     "RecordingPolicy",
     "ReplayPolicy",
     "ReplayDivergence",
+    "Quarantined",
+    "RecoveryError",
+    "RecoveryEvent",
+    "RecoveryPolicy",
+    "RecoveryReport",
     "SyncCommit",
     "ThreadStatus",
     "Lock",

@@ -9,7 +9,7 @@ lay out their data without clashing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Mapping, Tuple
 
 __all__ = ["SharedMemory"]
 
@@ -88,6 +88,36 @@ class SharedMemory:
         self.stores += 1
         for i in range(size):
             self._bytes[address + i] = (value >> (8 * i)) & 0xFF
+
+    # -- SFR write buffering (recovery mode) --------------------------------------
+
+    def load_int_overlay(
+        self, address: int, size: int, overlay: Mapping[int, int]
+    ) -> int:
+        """Like :meth:`load_int`, but bytes present in ``overlay`` win.
+
+        The overlay is a thread's open-SFR write buffer: the thread reads
+        its own unpublished stores, everyone else reads the committed
+        state.  Counts as one load, same as :meth:`load_int`.
+        """
+        self.loads += 1
+        get = self._bytes.get
+        value = 0
+        for i in range(size):
+            a = address + i
+            byte = overlay.get(a)
+            if byte is None:
+                byte = get(a, 0)
+            value |= byte << (8 * i)
+        return value
+
+    def apply_patch(self, patch: Mapping[int, int]) -> None:
+        """Publish a buffered write set at a sync boundary.
+
+        Bulk application of already-counted stores — does not touch the
+        ``stores`` counter (each buffered store was counted when issued).
+        """
+        self._bytes.update(patch)
 
     # -- inspection --------------------------------------------------------------
 

@@ -53,6 +53,7 @@ class Program:
         counter_cost: Optional[Callable] = None,
         raise_on_race: bool = False,
         fused: bool = True,
+        recovery: Optional[object] = None,
     ) -> ExecutionResult:
         """Execute the program once and return its result.
 
@@ -60,7 +61,9 @@ class Program:
         are independent — run the same program under different policies
         or seeds to explore interleavings.  ``fused=False`` selects the
         pre-refactor call-every-monitor dispatch (equivalence testing
-        and benchmarking only).
+        and benchmarking only).  ``recovery`` — a mode string or
+        :class:`~repro.runtime.recovery.RecoveryPolicy` — enables SFR
+        write buffering and race-exception recovery.
         """
         scheduler = Scheduler(
             memory=memory,
@@ -70,6 +73,7 @@ class Program:
             max_steps=max_steps,
             counter_cost=counter_cost,
             fused=fused,
+            recovery=recovery,
         )
         scheduler.start(self.main, *self.args)
         return scheduler.run(raise_on_race=raise_on_race)

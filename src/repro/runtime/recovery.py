@@ -1,0 +1,462 @@
+"""Race-exception recovery: survive a race instead of dying on it.
+
+CLEAN's guarantee (paper Section 3) is that SFRs are isolated and
+write-atomic in *every* execution, racy or not, so the memory state at a
+race exception is well-defined: it is exactly the state at the faulting
+SFR's entry, plus the committed work of every other thread.  This module
+turns that guarantee into a recovery mechanism.
+
+The scheduler, when built with a :class:`RecoveryPolicy`, *buffers* each
+SFR's writes per thread and publishes them only at the SFR's closing
+synchronization operation.  That makes the paper's write-atomicity
+literal — no other thread can observe a store from an open SFR — and it
+makes discarding a faulting SFR exact: drop the buffer and the shared
+state is as if the SFR never started.
+
+On a WAW/RAW exception the :class:`RecoveryManager` then applies the
+policy:
+
+* ``abort`` — the classic CLEAN behaviour: buffering is on (so the final
+  state is still clean), but the exception terminates the run.
+* ``quarantine`` — discard the faulting SFR, force-release the faulting
+  thread's locks (publishing its committed work, which is real), and
+  retire the thread with a :class:`Quarantined` sentinel result so joins
+  on it still succeed; the rest of the program runs to completion.
+* ``rollback-retry`` — discard the faulting SFR, roll the thread back to
+  its SFR entry by replaying its deterministic prefix, absorb the prior
+  writer's epoch into the thread's vector clock (recovery *serializes*
+  the two conflicting accesses, so the deterministic re-execution cannot
+  re-fire the same race), optionally perturb the thread's Kendo counter,
+  and retry; after ``max_retries`` distinct races the thread degrades to
+  quarantine.
+
+Thread functions are generators, which cannot rewind — rollback instead
+*replays*: every value the scheduler ever sent into a generator is
+logged, and a rollback recreates the generator from its original
+function and feeds it the logged prefix up to the SFR entry, discarding
+the re-yielded operations (no side effects re-execute; reads re-receive
+their recorded values, spawns their recorded child tids).  This is sound
+because thread functions are deterministic functions of their inbox
+sequence — the property the determinism tests already rely on.
+
+The whole story is summarized per run in a :class:`RecoveryReport`,
+rendered by :mod:`repro.diagnostics` and counted under the
+``clean.recovery.*`` telemetry family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+from ..core.exceptions import CleanError, DeadlockError, RaceException
+from .scheduler import ThreadStatus
+
+__all__ = [
+    "Quarantined",
+    "RecoveryError",
+    "RecoveryEvent",
+    "RecoveryManager",
+    "RecoveryPolicy",
+    "RecoveryReport",
+]
+
+#: Shared immutable empty overlay for threads with no buffered writes.
+_EMPTY_OVERLAY: Mapping[int, int] = {}
+
+
+class RecoveryError(CleanError):
+    """Recovery itself failed (e.g. a thread replayed nondeterministically)."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the scheduler responds to a race exception.
+
+    ``mode`` is one of ``"abort"``, ``"quarantine"`` or
+    ``"rollback-retry"``.  ``max_retries`` bounds rollbacks per thread
+    before it degrades to quarantine; ``perturb`` is the deterministic
+    Kendo-counter penalty added on each retry (a pure function of the
+    retry ordinal, so recovered runs stay deterministic).
+    """
+
+    mode: str = "rollback-retry"
+    max_retries: int = 4
+    perturb: int = 1
+
+    MODES = ("abort", "quarantine", "rollback-retry")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ValueError(
+                f"unknown recovery mode {self.mode!r}; expected one of {self.MODES}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.perturb < 0:
+            raise ValueError("perturb must be >= 0")
+
+    @classmethod
+    def coerce(cls, value: Any) -> Optional["RecoveryPolicy"]:
+        """``None`` | mode string | policy instance -> policy or None."""
+        if value is None:
+            return None
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(f"cannot interpret {value!r} as a recovery policy")
+
+
+@dataclass(frozen=True)
+class Quarantined:
+    """Sentinel thread result: the thread was parked by recovery.
+
+    Joining a quarantined thread succeeds and receives this object, so
+    parents never deadlock on a retired child.
+    """
+
+    tid: int
+    kind: str
+    address: int
+
+    def __repr__(self) -> str:
+        return f"Quarantined(tid={self.tid}, {self.kind}@{self.address:#x})"
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One race exception and what recovery did about it."""
+
+    step: int
+    tid: int
+    kind: str
+    address: int
+    region: int
+    action: str  # "retried" | "quarantined" | "aborted"
+    retry: int  # retry ordinal for this thread (0 on first race)
+
+
+@dataclass
+class RecoveryReport:
+    """Structured summary of every recovery action in one execution."""
+
+    policy: str
+    events: List[RecoveryEvent] = field(default_factory=list)
+    rollbacks: int = 0
+    quarantined: List[int] = field(default_factory=list)
+    deadlocked: bool = False
+
+    @property
+    def races(self) -> int:
+        """Total race exceptions recovery saw (including aborts)."""
+        return len(self.events)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run needed no recovery action at all."""
+        return not self.events and not self.deadlocked
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready summary (the artifact the chaos CLI uploads)."""
+        return {
+            "policy": self.policy,
+            "races": self.races,
+            "rollbacks": self.rollbacks,
+            "quarantined": list(self.quarantined),
+            "deadlocked": self.deadlocked,
+            "events": [
+                {
+                    "step": e.step,
+                    "tid": e.tid,
+                    "kind": e.kind,
+                    "address": e.address,
+                    "region": e.region,
+                    "action": e.action,
+                    "retry": e.retry,
+                }
+                for e in self.events
+            ],
+        }
+
+
+@dataclass
+class _SfrSnapshot:
+    """Replay point: the faulting thread's state at its SFR entry."""
+
+    log_len: int
+    inbox: Any
+    counter: int
+    region: int
+    output_len: int
+    alloc_len: int
+
+
+class RecoveryManager:
+    """Owns the per-thread SFR write buffers and the recovery actions.
+
+    Created by the scheduler; everything here runs inside a scheduler
+    step, so no concurrency concerns apply.
+    """
+
+    def __init__(self, scheduler: Any, policy: RecoveryPolicy) -> None:
+        self.scheduler = scheduler
+        self.policy = policy
+        self.report = RecoveryReport(policy=policy.mode)
+        #: tid -> {address: byte} writes of the thread's open SFR.
+        self.buffers: Dict[int, Dict[int, int]] = {}
+        #: tid -> every value ever sent into the thread's generator.
+        self.inbox_logs: Dict[int, List[Any]] = {}
+        #: tid -> replay point of the thread's open SFR.
+        self.entries: Dict[int, _SfrSnapshot] = {}
+        self._last_region: Dict[int, int] = {}
+        self.retries: Dict[int, int] = {}
+        self.held_locks: Dict[int, Set[Any]] = {}
+        self._replaying = policy.mode == "rollback-retry"
+        #: tid -> base addresses its ctx.alloc calls returned, in order.
+        self.alloc_logs: Dict[int, List[int]] = {}
+        self.current_tid: Optional[int] = None
+        self._replay_allocs: Optional[List[int]] = None
+
+    # -- write buffering (the hot-path side) --------------------------------
+
+    def overlay(self, tid: int) -> Mapping[int, int]:
+        """The read overlay for ``tid`` (its own open-SFR writes)."""
+        return self.buffers.get(tid) or _EMPTY_OVERLAY
+
+    def buffer_store(self, tid: int, address: int, size: int, value: int) -> None:
+        """Buffer a ``size``-byte store instead of publishing it."""
+        if value < 0:
+            value &= (1 << (8 * size)) - 1
+        memory = self.scheduler.memory
+        memory.stores += 1  # per-operation accounting parity with store_int
+        buf = self.buffers.get(tid)
+        if buf is None:
+            buf = self.buffers[tid] = {}
+        for i in range(size):
+            buf[address + i] = (value >> (8 * i)) & 0xFF
+
+    def commit(self, tid: int) -> None:
+        """Publish ``tid``'s buffered SFR writes (its SFR is closing)."""
+        buf = self.buffers.get(tid)
+        if buf:
+            self.scheduler.memory.apply_patch(buf)
+            buf.clear()
+
+    def note_resume(self, record: Any) -> None:
+        """Called before each generator resume: log the inbox value and,
+        at the first resume of a new SFR, snapshot the replay point."""
+        if not self._replaying:
+            return
+        tid = record.tid
+        self.current_tid = tid
+        log = self.inbox_logs.get(tid)
+        if log is None:
+            log = self.inbox_logs[tid] = []
+        if self._last_region.get(tid) != record.region:
+            self._last_region[tid] = record.region
+            self.entries[tid] = _SfrSnapshot(
+                log_len=len(log),
+                inbox=record.inbox,
+                counter=record.det_counter,
+                region=record.region,
+                output_len=len(record.output),
+                alloc_len=len(self.alloc_logs.get(tid, ())),
+            )
+        log.append(record.inbox)
+
+    def finish(self, tid: int) -> None:
+        """Thread exit: publish its tail SFR and drop its replay state."""
+        self.commit(tid)
+        self.buffers.pop(tid, None)
+        self.inbox_logs.pop(tid, None)
+        self.entries.pop(tid, None)
+        self._last_region.pop(tid, None)
+        self.held_locks.pop(tid, None)
+        self.alloc_logs.pop(tid, None)
+
+    def alloc(self, memory: Any, size: int, align: int) -> int:
+        """Allocation front-end keeping replay exact.
+
+        During normal execution, allocate and log the base address under
+        the running thread; during a rollback replay, hand back the
+        logged addresses without touching the (global) bump allocator —
+        the replayed prefix must observe exactly the addresses the
+        original execution did.
+        """
+        if self._replay_allocs is not None:
+            if not self._replay_allocs:
+                raise RecoveryError(
+                    "replay performed more allocations than the original "
+                    "execution: thread function is nondeterministic"
+                )
+            return self._replay_allocs.pop(0)
+        base = memory.alloc(size, align)
+        if self._replaying and self.current_tid is not None:
+            self.alloc_logs.setdefault(self.current_tid, []).append(base)
+        return base
+
+    # -- lock tracking (for quarantine force-release) ------------------------
+
+    def note_acquire(self, tid: int, lock: Any) -> None:
+        held = self.held_locks.get(tid)
+        if held is None:
+            held = self.held_locks[tid] = set()
+        held.add(lock)
+
+    def note_release(self, tid: int, lock: Any) -> None:
+        held = self.held_locks.get(tid)
+        if held is not None:
+            held.discard(lock)
+
+    # -- the recovery actions ------------------------------------------------
+
+    def handle(self, exc: RaceException) -> bool:
+        """React to a race exception; ``True`` means the run continues."""
+        sched = self.scheduler
+        tid = exc.accessing_tid
+        record = sched._threads.get(tid)
+        retry = self.retries.get(tid, 0)
+        action = "aborted"
+        recovered = False
+        if record is not None and self.policy.mode != "abort":
+            if (
+                self.policy.mode == "rollback-retry"
+                and retry < self.policy.max_retries
+                and record.fn is not None
+            ):
+                self._rollback(record, exc)
+                action = "retried"
+            else:
+                self._quarantine(record, exc)
+                action = "quarantined"
+            recovered = True
+        self.report.events.append(
+            RecoveryEvent(
+                step=sched._steps,
+                tid=tid,
+                kind=exc.kind,
+                address=exc.address,
+                region=record.region if record is not None else -1,
+                action=action,
+                retry=retry,
+            )
+        )
+        return recovered
+
+    def absorb_deadlock(self, exc: DeadlockError) -> bool:
+        """A post-quarantine deadlock ends the run gracefully.
+
+        Quarantining a thread that later threads would have met at a
+        barrier leaves them parked forever; that is the documented
+        degradation, not a crash.  Deadlocks with no quarantine behind
+        them are real program bugs and still raise.
+        """
+        if not self.quarantined_tids:
+            return False
+        self.report.deadlocked = True
+        return True
+
+    @property
+    def quarantined_tids(self) -> Tuple[int, ...]:
+        return tuple(self.report.quarantined)
+
+    def _discard(self, record: Any) -> None:
+        """Drop the open SFR's buffered writes and scrub detector state."""
+        tid = record.tid
+        buf = self.buffers.pop(tid, None)
+        if buf:
+            addresses = list(buf)
+            for detector in self._detectors():
+                detector.rollback_writes(tid, addresses)
+        for hook in self.scheduler._c_rollback:
+            hook(tid)
+
+    def _detectors(self) -> List[Any]:
+        out = []
+        for monitor in self.scheduler.monitors:
+            detector = getattr(monitor, "detector", None)
+            if detector is not None and hasattr(detector, "rollback_writes"):
+                out.append(detector)
+        return out
+
+    def _rollback(self, record: Any, exc: RaceException) -> None:
+        """Roll ``record`` back to its SFR entry and order it after the
+        prior writer (the serialization that makes the retry succeed)."""
+        sched = self.scheduler
+        tid = record.tid
+        self._discard(record)
+        for detector in self._detectors():
+            if hasattr(detector, "absorb_epoch"):
+                detector.absorb_epoch(tid, exc.prior_writer_tid, exc.prior_writer_clock)
+        snap = self.entries.get(tid)
+        log = self.inbox_logs.get(tid)
+        if snap is None or log is None:
+            raise RecoveryError(f"no replay point for thread {tid}")
+        allocs = self.alloc_logs.get(tid, [])
+        gen = record.fn(sched._ctx, *record.fn_args)
+        self._replay_allocs = list(allocs[: snap.alloc_len])
+        try:
+            for value in log[: snap.log_len]:
+                gen.send(value)
+        except StopIteration:
+            raise RecoveryError(
+                f"thread {tid} finished during replay: its function is not "
+                "a deterministic function of its inbox sequence"
+            ) from None
+        finally:
+            self._replay_allocs = None
+        del allocs[snap.alloc_len :]
+        try:
+            record.gen.close()
+        except Exception:
+            pass
+        self.retries[tid] = retry = self.retries.get(tid, 0) + 1
+        record.gen = gen
+        record.inbox = snap.inbox
+        record.pending = None
+        record.status = ThreadStatus.RUNNABLE
+        record.blocked_reason = ""
+        record.det_counter = snap.counter + self.policy.perturb * retry
+        record.region = snap.region
+        del record.output[snap.output_len :]
+        del log[snap.log_len :]
+        self.report.rollbacks += 1
+
+    def _quarantine(self, record: Any, exc: RaceException) -> None:
+        """Retire the faulting thread; the rest of the program continues."""
+        sched = self.scheduler
+        tid = record.tid
+        self._discard(record)
+        # Committed work is real: publish happens-before through every
+        # lock the thread still holds, then release so waiters proceed.
+        held = self.held_locks.get(tid, set())
+        for lock in sorted(held, key=lambda l: getattr(l, "name", "")):
+            for hook in sched._c_release:
+                hook(tid, lock)
+            lock.holder = None
+        held.clear()
+        sentinel = Quarantined(tid=tid, kind=exc.kind, address=exc.address)
+        sched._finish_thread(record, sentinel)
+        self.report.quarantined.append(tid)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def publish(self, registry: Any) -> None:
+        """Accumulate ``clean.recovery.*`` counters into ``registry``."""
+        report = self.report
+        if report.races:
+            registry.inc("clean.recovery.races", report.races)
+        if report.rollbacks:
+            registry.inc("clean.recovery.rollbacks", report.rollbacks)
+        if report.quarantined:
+            registry.inc("clean.recovery.quarantined", len(report.quarantined))
+        if report.deadlocked:
+            registry.inc("clean.recovery.deadlocks")
+
+    def publish_ambient(self) -> None:
+        from ..obs.context import current_registry
+
+        registry = current_registry()
+        if registry is not None:
+            self.publish(registry)

@@ -102,6 +102,9 @@ class _ThreadRecord:
     result: Any = None
     parent: Optional[int] = None
     reacquire_after_cond: Optional[Tuple[Condition, Lock]] = None
+    # The generator's origin, kept so recovery can recreate and replay it.
+    fn: Optional[Callable[..., Any]] = None
+    fn_args: Tuple[Any, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -221,6 +224,11 @@ class ExecutionMonitor:
     def on_sync_commit(self, tid: int, op: Op) -> None:
         """A synchronization operation committed (rollover hook point)."""
 
+    def on_rollback(self, tid: int) -> None:
+        """Recovery discarded ``tid``'s open SFR (its buffered writes
+        never became visible; any per-thread caches keyed on its open
+        epoch must be invalidated)."""
+
     def on_finish(self, result: "ExecutionResult") -> None:
         """The whole execution finished (normally or with a race)."""
 
@@ -296,6 +304,9 @@ class ExecutionResult:
     shared_reads: int
     shared_writes: int
     race: Optional[RaceException] = None
+    #: :class:`~repro.runtime.recovery.RecoveryReport` when the scheduler
+    #: ran with a recovery policy, else ``None``.
+    recovery: Optional[Any] = None
 
     @property
     def completed(self) -> bool:
@@ -338,6 +349,7 @@ _CHAINED_HOOKS = (
     "on_compute",
     "may_sync",
     "on_sync_commit",
+    "on_rollback",
 )
 
 
@@ -367,6 +379,7 @@ class Scheduler:
         max_steps: int = 50_000_000,
         counter_cost: Optional[Callable[[Op], int]] = None,
         fused: bool = True,
+        recovery: Optional[Any] = None,
     ) -> None:
         self.memory = memory if memory is not None else SharedMemory()
         self.monitors: List[ExecutionMonitor] = list(monitors or [])
@@ -375,6 +388,17 @@ class Scheduler:
         self.max_steps = max_steps
         self.counter_cost = counter_cost if counter_cost is not None else _default_cost
         self.fused = fused
+        self.recovery = None
+        if recovery is not None:
+            from .recovery import RecoveryManager, RecoveryPolicy
+
+            policy_obj = RecoveryPolicy.coerce(recovery)
+            if policy_obj is not None:
+                if not fused:
+                    raise ValueError(
+                        "recovery requires the fused dispatch (fused=True)"
+                    )
+                self.recovery = RecoveryManager(self, policy_obj)
         self._threads: Dict[int, _ThreadRecord] = {}
         # Records of every thread that ever ran; tid reuse keeps only the
         # latest occupant of a tid, which is what the result reports.
@@ -435,6 +459,7 @@ class Scheduler:
         self._c_compute = c["on_compute"]
         self._c_may_sync = c["may_sync"]
         self._c_sync_commit = c["on_sync_commit"]
+        self._c_rollback = c["on_rollback"]
 
         # Event-hook chains: monitors consuming AccessEvents directly.
         self._ev_before = tuple(
@@ -474,6 +499,10 @@ class Scheduler:
         self._c_write_after = memory_chain("after_write")
 
         handlers = dict(self._HANDLERS)
+        if self.recovery is not None:
+            handlers[Read] = Scheduler._do_read_buffered
+            handlers[Write] = Scheduler._do_write_buffered
+            handlers[AtomicRMW] = Scheduler._do_rmw_buffered
         if not self.fused:
             handlers[Read] = Scheduler._do_read_legacy
             handlers[Write] = Scheduler._do_write_legacy
@@ -499,17 +528,34 @@ class Scheduler:
 
         A :class:`RaceException` from a monitor stops the execution; it
         is recorded on the result (and re-raised if ``raise_on_race``).
+        Under a recovery policy the exception is instead handed to the
+        :class:`~repro.runtime.recovery.RecoveryManager`, which may roll
+        the faulting thread back or quarantine it and let the run
+        continue; only an ``abort``-mode policy (or a recovery failure)
+        still stops the execution.
         """
         race: Optional[RaceException] = None
+        recovery = self.recovery
         try:
             if self.fused:
-                while self._threads:
-                    self._step()
+                if recovery is not None:
+                    while self._threads:
+                        try:
+                            self._step()
+                        except RaceException as exc:
+                            if not recovery.handle(exc):
+                                raise
+                else:
+                    while self._threads:
+                        self._step()
             else:
                 while self._live_tids():
                     self._step()
         except RaceException as exc:
             race = exc
+        except DeadlockError as exc:
+            if recovery is None or not recovery.absorb_deadlock(exc):
+                raise
         result = ExecutionResult(
             memory=self.memory,
             outputs={t: r.output for t, r in self._all_records().items()},
@@ -520,9 +566,12 @@ class Scheduler:
             shared_reads=self._shared_reads,
             shared_writes=self._shared_writes,
             race=race,
+            recovery=recovery.report if recovery is not None else None,
         )
         for monitor in self.monitors:
             monitor.on_finish(result)
+        if recovery is not None:
+            recovery.publish_ambient()
         if race is not None and raise_on_race:
             raise race
         return result
@@ -674,6 +723,8 @@ class Scheduler:
     # -- generator driving -----------------------------------------------------
 
     def _advance_generator(self, record: _ThreadRecord) -> None:
+        if self.recovery is not None:
+            self.recovery.note_resume(record)
         try:
             op = record.gen.send(record.inbox)
         except StopIteration as stop:
@@ -720,6 +771,10 @@ class Scheduler:
         record.det_counter += self.counter_cost(op)
 
     def _commit_sync(self, record: _ThreadRecord, op: Op, target: str) -> None:
+        if self.recovery is not None:
+            # The SFR is closing: its buffered writes become visible now,
+            # which is exactly the paper's write-atomicity.
+            self.recovery.commit(record.tid)
         self._charge(record, op)
         record.region += 1
         self._sync_log.append(
@@ -796,6 +851,84 @@ class Scheduler:
         for fn in self._c_write_before:
             fn(write_event)
         self.memory.store_int(op.address, op.size, new)
+        for fn in self._c_write_after:
+            fn(write_event)
+        self._shared_reads += 1
+        self._shared_writes += 1
+        self._charge(record, op)
+        record.inbox = old
+
+    # -- memory operations (SFR write-buffered variants, recovery mode) ---------
+    #
+    # Same monitor dispatch as the fused handlers, but stores land in the
+    # thread's per-SFR buffer (published at the next sync commit) and
+    # loads overlay the thread's own buffer — read-your-writes inside the
+    # SFR, invisible to every other thread.  Race checks are unchanged:
+    # they run against the same addresses at the same points, so the
+    # detection verdict is identical to the unbuffered path.
+
+    def _do_read_buffered(self, record: _ThreadRecord, op: Read) -> None:
+        overlay = self.recovery.overlay(record.tid)
+        before = self._c_read_before
+        after = self._c_read_after
+        if before or after:
+            event = AccessEvent(
+                record.tid, op.address, op.size, False, op.private,
+                None, record.region, record.det_counter,
+            )
+            for fn in before:
+                fn(event)
+            value = self.memory.load_int_overlay(op.address, op.size, overlay)
+            event.value = value
+            for fn in after:
+                fn(event)
+        else:
+            value = self.memory.load_int_overlay(op.address, op.size, overlay)
+        if not op.private:
+            self._shared_reads += 1
+        self._charge(record, op)
+        record.inbox = value
+
+    def _do_write_buffered(self, record: _ThreadRecord, op: Write) -> None:
+        before = self._c_write_before
+        after = self._c_write_after
+        if before or after:
+            event = AccessEvent(
+                record.tid, op.address, op.size, True, op.private,
+                op.value, record.region, record.det_counter,
+            )
+            for fn in before:
+                fn(event)
+            self.recovery.buffer_store(record.tid, op.address, op.size, op.value)
+            for fn in after:
+                fn(event)
+        else:
+            self.recovery.buffer_store(record.tid, op.address, op.size, op.value)
+        if not op.private:
+            self._shared_writes += 1
+        self._charge(record, op)
+
+    def _do_rmw_buffered(self, record: _ThreadRecord, op: AtomicRMW) -> None:
+        tid = record.tid
+        overlay = self.recovery.overlay(tid)
+        read_event = AccessEvent(
+            tid, op.address, op.size, False, False,
+            None, record.region, record.det_counter,
+        )
+        for fn in self._c_read_before:
+            fn(read_event)
+        old = self.memory.load_int_overlay(op.address, op.size, overlay)
+        read_event.value = old
+        for fn in self._c_read_after:
+            fn(read_event)
+        new = op.fn(old)
+        write_event = AccessEvent(
+            tid, op.address, op.size, True, False,
+            new, record.region, record.det_counter,
+        )
+        for fn in self._c_write_before:
+            fn(write_event)
+        self.recovery.buffer_store(tid, op.address, op.size, new)
         for fn in self._c_write_after:
             fn(write_event)
         self._shared_reads += 1
@@ -902,6 +1035,8 @@ class Scheduler:
     def _do_acquire(self, record: _ThreadRecord, op: Acquire) -> None:
         assert not op.lock.held
         op.lock.holder = record.tid
+        if self.recovery is not None:
+            self.recovery.note_acquire(record.tid, op.lock)
         for hook in self._c_acquire:
             hook(record.tid, op.lock)
         self._commit_sync(record, op, op.lock.name)
@@ -912,6 +1047,8 @@ class Scheduler:
                 f"thread {record.tid} released {op.lock.name} held by "
                 f"{op.lock.holder}"
             )
+        if self.recovery is not None:
+            self.recovery.note_release(record.tid, op.lock)
         for hook in self._c_release:
             hook(record.tid, op.lock)
         op.lock.holder = None
@@ -948,6 +1085,8 @@ class Scheduler:
                 f"thread {record.tid} waited on {op.cond.name} without "
                 f"holding {op.lock.name}"
             )
+        if self.recovery is not None:
+            self.recovery.note_release(record.tid, op.lock)
         for hook in self._c_release:
             hook(record.tid, op.lock)
         op.lock.holder = None
@@ -963,6 +1102,8 @@ class Scheduler:
     def _do_reacquire(self, record: _ThreadRecord, op: "_Reacquire") -> None:
         assert not op.lock.held
         op.lock.holder = record.tid
+        if self.recovery is not None:
+            self.recovery.note_acquire(record.tid, op.lock)
         for hook in self._c_acquire:
             hook(record.tid, op.lock)
         for hook in self._c_cond_wake:
@@ -1036,7 +1177,7 @@ class Scheduler:
         gen = fn(self._ctx, *args)
         if not hasattr(gen, "send"):
             raise TypeError(f"thread function {fn!r} must be a generator function")
-        record = _ThreadRecord(tid=tid, gen=gen, parent=parent)
+        record = _ThreadRecord(tid=tid, gen=gen, parent=parent, fn=fn, fn_args=args)
         if parent is not None:
             record.det_counter = self._threads[parent].det_counter
         self._threads[tid] = record
@@ -1049,6 +1190,8 @@ class Scheduler:
         return tid
 
     def _finish_thread(self, record: _ThreadRecord, result: Any) -> None:
+        if self.recovery is not None:
+            self.recovery.finish(record.tid)
         record.result = result
         record.status = ThreadStatus.DONE
         for hook in self._c_thread_exit:
@@ -1073,6 +1216,9 @@ class _Context:
 
     def alloc(self, size: int, align: int = 8) -> int:
         """Allocate shared memory (deterministic bump allocator)."""
+        recovery = self._scheduler.recovery
+        if recovery is not None:
+            return recovery.alloc(self._scheduler.memory, size, align)
         return self._scheduler.memory.alloc(size, align)
 
 

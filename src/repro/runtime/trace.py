@@ -63,18 +63,24 @@ TRACE_MAGIC = b"CLNTRACE"
 _TRACE_VERSION = 1
 
 #: Chunk header: tid, flags, event count, payload size uncompressed /
-#: as stored.  ``flags`` bit 0 marks a zlib-compressed payload.
+#: as stored.  ``flags`` bit 0 marks a zlib-compressed payload; bit 1
+#: marks a CRC32 of the stored bytes appended inside the stored region
+#: (``stored_len`` includes the 4 checksum bytes, so readers unaware of
+#: the flag still skip the chunk correctly and old files — which never
+#: set the bit — keep loading unchanged).
 _CHUNK_HEADER = struct.Struct("<HBIII")
 #: One packed record: kind/private byte, address, size, gap, sync-name
 #: index into the chunk's name table (0xFFFF = none).
 _RECORD = struct.Struct("<BQIIH")
 _NAME_LEN = struct.Struct("<H")
+_CRC = struct.Struct("<I")
 
 _KIND_CODE = {READ: 0, WRITE: 1, SYNC: 2}
 _CODE_KIND = {0: READ, 1: WRITE, 2: SYNC}
 _PRIVATE_BIT = 0x80
 _NO_NAME = 0xFFFF
 _FLAG_ZLIB = 0x01
+_FLAG_CRC32 = 0x02
 
 #: Events per binary chunk: large enough to amortize headers and
 #: compression, small enough that streaming replay stays lightweight.
@@ -101,7 +107,28 @@ class TraceEvent:
 # -- binary chunk encode/decode ---------------------------------------------
 
 
-def _encode_chunk(tid: int, events: List[TraceEvent], compress: bool) -> bytes:
+def _corrupt(path: object, index: int, offset: int, detail: str) -> ValueError:
+    """The uniform error for any damaged binary trace data."""
+    return ValueError(
+        f"truncated/corrupt trace: {path}: chunk {index} at offset "
+        f"{offset}: {detail}"
+    )
+
+
+def _note_salvaged(count: int) -> None:
+    """Count skipped chunks in the ambient telemetry registry."""
+    if not count:
+        return
+    from ..obs.context import current_registry
+
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("trace.salvaged_chunks", count)
+
+
+def _encode_chunk(
+    tid: int, events: List[TraceEvent], compress: bool, crc: bool = True
+) -> bytes:
     names: List[str] = []
     name_idx: Dict[str, int] = {}
     records = bytearray()
@@ -126,6 +153,9 @@ def _encode_chunk(tid: int, events: List[TraceEvent], compress: bool) -> bytes:
     if compress:
         flags |= _FLAG_ZLIB
         stored = zlib.compress(payload)
+    if crc:
+        flags |= _FLAG_CRC32
+        stored = stored + _CRC.pack(zlib.crc32(stored) & 0xFFFFFFFF)
     header = _CHUNK_HEADER.pack(tid, flags, len(events), len(payload), len(stored))
     return header + stored
 
@@ -159,25 +189,75 @@ def _decode_payload(payload: bytes, n_events: int) -> List[TraceEvent]:
     return events
 
 
-def _read_exact(fh: BinaryIO, n: int) -> bytes:
-    data = fh.read(n)
-    if len(data) != n:
-        raise ValueError("truncated trace file")
-    return data
+def _read_chunk_raw(
+    fh: BinaryIO, path: object, index: int
+) -> Optional[Tuple[int, int, int, int, bytes, int]]:
+    """Read one chunk's header and stored bytes, without decoding.
 
-
-def _read_chunk(fh: BinaryIO) -> Optional[Tuple[int, List[TraceEvent]]]:
+    Returns ``(tid, flags, n_events, raw_len, stored, offset)`` or
+    ``None`` at a clean end of file.  Any short read raises the wrapped
+    ``truncated/corrupt trace`` :class:`ValueError` — a failure here
+    means the rest of the file cannot be walked.
+    """
+    offset = fh.tell()
     header = fh.read(_CHUNK_HEADER.size)
     if not header:
         return None
     if len(header) != _CHUNK_HEADER.size:
-        raise ValueError("truncated trace chunk header")
+        raise _corrupt(
+            path, index, offset,
+            f"truncated chunk header ({len(header)}/{_CHUNK_HEADER.size} bytes)",
+        )
     tid, flags, n_events, raw_len, stored_len = _CHUNK_HEADER.unpack(header)
-    stored = _read_exact(fh, stored_len)
-    payload = zlib.decompress(stored) if flags & _FLAG_ZLIB else stored
+    stored = fh.read(stored_len)
+    if len(stored) != stored_len:
+        raise _corrupt(
+            path, index, offset,
+            f"truncated chunk payload ({len(stored)}/{stored_len} bytes)",
+        )
+    return tid, flags, n_events, raw_len, stored, offset
+
+
+def _decode_stored(
+    stored: bytes,
+    flags: int,
+    n_events: int,
+    raw_len: int,
+    path: object,
+    index: int,
+    offset: int,
+) -> List[TraceEvent]:
+    """Verify, decompress and decode one chunk's stored bytes.
+
+    Every failure mode — checksum mismatch, zlib damage, record-level
+    garbage — surfaces as the wrapped ``truncated/corrupt trace``
+    :class:`ValueError` with file, chunk and offset context.  A failure
+    here damages only this chunk; the file remains walkable.
+    """
+    if flags & _FLAG_CRC32:
+        if len(stored) < _CRC.size:
+            raise _corrupt(path, index, offset, "chunk too short for its checksum")
+        (expected,) = _CRC.unpack_from(stored, len(stored) - _CRC.size)
+        stored = stored[: -_CRC.size]
+        actual = zlib.crc32(stored) & 0xFFFFFFFF
+        if actual != expected:
+            raise _corrupt(
+                path, index, offset,
+                f"CRC mismatch (stored {expected:#010x}, computed {actual:#010x})",
+            )
+    try:
+        payload = zlib.decompress(stored) if flags & _FLAG_ZLIB else stored
+    except zlib.error as exc:
+        raise _corrupt(path, index, offset, f"decompression failed: {exc}") from None
     if len(payload) != raw_len:
-        raise ValueError("corrupt trace chunk: payload length mismatch")
-    return tid, _decode_payload(payload, n_events)
+        raise _corrupt(
+            path, index, offset,
+            f"payload length mismatch ({len(payload)} != {raw_len})",
+        )
+    try:
+        return _decode_payload(payload, n_events)
+    except (ValueError, struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise _corrupt(path, index, offset, str(exc)) from None
 
 
 def _is_binary_trace(path: Union[str, Path]) -> bool:
@@ -187,9 +267,15 @@ def _is_binary_trace(path: Union[str, Path]) -> bool:
 
 @dataclass
 class Trace:
-    """Per-thread event streams of one execution, held in memory."""
+    """Per-thread event streams of one execution, held in memory.
+
+    ``salvaged_chunks`` counts binary chunks that were skipped because
+    their payload was damaged — nonzero only after a salvage-mode
+    :meth:`load` of a partially corrupted file.
+    """
 
     per_thread: Dict[int, List[TraceEvent]] = field(default_factory=dict)
+    salvaged_chunks: int = 0
 
     def thread_ids(self) -> List[int]:
         """Sorted tids present in the trace."""
@@ -239,6 +325,7 @@ class Trace:
         format: Optional[str] = None,
         compress: bool = True,
         chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        crc: bool = True,
     ) -> None:
         """Write the trace to ``path``.
 
@@ -246,14 +333,18 @@ class Trace:
         format), ``"jsonl"`` (the legacy self-describing text format) or
         ``None`` to pick by extension: ``.jsonl`` paths get JSON-lines,
         everything else the binary format.  ``compress`` zlib-compresses
-        each binary chunk; ``chunk_events`` bounds events per chunk.
+        each binary chunk; ``chunk_events`` bounds events per chunk;
+        ``crc`` stamps each binary chunk with a CRC32 of its stored
+        bytes so loaders can detect bit damage.
         """
         if format is None:
             format = "jsonl" if str(path).endswith(".jsonl") else "binary"
         if format == "jsonl":
             self._save_jsonl(path)
         elif format == "binary":
-            self._save_binary(path, compress=compress, chunk_events=chunk_events)
+            self._save_binary(
+                path, compress=compress, chunk_events=chunk_events, crc=crc
+            )
         else:
             raise ValueError(f"unknown trace format {format!r}")
 
@@ -267,7 +358,11 @@ class Trace:
                 fh.write(json.dumps({"tid": tid, "events": events}) + "\n")
 
     def _save_binary(
-        self, path: Union[str, Path], compress: bool, chunk_events: int
+        self,
+        path: Union[str, Path],
+        compress: bool,
+        chunk_events: int,
+        crc: bool = True,
     ) -> None:
         if chunk_events < 1:
             raise ValueError("chunk_events must be positive")
@@ -277,37 +372,61 @@ class Trace:
                 events = self.per_thread[tid]
                 if not events:
                     # An empty chunk keeps the thread visible to readers.
-                    fh.write(_encode_chunk(tid, [], compress))
+                    fh.write(_encode_chunk(tid, [], compress, crc=crc))
                 for start in range(0, len(events), chunk_events):
                     fh.write(
                         _encode_chunk(
-                            tid, events[start : start + chunk_events], compress
+                            tid,
+                            events[start : start + chunk_events],
+                            compress,
+                            crc=crc,
                         )
                     )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Trace":
+    def load(cls, path: Union[str, Path], salvage: bool = False) -> "Trace":
         """Read a trace written by :meth:`save` (either format).
 
         The format is detected from the file's magic bytes, not its
-        name, so renamed files load fine.
+        name, so renamed files load fine.  With ``salvage=True``, binary
+        chunks whose payload is damaged (bad CRC, zlib damage, garbled
+        records) are skipped instead of raising; the skipped count lands
+        in :attr:`salvaged_chunks` and the ``trace.salvaged_chunks``
+        telemetry counter.  Damage to the chunk *structure* itself — a
+        truncated header or short stored region — still raises, because
+        the rest of the file cannot be walked past it.
         """
         if _is_binary_trace(path):
-            return cls._load_binary(path)
+            return cls._load_binary(path, salvage=salvage)
         return cls._load_jsonl(path)
 
     @classmethod
-    def _load_binary(cls, path: Union[str, Path]) -> "Trace":
+    def _load_binary(
+        cls, path: Union[str, Path], salvage: bool = False
+    ) -> "Trace":
         per_thread: Dict[int, List[TraceEvent]] = {}
+        salvaged = 0
         with open(path, "rb") as fh:
             _check_magic(fh, path)
+            index = 0
             while True:
-                chunk = _read_chunk(fh)
+                chunk = _read_chunk_raw(fh, path, index)
                 if chunk is None:
                     break
-                tid, events = chunk
-                per_thread.setdefault(tid, []).extend(events)
-        return cls(per_thread=per_thread)
+                tid, flags, n_events, raw_len, stored, offset = chunk
+                try:
+                    events = _decode_stored(
+                        stored, flags, n_events, raw_len, path, index, offset
+                    )
+                except ValueError:
+                    if not salvage:
+                        raise
+                    salvaged += 1
+                else:
+                    per_thread.setdefault(tid, []).extend(events)
+                index += 1
+        _note_salvaged(salvaged)
+        return cls(per_thread=per_thread, salvaged_chunks=salvaged)
 
     @classmethod
     def _load_jsonl(cls, path: Union[str, Path]) -> "Trace":
@@ -335,7 +454,11 @@ class Trace:
 
 
 def _check_magic(fh: BinaryIO, path: Union[str, Path]) -> None:
-    head = _read_exact(fh, len(TRACE_MAGIC) + 1)
+    head = fh.read(len(TRACE_MAGIC) + 1)
+    if len(head) != len(TRACE_MAGIC) + 1:
+        raise ValueError(
+            f"truncated/corrupt trace: {path}: file shorter than its header"
+        )
     if head[: len(TRACE_MAGIC)] != TRACE_MAGIC:
         raise ValueError(f"{path} is not a binary trace")
     version = head[-1]
@@ -354,27 +477,68 @@ class StreamingTrace:
     one chunk at a time during iteration.  Each :meth:`iter_events` call
     opens its own file handle, so the simulator can interleave many
     threads' iterators, and the warmup pass can simply iterate again.
+
+    With ``salvage=True`` every chunk's payload is *validated* during
+    the open-time scan (damaged ones are dropped from the index and
+    counted in :attr:`salvaged_chunks`) so that later iteration can
+    never blow up mid-simulation.  Salvage pays the full decode cost up
+    front; the default mode keeps the cheap header-hopping scan and
+    raises lazily from :meth:`iter_events` if a chunk turns out damaged.
     """
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], salvage: bool = False) -> None:
         self._path = Path(path)
-        #: tid -> [(payload offset, flags, n_events, raw_len, stored_len)]
-        self._index: Dict[int, List[Tuple[int, int, int, int, int]]] = {}
+        self.salvaged_chunks = 0
+        #: tid -> [(chunk index, payload offset, flags, n_events, raw_len,
+        #: stored_len)]
+        self._index: Dict[int, List[Tuple[int, int, int, int, int, int]]] = {}
+        file_size = self._path.stat().st_size
         with open(self._path, "rb") as fh:
             _check_magic(fh, path)
+            index = 0
             while True:
-                header = fh.read(_CHUNK_HEADER.size)
-                if not header:
-                    break
-                if len(header) != _CHUNK_HEADER.size:
-                    raise ValueError("truncated trace chunk header")
-                tid, flags, n_events, raw_len, stored_len = _CHUNK_HEADER.unpack(
-                    header
-                )
+                if salvage:
+                    chunk = _read_chunk_raw(fh, path, index)
+                    if chunk is None:
+                        break
+                    tid, flags, n_events, raw_len, stored, offset = chunk
+                    payload_offset = offset + _CHUNK_HEADER.size
+                    stored_len = len(stored)
+                    try:
+                        _decode_stored(
+                            stored, flags, n_events, raw_len, path, index, offset
+                        )
+                    except ValueError:
+                        self.salvaged_chunks += 1
+                        index += 1
+                        continue
+                else:
+                    offset = fh.tell()
+                    header = fh.read(_CHUNK_HEADER.size)
+                    if not header:
+                        break
+                    if len(header) != _CHUNK_HEADER.size:
+                        raise _corrupt(
+                            path, index, offset,
+                            f"truncated chunk header "
+                            f"({len(header)}/{_CHUNK_HEADER.size} bytes)",
+                        )
+                    tid, flags, n_events, raw_len, stored_len = (
+                        _CHUNK_HEADER.unpack(header)
+                    )
+                    payload_offset = fh.tell()
+                    if payload_offset + stored_len > file_size:
+                        raise _corrupt(
+                            path, index, offset,
+                            f"truncated chunk payload "
+                            f"({file_size - payload_offset}/{stored_len} bytes)",
+                        )
+                    fh.seek(stored_len, 1)
                 self._index.setdefault(tid, []).append(
-                    (fh.tell(), flags, n_events, raw_len, stored_len)
+                    (index, payload_offset, flags, n_events, raw_len, stored_len)
                 )
-                fh.seek(stored_len, 1)
+                index += 1
+        _note_salvaged(self.salvaged_chunks)
 
     def thread_ids(self) -> List[int]:
         """Sorted tids present in the trace."""
@@ -387,15 +551,19 @@ class StreamingTrace:
         if not chunks:
             return
         with open(self._path, "rb") as fh:
-            for offset, flags, n_events, raw_len, stored_len in chunks:
+            for index, offset, flags, n_events, raw_len, stored_len in chunks:
                 fh.seek(offset)
-                stored = _read_exact(fh, stored_len)
-                payload = (
-                    zlib.decompress(stored) if flags & _FLAG_ZLIB else stored
-                )
-                if len(payload) != raw_len:
-                    raise ValueError("corrupt trace chunk: payload length mismatch")
-                for event in _decode_payload(payload, n_events):
+                stored = fh.read(stored_len)
+                if len(stored) != stored_len:
+                    raise _corrupt(
+                        self._path, index, offset - _CHUNK_HEADER.size,
+                        f"truncated chunk payload "
+                        f"({len(stored)}/{stored_len} bytes)",
+                    )
+                for event in _decode_stored(
+                    stored, flags, n_events, raw_len,
+                    self._path, index, offset - _CHUNK_HEADER.size,
+                ):
                     yield event
 
     def events(self, tid: int) -> List[TraceEvent]:
@@ -409,18 +577,24 @@ class StreamingTrace:
     @property
     def total_events(self) -> int:
         """Total event count, known from chunk headers alone."""
-        return sum(n for chunks in self._index.values() for _, _, n, _, _ in chunks)
+        return sum(
+            n for chunks in self._index.values() for _, _, _, n, _, _ in chunks
+        )
 
 
-def open_trace(path: Union[str, Path]) -> Union[Trace, StreamingTrace]:
+def open_trace(
+    path: Union[str, Path], salvage: bool = False
+) -> Union[Trace, StreamingTrace]:
     """Open a trace file for replay with minimal memory.
 
     Binary traces come back as a :class:`StreamingTrace`; legacy
     JSON-lines traces (which have no chunk structure to stream) are
     loaded in memory.  Both satisfy the simulator's protocol.
+    ``salvage=True`` validates and drops damaged binary chunks at open
+    time instead of raising (see :class:`StreamingTrace`).
     """
     if _is_binary_trace(path):
-        return StreamingTrace(path)
+        return StreamingTrace(path, salvage=salvage)
     return Trace._load_jsonl(path)
 
 

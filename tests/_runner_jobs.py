@@ -60,3 +60,52 @@ def flaky(counter_file, fail_times=1, value="eventually"):
     if count <= fail_times:
         raise RuntimeError(f"flaky failure #{count}")
     return {"value": value, "calls": count}
+
+
+def hard_exit(code=13, value="unreached"):
+    """Kill the worker process outright (no result ever sent)."""
+    os._exit(code)
+
+
+def wedged_sleeper(seconds=30.0, value="unreached"):
+    """Go silent (no heartbeats), then sleep: watchdog fodder."""
+    from repro.faults import wedge
+
+    wedge()
+    time.sleep(seconds)
+    return value
+
+
+def deadlock_job():
+    """Run a program that ABBA-deadlocks; DeadlockError escapes as a
+    job failure the runner must degrade to a FAILED row."""
+    from repro.runtime import (
+        Acquire,
+        Compute,
+        Join,
+        Lock,
+        Program,
+        RoundRobinPolicy,
+        Spawn,
+    )
+
+    l1, l2 = Lock("a"), Lock("b")
+
+    def t1(ctx):
+        yield Acquire(l1)
+        yield Compute(5)
+        yield Acquire(l2)
+
+    def t2(ctx):
+        yield Acquire(l2)
+        yield Compute(5)
+        yield Acquire(l1)
+
+    def main(ctx):
+        a = yield Spawn(t1)
+        b = yield Spawn(t2)
+        yield Join(a)
+        yield Join(b)
+
+    Program(main).run(policy=RoundRobinPolicy())
+    return "unreachable"

@@ -428,3 +428,83 @@ class TestDeterminismOfLog:
 
         result = Program(main).run()
         assert result.det_counters[0] == 15
+
+
+class TestDeadlockCoverage:
+    """DeadlockError fires whenever *every* live thread is blocked,
+    whatever primitive mix it is blocked on — the scheduler must stop
+    with a structured error, never spin or hang."""
+
+    def test_condvar_never_signaled(self):
+        lock = Lock("m")
+        cond = Condition("cv")
+
+        def waiter(ctx):
+            yield Acquire(lock)
+            yield CondWait(cond, lock)
+            yield Release(lock)
+
+        def main(ctx):
+            kid = yield Spawn(waiter)
+            yield Join(kid)  # nobody ever signals
+
+        with pytest.raises(DeadlockError) as err:
+            Program(main).run()
+        assert err.value.blocked  # names the stuck tids
+
+    def test_barrier_missing_participant(self):
+        barrier = Barrier(3)  # only two threads will ever arrive
+
+        def party(ctx):
+            yield BarrierWait(barrier)
+
+        def main(ctx):
+            a = yield Spawn(party)
+            b = yield Spawn(party)
+            yield Join(a)
+            yield Join(b)
+
+        with pytest.raises(DeadlockError):
+            Program(main).run()
+
+    def test_mixed_lock_condvar_barrier_all_blocked(self):
+        lock = Lock("m")
+        cond = Condition("cv")
+        barrier = Barrier(2)
+
+        def lock_then_barrier(ctx):
+            yield Acquire(lock)
+            # Holds the lock forever while waiting at a barrier no one
+            # else can reach.
+            yield BarrierWait(barrier)
+            yield Release(lock)
+
+        def cond_waiter(ctx):
+            yield Acquire(lock)  # blocks behind lock_then_barrier
+            yield CondWait(cond, lock)
+            yield Release(lock)
+
+        def main(ctx):
+            a = yield Spawn(lock_then_barrier)
+            yield Compute(3)
+            b = yield Spawn(cond_waiter)
+            yield Join(a)
+            yield Join(b)
+
+        with pytest.raises(DeadlockError) as err:
+            Program(main).run(policy=RoundRobinPolicy())
+        # All three survivors (main included) are accounted for.
+        assert len(err.value.blocked) == 3
+
+    def test_semaphore_starvation_deadlocks(self):
+        sem = Semaphore(0)
+
+        def consumer(ctx):
+            yield SemWait(sem)  # no producer exists
+
+        def main(ctx):
+            kid = yield Spawn(consumer)
+            yield Join(kid)
+
+        with pytest.raises(DeadlockError):
+            Program(main).run()
