@@ -38,12 +38,22 @@ simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
          [--telemetry OUT.jsonl]
     Replay a recorded trace on the hardware simulator.
 chaos [--seed N] [--faults KINDS] [--jobs N] [--watchdog S]
-      [--workdir DIR] [--report PATH] [--json]
+      [--workdir DIR] [--report PATH] [--forensics DIR] [--json]
     Inject faults (trace-bitflip, checkpoint-truncate, worker-crash,
     worker-hang, monitor-raise) under a seeded plan and assert the
     recovery invariants end to end: every fault detected and survived,
     no hang, surviving results deterministic across two passes.  Exits
     non-zero only if an invariant fails (see docs/robustness.md).
+    ``--forensics DIR`` attaches a full forensics bundle per chaos job.
+forensics NAME [--racy] [--scale S] [--seed K] [--recovery MODE]
+          [--out DIR] [--validate] [--json]
+    Run one workload under CLEAN with the execution flight recorder on
+    and write the forensics bundle: a Perfetto-loadable Chrome-trace
+    JSON, a happens-before graph (DOT + JSON) with the racing pair
+    highlighted, and a self-contained HTML race report.  All artifacts
+    use logical timestamps, so re-running the command produces
+    byte-identical files.  ``--validate`` re-checks the emitted Chrome
+    trace against the trace-event schema and fails loudly on drift.
 list
     List the modelled benchmarks and their characteristics.
 
@@ -56,6 +66,9 @@ from __future__ import annotations
 
 import argparse
 import json
+
+#: Schema major stamped into every ``--format json`` profile payload.
+PROFILE_FORMAT_VERSION = 1
 
 
 def _telemetry_session(args: argparse.Namespace):
@@ -99,6 +112,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         argv.extend(["--prom", args.prom])
     if args.sites:
         argv.append("--sites")
+    if args.forensics:
+        argv.extend(["--forensics", args.forensics])
     return report.main(argv)
 
 
@@ -152,18 +167,29 @@ def _cmd_check(args: argparse.Namespace) -> int:
     with tracer.span("check", kind=args.kind, seeds=args.seeds):
         for seed in range(args.seeds):
             telemetry = TelemetryMonitor(registry=registry)
+            recorder = None
+            if args.forensics:
+                from .obs import TimelineRecorder
+
+                recorder = TimelineRecorder(label=f"{args.kind}_seed{seed}")
             with tracer.span("check.seed", seed=seed) as span:
                 result = run_clean(
                     make(),
                     policy=RandomPolicy(seed),
                     registry=registry,
                     extra_monitors=[telemetry],
+                    timeline=recorder,
                 )
                 span.set("race", str(result.race) if result.race else None)
-            per_seed.append(
-                {"seed": seed,
-                 "race": str(result.race) if result.race else None}
-            )
+            entry = {"seed": seed,
+                     "race": str(result.race) if result.race else None}
+            if recorder is not None:
+                from .obs import write_forensics
+
+                entry["forensics"] = write_forensics(
+                    args.forensics, recorder.label, recorder.to_payload()
+                )
+            per_seed.append(entry)
     stopped = sum(1 for entry in per_seed if entry["race"] is not None)
     _close_telemetry(exporter, registry)
     if args.json:
@@ -181,6 +207,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"seed {entry['seed']}: completed")
     print(f"\nstopped {stopped}/{args.seeds} schedules")
+    if args.forensics:
+        print(f"forensics bundles written under {args.forensics}")
     return 0
 
 
@@ -297,6 +325,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         server.stop()
     if fmt == "json":
         payload = {
+            "format": PROFILE_FORMAT_VERSION,
             "benchmark": spec.name,
             "scale": args.scale,
             "race": str(result.race) if result.race else None,
@@ -356,6 +385,7 @@ def _cmd_profile_report(args: argparse.Namespace) -> int:
     _close_telemetry(exporter, registry)
     if fmt == "json":
         payload = {
+            "format": PROFILE_FORMAT_VERSION,
             "experiments": [r.experiment for r in results],
             "runner": runner.stats,
             "metrics": registry.snapshot(),
@@ -421,6 +451,80 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    from .clean import run_clean
+    from .obs import (
+        SiteProfiler,
+        TimelineRecorder,
+        telemetry_scope,
+        validate_chrome_trace,
+        write_forensics,
+    )
+    from .obs.forensics import build_hb_graph, chrome_trace
+    from .workloads import build_program, get_benchmark
+
+    spec = get_benchmark(args.name)
+    recorder = TimelineRecorder(label=spec.name)
+    profiler = SiteProfiler()
+    program = build_program(
+        spec, scale=args.scale, racy=args.racy, seed=args.seed
+    )
+    # The ambient scope hands the profiler to the CleanMonitor, so the
+    # HTML report's hot-site panel attributes the same run.
+    with telemetry_scope(sites=profiler):
+        result = run_clean(
+            program,
+            timeline=recorder,
+            recovery=args.recovery,
+            max_threads=24,
+        )
+    payload = recorder.to_payload()
+    paths = write_forensics(
+        args.out, spec.name, payload, sites=profiler.to_payload()
+    )
+    errors = []
+    if args.validate:
+        errors = validate_chrome_trace(chrome_trace(payload))
+    graph = build_hb_graph(payload)
+    summary = {
+        "benchmark": spec.name,
+        "racy": bool(args.racy),
+        "race": str(result.race) if result.race else None,
+        "pair": graph["pair"],
+        "ordered": graph["ordered"],
+        "artifacts": paths,
+        "validation_errors": errors,
+    }
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+        return 1 if errors else 0
+    race_text = (payload.get("race_report") or {}).get("text")
+    if race_text:
+        print(race_text)
+        verdict = (
+            "no happens-before path connects the racing pair "
+            "(the race is certified)"
+            if graph["ordered"] is False
+            else "the pair is ordered by synchronization"
+        )
+        print(f"  {verdict}")
+    elif result.recovery is not None and not result.recovery.clean:
+        print(f"{spec.name}: race(s) recovered "
+              f"({result.recovery.races} event(s)); see the HTML report")
+    else:
+        print(f"{spec.name}: no race; timeline recorded")
+    for name in sorted(paths):
+        print(f"  {name}: {paths[name]}")
+    if errors:
+        print("Chrome-trace validation FAILED:")
+        for err in errors[:10]:
+            print(f"  {err}")
+        return 1
+    if args.validate:
+        print("  chrome trace validated (ph/ts/pid/tid + flow pairing ok)")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import tempfile
 
@@ -436,6 +540,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         workers=args.jobs,
         watchdog=args.watchdog,
         registry=registry,
+        forensics_dir=args.forensics,
     )
     if args.report:
         import shutil
@@ -534,6 +639,9 @@ def main(argv=None) -> int:
                    help="write a final Prometheus text snapshot")
     p.add_argument("--sites", action="store_true",
                    help="hot-site attribution: print the merged top-K table")
+    p.add_argument("--forensics", metavar="DIR", default=None,
+                   help="record job timelines; write a forensics bundle "
+                        "per raced run under DIR")
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_report)
 
@@ -546,6 +654,8 @@ def main(argv=None) -> int:
     p.add_argument("--seeds", type=int, default=8)
     p.add_argument("--json", action="store_true",
                    help="machine-readable result on stdout")
+    p.add_argument("--forensics", metavar="DIR", default=None,
+                   help="write a forensics bundle per seed under DIR")
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_check)
 
@@ -618,9 +728,35 @@ def main(argv=None) -> int:
                    help="working directory for artifacts (default: temp dir)")
     p.add_argument("--report", default=None, metavar="PATH",
                    help="copy the JSON chaos report to PATH")
+    p.add_argument("--forensics", metavar="DIR", default=None,
+                   help="record timelines and write a forensics bundle "
+                        "per chaos job under DIR")
     p.add_argument("--json", action="store_true",
                    help="print the full report as JSON")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser(
+        "forensics",
+        help="record one workload's execution timeline and write the "
+             "Chrome-trace / happens-before-graph / HTML race bundle",
+    )
+    p.add_argument("name")
+    p.add_argument("--racy", action="store_true",
+                   help="run the benchmark's racy variant")
+    p.add_argument("--scale", default="test")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--recovery", default=None,
+                   choices=["abort", "quarantine", "rollback-retry"],
+                   help="survive the race under this recovery mode "
+                        "(annotated in the artifacts)")
+    p.add_argument("--out", default="forensics", metavar="DIR",
+                   help="output directory (default: ./forensics)")
+    p.add_argument("--validate", action="store_true",
+                   help="validate the emitted Chrome trace against the "
+                        "trace-event schema")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+    p.set_defaults(fn=_cmd_forensics)
 
     p = sub.add_parser("list", help="list the modelled benchmarks")
     p.add_argument("--measured", action="store_true",

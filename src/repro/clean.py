@@ -29,8 +29,9 @@ from .core.rollover import RolloverPolicy
 from .determinism.counters import PreciseCounter
 from .determinism.kendo import KendoGate
 from .obs import MetricsRegistry, publish_detector_metrics
-from .obs.context import current_registry, current_sites
+from .obs.context import current_registry, current_sites, current_timeline
 from .obs.sites import SiteProfiler
+from .obs.timeline import TimelineRecorder
 from .runtime.ops import Op
 from .runtime.program import Program
 from .runtime.scheduler import (
@@ -378,6 +379,7 @@ def run_clean(
     registry: Optional[MetricsRegistry] = None,
     fastpath: bool = True,
     recovery: Optional[object] = None,
+    timeline: Optional[TimelineRecorder] = None,
 ) -> ExecutionResult:
     """Run ``program`` under CLEAN and return its execution result.
 
@@ -391,7 +393,28 @@ def run_clean(
     scheduler buffer SFR writes and *survive* race exceptions instead of
     stopping; the result's ``recovery`` field then carries the
     :class:`~repro.runtime.recovery.RecoveryReport`.
+
+    ``timeline`` — a :class:`~repro.obs.timeline.TimelineRecorder` —
+    records the run's execution timeline (SFRs, sync ops, happens-before
+    edges) for the forensics exporters.  When no recorder is passed but
+    the ambient telemetry scope carries a
+    :class:`~repro.obs.timeline.TimelineSink`, one is created per run
+    and its payload is delivered to the sink — that is how ``--jobs N``
+    workers ship timelines back to the parent.  Either way a
+    :class:`~repro.diagnostics.RaceContextMonitor` rides along and, if
+    the run races, its :class:`~repro.diagnostics.RaceReport` payload is
+    attached to the recorder as ``race_report`` so every forensics
+    artifact names the same racing SFR pair as ``RaceReport.render()``.
     """
+    from .diagnostics import RaceContextMonitor
+
+    sink = None
+    recorder = timeline
+    if recorder is None:
+        sink = current_timeline()
+        if sink is not None:
+            recorder = TimelineRecorder(label=program.main.__name__)
+    context: Optional[RaceContextMonitor] = None
     monitors, _clean, _gate = clean_stack(
         detect=detect,
         deterministic=deterministic,
@@ -403,11 +426,26 @@ def run_clean(
         registry=registry,
         fastpath=fastpath,
     )
-    return program.run(
+    if recorder is not None:
+        # Provenance must be recorded before the CLEAN monitor raises.
+        context = RaceContextMonitor()
+        monitors.insert(0, context)
+    result = program.run(
         policy=policy,
         monitors=monitors,
         max_threads=max_threads,
         counter_cost=counter_cost if counter_cost is not None else PreciseCounter(),
-        raise_on_race=raise_on_race,
+        raise_on_race=False if recorder is not None else raise_on_race,
         recovery=recovery,
+        timeline=recorder,
     )
+    if recorder is not None:
+        if result.race is not None and context is not None:
+            recorder.race_report = context.report(
+                result.race, sites=current_sites()
+            ).to_payload()
+        if sink is not None:
+            sink.add(recorder.to_payload())
+        if raise_on_race and result.race is not None:
+            raise result.race
+    return result

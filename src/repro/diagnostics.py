@@ -21,7 +21,7 @@ Attach it *before* the CLEAN monitor in the stack, and ask it for
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from .core.exceptions import RaceException
@@ -87,6 +87,17 @@ class AccessSite:
             f"SFR #{self.region_index})"
         )
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict (consumed by the forensics artifacts)."""
+        return {
+            "tid": self.tid,
+            "op_index": self.op_index,
+            "region_index": self.region_index,
+            "is_write": self.is_write,
+            "address": self.address,
+            "size": self.size,
+        }
+
 
 @dataclass(frozen=True)
 class RaceReport:
@@ -106,6 +117,27 @@ class RaceReport:
     current: AccessSite
     previous: Optional[AccessSite]
     hot_site: Optional[Dict[str, Any]] = field(default=None)
+    #: paths of forensics artifacts describing the same race (Chrome
+    #: trace, HB graph, HTML report) — see :meth:`with_artifacts`.
+    artifacts: Optional[Dict[str, str]] = field(default=None)
+
+    def with_artifacts(self, artifacts: Dict[str, str]) -> "RaceReport":
+        """A copy of this report linking the written forensics bundle."""
+        return replace(self, artifacts=dict(artifacts))
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe dict naming the racing pair, plus the rendered text."""
+        return {
+            "kind": self.kind,
+            "address": self.address,
+            "current": self.current.to_payload(),
+            "previous": (
+                self.previous.to_payload() if self.previous is not None else None
+            ),
+            "hot_site": self.hot_site,
+            "artifacts": self.artifacts,
+            "text": self.render(),
+        }
 
     def render(self) -> str:
         lines = [
@@ -127,6 +159,10 @@ class RaceReport:
                 f"{s.get('same_epoch', 0)} same-epoch hits, "
                 f"{s.get('races', 0)} race(s) here)"
             )
+        if self.artifacts:
+            lines.append("  forensics artifacts:")
+            for name in sorted(self.artifacts):
+                lines.append(f"    {name}: {self.artifacts[name]}")
         return "\n".join(lines)
 
 

@@ -39,7 +39,9 @@ QUARANTINE_DIR = "quarantine"
 #: v2: records may carry a ``telemetry`` payload (metrics snapshot,
 #: instrument kinds, span records, hot-site profile) so cache-served
 #: jobs replay the telemetry of their original execution.
-FORMAT_VERSION = 2
+#: v3: telemetry span records are origin-relative and the payload may
+#: carry ``timelines`` (execution-timeline payloads for forensics).
+FORMAT_VERSION = 3
 
 
 class CheckpointStore:

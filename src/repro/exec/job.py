@@ -106,7 +106,10 @@ def run_job(job: Job) -> Any:
 
 
 def run_job_traced(
-    job: Job, sites: bool = False, sample_every: int = 1
+    job: Job,
+    sites: bool = False,
+    sample_every: int = 1,
+    timelines: bool = False,
 ) -> Tuple[Any, Dict[str, Any]]:
     """Execute ``job`` inside a fresh telemetry scope.
 
@@ -117,28 +120,38 @@ def run_job_traced(
     * ``metrics`` / ``kinds`` — the worker registry's snapshot plus
       instrument kinds, mergeable into a parent registry via
       ``MetricsRegistry.merge_snapshot``;
-    * ``spans`` — finished span records (at least the wrapping
-      ``job.run`` span);
+    * ``spans`` — finished span records, relative to the worker
+      tracer's origin (at least the wrapping ``job.run`` span);
     * ``sites`` — the hot-site profile payload when ``sites=True``,
-      else ``None``.
+      else ``None``;
+    * ``timelines`` — when ``timelines=True``, one
+      :meth:`~repro.obs.timeline.TimelineRecorder.to_payload` dict per
+      CLEAN run the job executed (execution order), else ``None``.
 
     Telemetry rides in the worker's result message *and* in the
     checkpoint record, so a cache-served job replays the exact
     telemetry its original execution produced — a resumed report
-    aggregates the same totals as the run it resumed.
+    aggregates the same totals as the run it resumed.  The timeline
+    payloads are logical-clock data, so they survive the checkpoint
+    JSON round trip byte-identically.
     """
     from ..obs import MetricsRegistry, SiteProfiler, Tracer, telemetry_scope
+    from ..obs.timeline import TimelineSink
 
     registry = MetricsRegistry()
     tracer = Tracer()
     profiler = SiteProfiler(sample_every=sample_every) if sites else None
-    with telemetry_scope(registry=registry, tracer=tracer, sites=profiler):
+    sink = TimelineSink() if timelines else None
+    with telemetry_scope(
+        registry=registry, tracer=tracer, sites=profiler, timeline=sink
+    ):
         with tracer.span("job.run", job=job.label, id=job.job_id):
             value = run_job(job)
     telemetry: Dict[str, Any] = {
         "metrics": registry.snapshot(),
         "kinds": registry.kinds(),
-        "spans": [span.to_record() for span in tracer.finished],
+        "spans": [span.to_record(tracer.origin) for span in tracer.finished],
         "sites": profiler.to_payload() if profiler is not None else None,
+        "timelines": sink.payloads if sink is not None else None,
     }
     return value, telemetry

@@ -107,6 +107,7 @@ def _worker_main(
     telemetry: bool = True,
     sites: bool = False,
     sample_every: int = 1,
+    timelines: bool = False,
     heartbeat: float = 0.0,
 ) -> None:
     """Child-process entry: run the job, ship (status, ...) back.
@@ -139,7 +140,7 @@ def _worker_main(
         job = Job(fn=fn, config=config)
         if telemetry:
             value, telem = run_job_traced(
-                job, sites=sites, sample_every=sample_every
+                job, sites=sites, sample_every=sample_every, timelines=timelines
             )
         else:
             value, telem = run_job(job), None
@@ -210,6 +211,9 @@ class JobRunner:
     profile_sites: bool = False
     #: hot-site sampling period (1 = exact)
     sample_every: int = 1
+    #: record per-run execution timelines in every job (fills
+    #: :attr:`timelines`) — see :class:`~repro.obs.timeline.TimelineRecorder`
+    record_timelines: bool = False
     #: StatusFile-compatible sink for live progress (duck-typed)
     status: Any = None
     #: minimum seconds between status-file rewrites
@@ -218,6 +222,9 @@ class JobRunner:
     stats: Dict[str, Any] = field(default_factory=dict)
     #: merged SiteProfiler after a run with ``profile_sites`` (else None)
     sites: Any = field(default=None, repr=False)
+    #: after a run with ``record_timelines``: submission-ordered
+    #: ``{"job": label, "timelines": [payload, ...]}`` entries
+    timelines: List[Dict[str, Any]] = field(default_factory=list, repr=False)
 
     # -- public API ---------------------------------------------------------
 
@@ -348,10 +355,21 @@ class JobRunner:
     def _merge_telemetry(self, results: Sequence[Optional[JobResult]]) -> None:
         """Fold per-job payloads into registry/tracer/sites, submission order."""
         self.sites = None
+        self.timelines = []
         if self.profile_sites:
             from ..obs.sites import SiteProfiler
 
             self.sites = SiteProfiler(sample_every=self.sample_every)
+        # Worker span records are relative to the *worker* tracer's
+        # origin (≈ attempt start); shifting each job's records by the
+        # parent-side start of its ``runner.job`` span puts every
+        # process on one ordered axis.
+        offsets: Dict[str, float] = {}
+        if self.tracer is not None:
+            origin = getattr(self.tracer, "origin", 0.0)
+            for span in getattr(self.tracer, "finished", []) or []:
+                if span.name == "runner.job" and "id" in span.attrs:
+                    offsets[span.attrs["id"]] = span.start - origin
         for result in results:
             if result is None or not result.telemetry:
                 continue
@@ -361,9 +379,17 @@ class JobRunner:
                     telem["metrics"], kinds=telem.get("kinds")
                 )
             if self.tracer is not None and telem.get("spans"):
-                self.tracer.ingest(telem["spans"], job=result.job.label)
+                self.tracer.ingest(
+                    telem["spans"],
+                    at=offsets.get(result.job.job_id),
+                    job=result.job.label,
+                )
             if self.sites is not None and telem.get("sites"):
                 self.sites.merge_payload(telem["sites"])
+            if telem.get("timelines"):
+                self.timelines.append(
+                    {"job": result.job.label, "timelines": telem["timelines"]}
+                )
 
     # -- shared result plumbing --------------------------------------------
 
@@ -453,6 +479,7 @@ class JobRunner:
                             job,
                             sites=self.profile_sites,
                             sample_every=self.sample_every,
+                            timelines=self.record_timelines,
                         )
                     else:
                         value, telem = run_job(job), None
@@ -583,6 +610,7 @@ class JobRunner:
                         self.job_telemetry,
                         self.profile_sites,
                         self.sample_every,
+                        self.record_timelines,
                         heartbeat if self.watchdog is not None else 0.0,
                     ),
                     daemon=True,

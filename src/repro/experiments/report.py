@@ -210,6 +210,32 @@ def run_all(
     return results
 
 
+def _write_report_forensics(out_dir: str, runner: JobRunner) -> int:
+    """Write a forensics bundle for every raced timeline of the sweep.
+
+    Runs that completed race-free are skipped — a full report records
+    hundreds of clean executions and their bundles would bury the
+    interesting ones.  Returns how many bundles were written.
+    """
+    import re
+
+    from ..obs.forensics import write_forensics
+
+    written = 0
+    for entry in runner.timelines:
+        label = re.sub(r"[^A-Za-z0-9._-]+", "_", entry["job"]).strip("_")
+        raced = [
+            p
+            for p in entry["timelines"]
+            if p.get("race") is not None or p.get("race_report") is not None
+        ]
+        for i, payload in enumerate(raced):
+            basename = label if len(raced) == 1 else f"{label}_{i}"
+            write_forensics(out_dir, basename, payload)
+            written += 1
+    return written
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.report",
@@ -265,6 +291,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="collect hot-site attribution in workers and print the "
              "merged top-K table",
     )
+    parser.add_argument(
+        "--forensics", metavar="DIR", default=None,
+        help="record execution timelines in every job and write a "
+             "forensics bundle (Chrome trace + HB graph + HTML) per "
+             "raced run under DIR",
+    )
     return parser
 
 
@@ -284,6 +316,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tracer=tracer,
         status=status,
         profile_sites=args.sites,
+        record_timelines=bool(args.forensics),
     )
     server = None
     if args.serve is not None:
@@ -311,6 +344,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.sites and runner.sites is not None:
             print()
             print(runner.sites.render())
+        if args.forensics:
+            written = _write_report_forensics(args.forensics, runner)
+            print(f"[forensics] wrote {written} bundle(s) to {args.forensics}")
         failures = [line for result in results for line in result.failures]
         if failures:
             print(f"[failures] {len(failures)} job(s) failed:")

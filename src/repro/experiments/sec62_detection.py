@@ -32,11 +32,17 @@ __all__ = ["compute", "aggregate", "run", "main"]
 def _run_once(spec, scale, racy, schedule_seed, program_seed=0):
     """One run: the *same* program (fixed ``program_seed``) under a
     varying schedule — the paper repeats runs of one binary; schedule
-    seeds model its timing variation."""
-    monitors, _clean, _gate = clean_stack(max_threads=24)
+    seeds model its timing variation.
+
+    Goes through :func:`~repro.clean.run_clean` so an ambient
+    :class:`~repro.obs.timeline.TimelineSink` (``report --forensics``)
+    captures each run's execution timeline; without one this is
+    exactly the old ``clean_stack`` + ``program.run`` path."""
+    from ..clean import run_clean
+
     program = build_program(spec, scale=scale, racy=racy, seed=program_seed)
-    return program.run(
-        policy=RandomPolicy(schedule_seed), monitors=monitors, max_threads=24
+    return run_clean(
+        program, policy=RandomPolicy(schedule_seed), max_threads=24
     )
 
 

@@ -304,6 +304,7 @@ def chaos_job(
     racy: bool = False,
     recovery: Optional[str] = "rollback-retry",
     inject_fault: Optional[Dict[str, Any]] = None,
+    forensics: bool = False,
 ) -> Dict[str, Any]:
     """One chaos workload: a benchmark under CLEAN with recovery on.
 
@@ -312,24 +313,33 @@ def chaos_job(
     across chaos runs.  ``inject_fault`` only ever arrives here as a
     live ``monitor-raise`` spec (crash/hang never reach the job
     function; spent faults arrive as ``None``).
+
+    ``forensics=True`` records the run's execution timeline and ships
+    it in the value under ``timeline``.  Chaos runners disable the
+    telemetry pipeline (``job_telemetry=False``), so the timeline must
+    ride in the job value itself; being logical-clock data it is
+    deterministic and therefore *strengthens* the determinism compare
+    rather than breaking it.
     """
     import hashlib
 
     from .clean import run_clean
+    from .obs.timeline import TimelineRecorder
     from .workloads import build_program
     from .workloads.suite import get_benchmark
 
     extra: Optional[List[ExecutionMonitor]] = None
     if inject_fault is not None:
         extra = [FaultyMonitor(after=int(inject_fault.get("after", 10)))]
+    recorder = TimelineRecorder(label=benchmark) if forensics else None
     program = build_program(
         get_benchmark(benchmark), scale=scale, racy=racy, seed=seed
     )
     result = run_clean(
-        program, extra_monitors=extra, recovery=recovery
+        program, extra_monitors=extra, recovery=recovery, timeline=recorder
     )
     digest = hashlib.sha256(repr(result.fingerprint()).encode()).hexdigest()
-    return {
+    value = {
         "benchmark": benchmark,
         "racy": bool(racy),
         "fingerprint": digest,
@@ -339,6 +349,9 @@ def chaos_job(
         ),
         "steps": result.steps,
     }
+    if recorder is not None:
+        value["timeline"] = recorder.to_payload()
+    return value
 
 
 # -- the end-to-end harness --------------------------------------------------
@@ -354,7 +367,10 @@ CHAOS_SUITE: Tuple[Tuple[str, bool], ...] = (
 
 
 def _chaos_jobs(
-    plan: FaultPlan, scar_root: Path, targets: Dict[str, str]
+    plan: FaultPlan,
+    scar_root: Path,
+    targets: Dict[str, str],
+    forensics: bool = False,
 ) -> List[Any]:
     from .exec.job import Job
 
@@ -368,6 +384,8 @@ def _chaos_jobs(
             "racy": racy,
             "recovery": "rollback-retry",
         }
+        if forensics:
+            config["forensics"] = True
         kind = targets.get(label)
         if kind is not None:
             config["inject_fault"] = {
@@ -385,6 +403,7 @@ def run_chaos(
     workers: int = 2,
     watchdog: float = 3.0,
     registry: Any = None,
+    forensics_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Any]:
     """Inject ``faults`` and verify every recovery invariant end to end.
 
@@ -397,6 +416,13 @@ def run_chaos(
     * the run finished — a hung worker was reaped, not waited on;
     * surviving results are deterministic: two full chaos passes with
       the same seed produce identical per-job outcomes.
+
+    ``forensics_dir`` makes every chaos job record its execution
+    timeline; a full forensics bundle (Chrome trace, HB graph, HTML
+    report — see :func:`repro.obs.forensics.write_forensics`) is
+    written there per job, and the report's ``forensics`` map links
+    the artifact paths.  The timelines also participate in the
+    determinism compare, since they are logical-clock data.
     """
     from .exec.checkpoint import CheckpointStore
     from .exec.job import Job
@@ -489,7 +515,11 @@ def run_chaos(
                 watchdog=watchdog,
                 job_telemetry=False,
             )
-            results = runner.run(_chaos_jobs(plan, scars, targets))
+            results = runner.run(
+                _chaos_jobs(
+                    plan, scars, targets, forensics=forensics_dir is not None
+                )
+            )
             passes.append(results)
             stats.append(dict(runner.stats))
 
@@ -516,6 +546,27 @@ def run_chaos(
             (r1.job.name, r1.status, r1.value) for r1 in results1
         ] == [(r2.job.name, r2.status, r2.value) for r2 in results2]
 
+        # -- forensics bundles (after the determinism compare, which the
+        # timelines participate in; stripped from the report results so
+        # chaos_report.json stays small)
+        forensics_artifacts: Dict[str, Dict[str, str]] = {}
+        if forensics_dir is not None:
+            from .obs.forensics import write_forensics
+
+            out = Path(forensics_dir)
+            for r in results1:
+                timeline = (r.value or {}).get("timeline") if r.ok else None
+                if timeline is None:
+                    continue
+                basename = r.job.name.replace("@", "_")
+                forensics_artifacts[r.job.name] = write_forensics(
+                    out, basename, timeline
+                )
+            for results in passes:
+                for r in results:
+                    if r.ok and isinstance(r.value, dict):
+                        r.value.pop("timeline", None)
+
     report: Dict[str, Any] = {
         "seed": plan.seed,
         "faults": list(plan.kinds),
@@ -537,6 +588,8 @@ def run_chaos(
         and all(c["detected"] and c["recovered"] for c in checks)
         and all(r.ok for r in results1),
     }
+    if forensics_dir is not None:
+        report["forensics"] = forensics_artifacts
     (workdir / "chaos_report.json").write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -19,6 +19,9 @@ gives every layer of the reproduction one way to expose those numbers:
   context worker jobs publish into (the cross-process pipeline);
 * :class:`SiteProfiler` - hot-site attribution of detector work and
   races to addresses/SFRs;
+* :class:`TimelineRecorder` + :mod:`repro.obs.forensics` - the execution
+  flight recorder (SFRs, sync ops, happens-before edges on a logical
+  clock) and its Chrome-trace / HB-graph / HTML exporters;
 * :func:`render_prom` / :class:`TelemetryServer` / :class:`StatusFile` -
   Prometheus text exposition, the ``/metrics`` + ``/status`` HTTP
   endpoint, and the atomically rewritten live-progress file.
@@ -33,8 +36,18 @@ from .context import (
     current_context,
     current_registry,
     current_sites,
+    current_timeline,
     current_tracer,
     telemetry_scope,
+)
+from .forensics import (
+    FORENSICS_FORMAT_VERSION,
+    build_hb_graph,
+    chrome_trace,
+    hb_graph_dot,
+    render_html,
+    validate_chrome_trace,
+    write_forensics,
 )
 from .monitor import TelemetryMonitor
 from .prom import prom_name, render_prom
@@ -42,30 +55,50 @@ from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .serve import TelemetryServer
 from .sites import SiteProfiler
 from .status import StatusFile
-from .tracer import JsonlExporter, Span, Timer, Tracer, read_jsonl
+from .timeline import TIMELINE_FORMAT_VERSION, TimelineRecorder, TimelineSink
+from .tracer import (
+    SPANS_FORMAT_VERSION,
+    JsonlExporter,
+    Span,
+    Timer,
+    Tracer,
+    read_jsonl,
+)
 
 __all__ = [
     "Counter",
+    "FORENSICS_FORMAT_VERSION",
     "Gauge",
     "Histogram",
     "JsonlExporter",
     "MetricsRegistry",
+    "SPANS_FORMAT_VERSION",
     "SiteProfiler",
     "Span",
     "StatusFile",
+    "TIMELINE_FORMAT_VERSION",
     "TelemetryContext",
     "TelemetryMonitor",
     "TelemetryServer",
+    "TimelineRecorder",
+    "TimelineSink",
     "Timer",
     "Tracer",
+    "build_hb_graph",
+    "chrome_trace",
     "current_context",
     "current_registry",
     "current_sites",
+    "current_timeline",
     "current_tracer",
+    "hb_graph_dot",
     "prom_name",
     "publish_detector_metrics",
     "publish_sim_metrics",
     "read_jsonl",
+    "render_html",
     "render_prom",
     "telemetry_scope",
+    "validate_chrome_trace",
+    "write_forensics",
 ]

@@ -30,25 +30,28 @@ __all__ = [
     "current_context",
     "current_registry",
     "current_sites",
+    "current_timeline",
     "current_tracer",
     "telemetry_scope",
 ]
 
 
 class TelemetryContext:
-    """One active telemetry scope: registry + tracer + optional sites."""
+    """One active telemetry scope: registry + tracer + optional extras."""
 
-    __slots__ = ("registry", "tracer", "sites")
+    __slots__ = ("registry", "tracer", "sites", "timeline")
 
     def __init__(
         self,
         registry: MetricsRegistry,
         tracer: Tracer,
         sites: Optional[Any] = None,
+        timeline: Optional[Any] = None,
     ) -> None:
         self.registry = registry
         self.tracer = tracer
         self.sites = sites  # a SiteProfiler, duck-typed to avoid a cycle
+        self.timeline = timeline  # a TimelineSink, duck-typed likewise
 
 
 _local = threading.local()
@@ -66,12 +69,14 @@ def telemetry_scope(
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[Tracer] = None,
     sites: Optional[Any] = None,
+    timeline: Optional[Any] = None,
 ) -> Iterator[TelemetryContext]:
     """Install an ambient telemetry context for the enclosed block."""
     ctx = TelemetryContext(
         registry if registry is not None else MetricsRegistry(),
         tracer if tracer is not None else Tracer(),
         sites,
+        timeline,
     )
     stack = _stack()
     stack.append(ctx)
@@ -104,3 +109,9 @@ def current_tracer() -> Optional[Tracer]:
 def current_sites() -> Optional[Any]:
     ctx = current_context()
     return ctx.sites if ctx is not None else None
+
+
+def current_timeline() -> Optional[Any]:
+    """The ambient :class:`~repro.obs.timeline.TimelineSink`, or ``None``."""
+    ctx = current_context()
+    return ctx.timeline if ctx is not None else None

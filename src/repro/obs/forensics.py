@@ -1,0 +1,707 @@
+"""Forensic artifacts from a recorded execution timeline.
+
+Consumes :meth:`~repro.obs.timeline.TimelineRecorder.to_payload` and
+produces three shareable explanations of one run:
+
+* :func:`chrome_trace` — Chrome trace-event JSON: open it in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``.  Threads are
+  tracks, SFRs are duration slices, sync operations are instant
+  events, happens-before edges are flow arrows and a race is a global
+  instant marker.  Timestamps are the recorder's logical clock.
+* :func:`build_hb_graph` / :func:`hb_graph_dot` — the happens-before
+  graph over SFR nodes ``T<tid>:R<region>``, with program-order edges
+  added and the racing pair resolved: a reported race is *certified* by
+  the absence of any directed HB path between its two SFRs.
+* :func:`render_html` — a zero-dependency single-file HTML report:
+  inline SVG swimlanes, the race table, recovery/quarantine
+  annotations, and a hot-site panel reusing
+  :meth:`~repro.obs.sites.SiteProfiler.to_payload`.
+
+Everything here is a pure deterministic function of the payload —
+identical payloads produce byte-identical artifacts — and every
+artifact is stamped with :data:`FORENSICS_FORMAT_VERSION`.
+:func:`write_forensics` bundles all of them into a directory.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .timeline import TIMELINE_FORMAT_VERSION
+
+__all__ = [
+    "FORENSICS_FORMAT_VERSION",
+    "build_hb_graph",
+    "chrome_trace",
+    "hb_graph_dot",
+    "render_html",
+    "validate_chrome_trace",
+    "write_forensics",
+]
+
+#: Schema major stamped into every emitted artifact.
+FORENSICS_FORMAT_VERSION = 1
+
+_EDGE_COLORS = {
+    "fork": "#7b1fa2",
+    "join": "#7b1fa2",
+    "lock": "#1565c0",
+    "barrier": "#2e7d32",
+    "cond": "#ef6c00",
+    "sem": "#00838f",
+    "program": "#9e9e9e",
+}
+
+
+def _check_payload(payload: Dict[str, Any]) -> None:
+    major = payload.get("format")
+    if not isinstance(major, int) or major > TIMELINE_FORMAT_VERSION:
+        raise ValueError(
+            f"unknown timeline payload format {major!r} "
+            f"(this build reads <= {TIMELINE_FORMAT_VERSION})"
+        )
+
+
+def _node_id(tid: int, region: int) -> str:
+    return f"T{tid}:R{region}"
+
+
+def _racing_pair(
+    payload: Dict[str, Any],
+) -> Optional[Dict[str, Any]]:
+    """The racing SFR pair as node references, or ``None`` for clean runs.
+
+    Prefers the :class:`~repro.diagnostics.RaceReport` payload (exact
+    ``region_index`` for both sides); without one falls back to the last
+    recorded segment of each involved thread and marks the pair
+    approximate.
+    """
+    report = payload.get("race_report")
+    if report is not None:
+        current = report["current"]
+        previous = report.get("previous")
+        return {
+            "current": [current["tid"], current["region_index"]],
+            "previous": (
+                [previous["tid"], previous["region_index"]]
+                if previous is not None
+                else None
+            ),
+            "approx": False,
+        }
+    race = payload.get("race")
+    if race is None:
+        return None
+
+    def last_region(tid: int) -> int:
+        regions = [
+            s["region"] for s in payload.get("segments", []) if s["tid"] == tid
+        ]
+        return max(regions) if regions else 0
+
+    return {
+        "current": [race["accessing_tid"], last_region(race["accessing_tid"])],
+        "previous": [
+            race["prior_writer_tid"], last_region(race["prior_writer_tid"])
+        ],
+        "approx": True,
+    }
+
+
+# -- happens-before graph ----------------------------------------------------
+
+
+def build_hb_graph(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The happens-before graph (JSON-ready) with the race pair resolved.
+
+    Nodes are SFRs; edges are the recorded sync edges plus per-thread
+    program order.  When the payload carries a race, ``pair`` names the
+    two SFRs, ``hb_path`` is a connecting path if one exists (it must
+    not, for a true race) and ``ordered`` says whether any path was
+    found in either direction.
+    """
+    _check_payload(payload)
+    nodes: Dict[str, Dict[str, Any]] = {}
+    per_thread: Dict[int, List[int]] = {}
+    for seg in payload.get("segments", []):
+        nid = _node_id(seg["tid"], seg["region"])
+        node = nodes.get(nid)
+        if node is None:
+            nodes[nid] = {
+                "id": nid,
+                "tid": seg["tid"],
+                "region": seg["region"],
+                "start": seg["start"],
+                "end": seg["end"],
+                "aborted": bool(seg.get("aborted")),
+                "retries": seg.get("retry", 0),
+            }
+            per_thread.setdefault(seg["tid"], []).append(seg["region"])
+        else:
+            # A rolled-back SFR reopens the same region: merge spans.
+            node["start"] = min(node["start"], seg["start"])
+            node["end"] = max(node["end"], seg["end"])
+            node["aborted"] = node["aborted"] or bool(seg.get("aborted"))
+            node["retries"] = max(node["retries"], seg.get("retry", 0))
+
+    edges: List[Dict[str, Any]] = []
+    for tid, regions in sorted(per_thread.items()):
+        ordered = sorted(set(regions))
+        for a, b in zip(ordered, ordered[1:]):
+            edges.append(
+                {
+                    "kind": "program",
+                    "target": f"T{tid}",
+                    "src": _node_id(tid, a),
+                    "dst": _node_id(tid, b),
+                }
+            )
+    for edge in payload.get("edges", []):
+        src = _node_id(edge["src"][0], edge["src"][1])
+        dst = _node_id(edge["dst"][0], edge["dst"][1])
+        edges.append(
+            {"kind": edge["kind"], "target": edge["target"],
+             "src": src, "dst": dst}
+        )
+
+    adjacency: Dict[str, List[str]] = {}
+    for edge in edges:
+        adjacency.setdefault(edge["src"], []).append(edge["dst"])
+
+    def path(start: str, goal: str) -> Optional[List[str]]:
+        if start not in nodes or goal not in nodes:
+            return None
+        frontier, came_from = [start], {start: start}
+        while frontier:
+            nxt: List[str] = []
+            for nid in frontier:
+                for succ in sorted(adjacency.get(nid, [])):
+                    if succ in came_from:
+                        continue
+                    came_from[succ] = nid
+                    if succ == goal:
+                        chain = [goal]
+                        while chain[-1] != start:
+                            chain.append(came_from[chain[-1]])
+                        return list(reversed(chain))
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+    pair = _racing_pair(payload)
+    hb_path: Optional[List[str]] = None
+    ordered_verdict: Optional[bool] = None
+    if pair is not None and pair["previous"] is not None:
+        a = _node_id(*pair["previous"])
+        b = _node_id(*pair["current"])
+        hb_path = path(a, b) or path(b, a)
+        ordered_verdict = hb_path is not None
+    return {
+        "format": FORENSICS_FORMAT_VERSION,
+        "timeline_format": payload.get("format"),
+        "label": payload.get("label"),
+        "nodes": [nodes[k] for k in sorted(nodes)],
+        "edges": edges,
+        "race": payload.get("race"),
+        "pair": pair,
+        "hb_path": hb_path,
+        "ordered": ordered_verdict,
+    }
+
+
+def hb_graph_dot(graph: Dict[str, Any]) -> str:
+    """The HB graph as Graphviz DOT, racing pair highlighted."""
+    pair = graph.get("pair") or {}
+    highlighted = set()
+    if pair:
+        highlighted.add(_node_id(*pair["current"]))
+        if pair.get("previous") is not None:
+            highlighted.add(_node_id(*pair["previous"]))
+    on_path = set(graph.get("hb_path") or [])
+    lines = [
+        "digraph happens_before {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace"];',
+        f'  label="{graph.get("label", "run")}: happens-before over SFRs'
+        + (
+            " — racing pair has NO connecting path"
+            if pair and graph.get("ordered") is False
+            else ""
+        )
+        + '";',
+    ]
+    by_tid: Dict[int, List[Dict[str, Any]]] = {}
+    for node in graph["nodes"]:
+        by_tid.setdefault(node["tid"], []).append(node)
+    for tid, nodes in sorted(by_tid.items()):
+        lines.append(f"  subgraph cluster_t{tid} {{")
+        lines.append(f'    label="T{tid}";')
+        for node in nodes:
+            attrs = []
+            if node["id"] in highlighted:
+                attrs.append('color=red, penwidth=2, style=filled, '
+                             'fillcolor="#ffebee"')
+            elif node["id"] in on_path:
+                attrs.append('color="#1565c0", penwidth=2')
+            if node.get("aborted"):
+                attrs.append('style=dashed')
+            lines.append(
+                f'    "{node["id"]}"'
+                + (f" [{', '.join(attrs)}]" if attrs else "")
+                + ";"
+            )
+        lines.append("  }")
+    for edge in graph["edges"]:
+        color = _EDGE_COLORS.get(edge["kind"], "#000000")
+        style = "dotted" if edge["kind"] == "program" else "solid"
+        lines.append(
+            f'  "{edge["src"]}" -> "{edge["dst"]}" '
+            f'[color="{color}", style={style}, '
+            f'tooltip="{edge["kind"]}:{edge["target"]}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace-event export -----------------------------------------------
+
+_TRACE_PID = 1
+
+
+def chrome_trace(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The timeline as Chrome trace-event JSON (Perfetto-loadable).
+
+    ``ts`` is the recorder's logical clock, not microseconds — relative
+    order and extent are meaningful, absolute durations are not.
+    """
+    _check_payload(payload)
+    events: List[Dict[str, Any]] = []
+
+    def meta(name: str, tid: int, value: Any) -> None:
+        events.append(
+            {"ph": "M", "name": name, "pid": _TRACE_PID, "tid": tid,
+             "ts": 0, "args": {"name": value}
+             if isinstance(value, str) else value}
+        )
+
+    meta("process_name", 0, f"repro:{payload.get('label', 'run')}")
+    for thread in payload.get("threads", []):
+        tid = thread["tid"]
+        parent = thread.get("parent")
+        suffix = f" (child of T{parent})" if parent is not None else " (root)"
+        meta("thread_name", tid, f"T{tid}{suffix}")
+        events.append(
+            {"ph": "M", "name": "thread_sort_index", "pid": _TRACE_PID,
+             "tid": tid, "ts": 0, "args": {"sort_index": tid}}
+        )
+
+    for seg in payload.get("segments", []):
+        name = f"SFR {seg['region']}"
+        if seg.get("aborted"):
+            name += " (rolled back)"
+        elif seg.get("retry"):
+            name += f" (retry {seg['retry']})"
+        events.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": "sfr",
+                "pid": _TRACE_PID,
+                "tid": seg["tid"],
+                "ts": seg["start"],
+                "dur": max(0, seg["end"] - seg["start"]),
+                "args": {
+                    "region": seg["region"],
+                    "start_det": seg.get("start_det"),
+                    "end_det": seg.get("end_det"),
+                    "aborted": bool(seg.get("aborted")),
+                },
+            }
+        )
+
+    for event in payload.get("events", []):
+        kind = event["kind"]
+        if kind in ("race", "deadlock"):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "g",
+                    "name": f"{kind}:{event.get('target') or ''}".rstrip(":"),
+                    "cat": "race",
+                    "pid": _TRACE_PID,
+                    "tid": max(0, event["tid"]),
+                    "ts": event["lt"],
+                    "args": dict(payload.get("race") or {}),
+                }
+            )
+        elif kind not in ("sync_commit", "thread_start", "thread_exit"):
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": kind,
+                    "cat": "sync",
+                    "pid": _TRACE_PID,
+                    "tid": event["tid"],
+                    "ts": event["lt"],
+                    "args": {"target": event.get("target"),
+                             "det": event.get("det")},
+                }
+            )
+
+    for index, edge in enumerate(payload.get("edges", [])):
+        src_tid, _src_region, src_lt = edge["src"]
+        dst_tid, _dst_region, dst_lt = edge["dst"]
+        common = {"cat": "hb", "id": index, "name": edge["kind"],
+                  "pid": _TRACE_PID}
+        events.append(
+            {"ph": "s", "tid": src_tid, "ts": src_lt,
+             "args": {"target": edge["target"]}, **common}
+        )
+        events.append(
+            {"ph": "f", "bp": "e", "tid": dst_tid, "ts": dst_lt,
+             "args": {"target": edge["target"]}, **common}
+        )
+
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "format": FORENSICS_FORMAT_VERSION,
+            "timeline_format": payload.get("format"),
+            "generator": "repro.obs.forensics",
+            "label": payload.get("label"),
+            "clock": "logical",
+        },
+        "traceEvents": events,
+    }
+
+
+def validate_chrome_trace(trace: Dict[str, Any]) -> List[str]:
+    """Schema-check a :func:`chrome_trace` document; returns problems.
+
+    Empty list = valid.  Checks the trace-event essentials every viewer
+    relies on: a ``traceEvents`` list whose entries carry ``ph``/``ts``/
+    ``pid``/``tid``, complete events with a non-negative ``dur``, and
+    flow ``s``/``f`` events paired by id.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace document must be an object, got {type(trace).__name__}"]
+    major = (trace.get("otherData") or {}).get("format")
+    if isinstance(major, int) and major > FORENSICS_FORMAT_VERSION:
+        errors.append(
+            f"unknown forensics format major {major} "
+            f"(this build reads <= {FORENSICS_FORMAT_VERSION})"
+        )
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    flows: Dict[Any, List[str]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event #{i} is not an object")
+            continue
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in event:
+                errors.append(f"event #{i} missing required key {key!r}")
+        ph = event.get("ph")
+        if ph not in ("M", "X", "i", "s", "f", "B", "E"):
+            errors.append(f"event #{i} has unknown phase {ph!r}")
+        for key in ("ts", "pid", "tid"):
+            if key in event and not isinstance(event[key], (int, float)):
+                errors.append(f"event #{i} {key!r} is not a number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event #{i} complete event needs dur >= 0")
+        if ph in ("s", "f"):
+            if "id" not in event:
+                errors.append(f"event #{i} flow event missing id")
+            else:
+                flows.setdefault(event["id"], []).append(ph)
+        if ph != "M" and not event.get("name"):
+            errors.append(f"event #{i} missing name")
+    for flow_id, phases in sorted(flows.items(), key=lambda kv: str(kv[0])):
+        if sorted(phases) != ["f", "s"]:
+            errors.append(f"flow id {flow_id} is not an s/f pair: {phases}")
+    return errors
+
+
+# -- the single-file HTML report ---------------------------------------------
+
+_LANE_H = 34
+_SVG_W = 960
+_MARGIN_L = 70
+_MARGIN_R = 20
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+def _svg_lanes(payload: Dict[str, Any], pair: Optional[Dict[str, Any]]) -> str:
+    threads = payload.get("threads", [])
+    if not threads:
+        return "<p>(no threads recorded)</p>"
+    tids = [t["tid"] for t in threads]
+    lanes = {tid: i for i, tid in enumerate(sorted(tids))}
+    max_lt = max(
+        [1]
+        + [seg["end"] for seg in payload.get("segments", [])]
+        + [e["lt"] for e in payload.get("events", [])]
+    )
+    span = _SVG_W - _MARGIN_L - _MARGIN_R
+
+    def x(lt: int) -> float:
+        return round(_MARGIN_L + span * lt / max_lt, 2)
+
+    def y(tid: int) -> int:
+        return 24 + lanes[tid] * _LANE_H
+
+    height = 40 + len(lanes) * _LANE_H
+    racing_nodes = set()
+    if pair is not None:
+        racing_nodes.add(tuple(pair["current"]))
+        if pair.get("previous") is not None:
+            racing_nodes.add(tuple(pair["previous"]))
+    parts = [
+        f'<svg viewBox="0 0 {_SVG_W} {height}" width="100%" '
+        f'xmlns="http://www.w3.org/2000/svg" role="img">',
+        '<defs><marker id="arrow" viewBox="0 0 6 6" refX="5" refY="3" '
+        'markerWidth="5" markerHeight="5" orient="auto-start-reverse">'
+        '<path d="M 0 0 L 6 3 L 0 6 z" fill="context-stroke"/></marker></defs>',
+    ]
+    for tid in sorted(lanes):
+        ly = y(tid)
+        parts.append(
+            f'<text x="4" y="{ly + 14}" class="lane">T{tid}</text>'
+            f'<line x1="{_MARGIN_L}" y1="{ly + 10}" x2="{_SVG_W - _MARGIN_R}" '
+            f'y2="{ly + 10}" stroke="#eceff1"/>'
+        )
+    for seg in payload.get("segments", []):
+        sx, ex = x(seg["start"]), x(seg["end"])
+        ly = y(seg["tid"])
+        racing = (seg["tid"], seg["region"]) in racing_nodes
+        fill = (
+            "#ffcdd2" if racing
+            else "#ffe0b2" if seg.get("aborted")
+            else "#c5e1f5"
+        )
+        stroke = "#c62828" if racing else "#607d8b"
+        title = (
+            f"T{seg['tid']} SFR {seg['region']} "
+            f"[lt {seg['start']}..{seg['end']}]"
+            + (" rolled back" if seg.get("aborted") else "")
+        )
+        parts.append(
+            f'<rect x="{sx}" y="{ly}" width="{max(2.0, round(ex - sx, 2))}" '
+            f'height="20" rx="3" fill="{fill}" stroke="{stroke}">'
+            f"<title>{_esc(title)}</title></rect>"
+        )
+        if ex - sx > 34:
+            parts.append(
+                f'<text x="{round(sx + 3, 2)}" y="{ly + 14}" class="seg">'
+                f"R{seg['region']}</text>"
+            )
+    for edge in payload.get("edges", []):
+        src_tid, _sr, src_lt = edge["src"]
+        dst_tid, _dr, dst_lt = edge["dst"]
+        if src_tid not in lanes or dst_tid not in lanes:
+            continue
+        color = _EDGE_COLORS.get(edge["kind"], "#000")
+        parts.append(
+            f'<line x1="{x(src_lt)}" y1="{y(src_tid) + 10}" '
+            f'x2="{x(dst_lt)}" y2="{y(dst_tid) + 10}" stroke="{color}" '
+            f'stroke-width="1.2" opacity="0.75" marker-end="url(#arrow)">'
+            f'<title>{_esc(edge["kind"] + " via " + str(edge["target"]))}'
+            f"</title></line>"
+        )
+    for event in payload.get("events", []):
+        if event["kind"] == "race":
+            ex = x(event["lt"])
+            parts.append(
+                f'<line x1="{ex}" y1="8" x2="{ex}" y2="{height - 8}" '
+                'stroke="#c62828" stroke-width="2" stroke-dasharray="4 3">'
+                f'<title>race ({_esc(event.get("target"))})</title></line>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html(
+    payload: Dict[str, Any],
+    sites: Optional[Dict[str, Any]] = None,
+    graph: Optional[Dict[str, Any]] = None,
+) -> str:
+    """The self-contained HTML forensics report (no external assets)."""
+    _check_payload(payload)
+    if graph is None:
+        graph = build_hb_graph(payload)
+    pair = graph.get("pair")
+    race = payload.get("race")
+    report = payload.get("race_report")
+    recovery = payload.get("recovery")
+    label = payload.get("label", "run")
+
+    def pair_name(ref: Optional[List[int]]) -> str:
+        if ref is None:
+            return "(no recorded shared write)"
+        return f"thread {ref[0]}, SFR #{ref[1]}"
+
+    body: List[str] = [
+        f"<h1>Race forensics: {_esc(label)}</h1>",
+        '<p class="meta">timeline format '
+        f"{_esc(payload.get('format'))} · forensics format "
+        f"{FORENSICS_FORMAT_VERSION} · {_esc(payload.get('steps'))} steps · "
+        f"{len(payload.get('threads', []))} thread(s) · "
+        f"{len(payload.get('segments', []))} SFR segment(s) · "
+        f"{len(payload.get('edges', []))} HB edge(s)</p>",
+    ]
+    if race is not None:
+        verdict = (
+            "no happens-before path connects the racing SFRs"
+            if graph.get("ordered") is False
+            else "a happens-before path was found (unexpected for a race)"
+            if graph.get("ordered")
+            else "happens-before verdict unavailable"
+        )
+        body.append(
+            '<div class="race"><h2>'
+            f"{_esc(race['kind'])} race on address "
+            f"{_esc(hex(race['address']))}</h2>"
+            "<table><tr><th></th><th>SFR</th></tr>"
+            f"<tr><td>second access</td><td>{_esc(pair_name(pair['current']))}"
+            "</td></tr>"
+            f"<tr><td>first access</td><td>"
+            f"{_esc(pair_name(pair.get('previous')))}</td></tr></table>"
+            f"<p><strong>{_esc(verdict)}</strong></p></div>"
+        )
+        if report is not None and report.get("text"):
+            body.append(
+                f"<pre class=\"report\">{_esc(report['text'])}</pre>"
+            )
+    else:
+        body.append(
+            '<div class="clean"><h2>No race detected</h2>'
+            "<p>The run completed; every conflicting access pair was "
+            "ordered by synchronization.</p></div>"
+        )
+    body.append("<h2>Execution timeline</h2>")
+    body.append(
+        '<p class="legend">SFRs per thread on a logical clock; arrows are '
+        "happens-before edges "
+        + " · ".join(
+            f'<span style="color:{color}">{kind}</span>'
+            for kind, color in sorted(_EDGE_COLORS.items())
+            if kind != "program"
+        )
+        + "; a dashed red rule marks the race.</p>"
+    )
+    body.append(_svg_lanes(payload, pair))
+    if recovery is not None and (recovery.get("events")
+                                 or recovery.get("deadlocked")):
+        rows = "".join(
+            f"<tr><td>{_esc(e['step'])}</td><td>T{_esc(e['tid'])}</td>"
+            f"<td>{_esc(e['kind'])}</td><td>{_esc(hex(e['address']))}</td>"
+            f"<td>{_esc(e['region'])}</td><td>{_esc(e['action'])}</td></tr>"
+            for e in recovery.get("events", [])
+        )
+        body.append(
+            f"<h2>Recovery ({_esc(recovery.get('policy'))})</h2>"
+            "<table><tr><th>step</th><th>thread</th><th>kind</th>"
+            "<th>address</th><th>SFR</th><th>action</th></tr>"
+            f"{rows}</table>"
+        )
+        if recovery.get("quarantined"):
+            parked = ", ".join(f"T{t}" for t in recovery["quarantined"])
+            body.append(f"<p>quarantined threads: {_esc(parked)}</p>")
+        if recovery.get("deadlocked"):
+            body.append(
+                '<p class="warn">run ended in a post-quarantine deadlock '
+                "(graceful stop, not a hang)</p>"
+            )
+    if sites and sites.get("addresses"):
+        ranked = sorted(
+            sites["addresses"].items(),
+            key=lambda kv: (-kv[1].get("checks", 0), int(kv[0])),
+        )[:10]
+        rows = "".join(
+            f"<tr><td>{_esc(hex(int(addr)))}</td>"
+            f"<td>{_esc(stats.get('checks', 0))}</td>"
+            f"<td>{_esc(stats.get('reads', 0))}</td>"
+            f"<td>{_esc(stats.get('writes', 0))}</td>"
+            f"<td>{_esc(stats.get('same_epoch', 0))}</td>"
+            f"<td>{_esc(stats.get('races', 0))}</td></tr>"
+            for addr, stats in ranked
+        )
+        body.append(
+            "<h2>Hot sites (top 10 by race-check work)</h2>"
+            "<table><tr><th>address</th><th>checks</th><th>reads</th>"
+            "<th>writes</th><th>same-epoch</th><th>races</th></tr>"
+            f"{rows}</table>"
+        )
+    style = (
+        "body{font-family:system-ui,sans-serif;margin:2em auto;max-width:64em;"
+        "color:#263238}h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.6em}"
+        "table{border-collapse:collapse;font-size:0.9em}"
+        "td,th{border:1px solid #cfd8dc;padding:0.3em 0.7em;text-align:left}"
+        ".race{border:2px solid #c62828;border-radius:6px;padding:0 1em 1em}"
+        ".clean{border:2px solid #2e7d32;border-radius:6px;padding:0 1em 1em}"
+        ".meta,.legend{color:#607d8b;font-size:0.85em}"
+        ".warn{color:#c62828}pre.report{background:#eceff1;padding:1em;"
+        "border-radius:4px;overflow-x:auto}"
+        "text.lane{font:12px monospace;fill:#455a64}"
+        "text.seg{font:10px monospace;fill:#37474f}"
+    )
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>race forensics: {_esc(label)}</title>"
+        f"<style>{style}</style></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
+
+
+# -- the bundle --------------------------------------------------------------
+
+
+def write_forensics(
+    out_dir: Union[str, Path],
+    basename: str,
+    payload: Dict[str, Any],
+    sites: Optional[Dict[str, Any]] = None,
+) -> Dict[str, str]:
+    """Write the full forensics bundle; returns artifact kind -> path.
+
+    Four files under ``out_dir``: ``<basename>.trace.json`` (Chrome
+    trace), ``<basename>.hb.json`` + ``<basename>.hb.dot`` (HB graph)
+    and ``<basename>.html`` (the standalone report).  All byte-
+    deterministic functions of ``payload``/``sites``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    graph = build_hb_graph(payload)
+    artifacts = {
+        "trace": out / f"{basename}.trace.json",
+        "hb_json": out / f"{basename}.hb.json",
+        "hb_dot": out / f"{basename}.hb.dot",
+        "html": out / f"{basename}.html",
+    }
+    artifacts["trace"].write_text(
+        json.dumps(chrome_trace(payload), sort_keys=True,
+                   separators=(",", ":")) + "\n",
+        encoding="utf-8",
+    )
+    artifacts["hb_json"].write_text(
+        json.dumps(graph, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    artifacts["hb_dot"].write_text(hb_graph_dot(graph), encoding="utf-8")
+    artifacts["html"].write_text(
+        render_html(payload, sites=sites, graph=graph), encoding="utf-8"
+    )
+    return {kind: str(path) for kind, path in artifacts.items()}

@@ -1,0 +1,333 @@
+"""Execution timeline recording: the flight recorder behind ``repro forensics``.
+
+:class:`TimelineRecorder` is a third observation-only monitor next to
+:class:`~repro.obs.monitor.TelemetryMonitor` (aggregate counters) and
+:class:`~repro.diagnostics.RaceContextMonitor` (per-address provenance).
+Where those answer "how much" and "who last wrote", this one answers
+*what happened, in what order*: per-thread lifecycle, every SFR
+open/commit, every synchronization operation, rollback/race events, and
+— crucially — every happens-before edge the detector's vector clocks
+would draw (fork/join, lock release→acquire, barrier generation,
+condition signal→wake, semaphore post→wait).
+
+Timestamps are **logical**: a recorder-global event sequence number
+(``lt``) plus the thread's deterministic instruction counter
+(``det``), never wall-clock.  Under the Kendo gate the scheduler's hook
+stream is a pure function of the program and policy, so the recorded
+timeline is byte-identical between a serial run, a ``--jobs N`` worker
+run and a checkpoint-cache replay — which is what makes the forensics
+artifacts (:mod:`repro.obs.forensics`) diffable and cacheable.
+
+The recorder deliberately overrides **no memory hooks**: the fused
+scheduler dispatch then keeps the per-access hot path untouched, so
+leaving the recorder on costs only per-sync work (bounded by
+``benchmarks/bench_forensics.py`` at ≤ 1.15x).
+
+Happens-before edges are compressed per synchronization object: only
+the *latest* release-side deposit per thread is kept, and an acquire
+draws one edge from each depositing thread.  Program order covers every
+earlier same-thread deposit transitively, which is exactly the
+vector-clock join the detector performs — so the graph is equivalent
+for reachability while staying bounded at O(threads) edges per acquire.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.events import stable_sync_id
+from ..runtime.ops import Op
+from ..runtime.scheduler import ExecutionMonitor, ExecutionResult, Scheduler
+from ..runtime.sync import Barrier, Condition, Lock, Semaphore
+
+__all__ = ["TIMELINE_FORMAT_VERSION", "TimelineRecorder", "TimelineSink"]
+
+#: Schema major of :meth:`TimelineRecorder.to_payload`; consumers must
+#: reject payloads whose major exceeds what they understand.
+TIMELINE_FORMAT_VERSION = 1
+
+
+class TimelineRecorder(ExecutionMonitor):
+    """Records one execution's timeline; single-use (one run per instance).
+
+    Everything lands in three JSON-safe lists (only dict/list/str/int/
+    bool/None, so the payload survives both pickling through a worker
+    pipe and a checkpoint-store JSON round trip unchanged):
+
+    * ``events``  — ``{"lt", "kind", "tid", "target", "det"}`` markers;
+    * ``segments`` — closed SFRs: ``{"tid", "region", "start", "end",
+      "start_det", "end_det", "aborted", "retry"}``;
+    * ``edges``   — happens-before: ``{"kind", "target",
+      "src": [tid, region, lt], "dst": [tid, region, lt]}``.
+    """
+
+    def __init__(self, label: str = "run") -> None:
+        self.label = label
+        self.events: List[Dict[str, Any]] = []
+        self.segments: List[Dict[str, Any]] = []
+        self.edges: List[Dict[str, Any]] = []
+        #: set by :func:`repro.clean.run_clean` when a
+        #: :class:`~repro.diagnostics.RaceContextMonitor` observed the
+        #: same run: the race report payload naming the racing SFR pair.
+        self.race_report: Optional[Dict[str, Any]] = None
+        self._scheduler: Optional[Scheduler] = None
+        self._lt = 0
+        self._open: Dict[int, Dict[str, Any]] = {}
+        self._retries: Dict[int, int] = {}
+        self._final_region: Dict[int, int] = {}
+        self._threads: List[Dict[str, Any]] = []
+        #: sync-object key -> {tid: [region, lt]} latest release deposit
+        self._deposits: Dict[str, Dict[int, List[int]]] = {}
+        self._steps: Optional[int] = None
+        self._race: Optional[Dict[str, Any]] = None
+        self._recovery: Optional[Dict[str, Any]] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def attach(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+
+    def _region(self, tid: int) -> int:
+        assert self._scheduler is not None
+        return self._scheduler.region_of(tid)
+
+    def _det(self, tid: int) -> int:
+        assert self._scheduler is not None
+        return self._scheduler.det_counter(tid)
+
+    def _event(self, kind: str, tid: int, target: Optional[str] = None) -> int:
+        """Append one marker at the next logical timestamp; returns it."""
+        self._lt += 1
+        self.events.append(
+            {
+                "lt": self._lt,
+                "kind": kind,
+                "tid": tid,
+                "target": target,
+                "det": self._det(tid),
+            }
+        )
+        return self._lt
+
+    def _open_segment(self, tid: int, region: int, lt: int) -> None:
+        self._open[tid] = {
+            "tid": tid,
+            "region": region,
+            "start": lt,
+            "start_det": self._det(tid),
+            "retry": self._retries.get(tid, 0),
+        }
+
+    def _close_segment(self, tid: int, lt: int, aborted: bool = False) -> None:
+        seg = self._open.pop(tid, None)
+        if seg is None:
+            return
+        seg["end"] = lt
+        seg["end_det"] = self._det(tid) if tid in self._scheduler._threads else None
+        seg["aborted"] = aborted
+        self.segments.append(seg)
+
+    def _deposit(self, key: str, tid: int, lt: int) -> None:
+        self._deposits.setdefault(key, {})[tid] = [self._region(tid), lt]
+
+    def _draw(self, kind: str, key: str, tid: int, dst_region: int, lt: int) -> None:
+        """One edge from every thread's latest deposit on ``key`` to here."""
+        for src_tid, (src_region, src_lt) in sorted(
+            self._deposits.get(key, {}).items()
+        ):
+            if src_tid == tid:
+                continue  # program order already covers same-thread deposits
+            self.edges.append(
+                {
+                    "kind": kind,
+                    "target": key,
+                    "src": [src_tid, src_region, src_lt],
+                    "dst": [tid, dst_region, lt],
+                }
+            )
+
+    @staticmethod
+    def _name(obj: Any) -> str:
+        sid = stable_sync_id(obj)
+        if isinstance(sid, tuple):
+            return ":".join(str(part) for part in sid)
+        return str(sid)
+
+    # -- thread lifecycle --------------------------------------------------
+
+    def on_thread_start(self, tid: int, parent: Optional[int]) -> None:
+        self._threads.append({"tid": tid, "parent": parent})
+        lt = self._event("thread_start", tid)
+        self._open_segment(tid, self._region(tid), lt)
+
+    def on_thread_exit(self, tid: int) -> None:
+        self._final_region[tid] = self._region(tid)
+        lt = self._event("thread_exit", tid)
+        self._close_segment(tid, lt)
+
+    def on_spawn(self, parent: int, child: int) -> None:
+        # Fires before the parent's spawn commit: the edge leaves the
+        # parent's still-open SFR for the child's region 0.
+        lt = self._event("spawn", parent, f"T{child}")
+        self.edges.append(
+            {
+                "kind": "fork",
+                "target": f"T{child}",
+                "src": [parent, self._region(parent), lt],
+                "dst": [child, 0, lt],
+            }
+        )
+
+    def on_join(self, parent: int, child: int) -> None:
+        # Fires before the join commit: the destination is the SFR the
+        # commit is about to open (the parent's region + 1).
+        lt = self._event("join", parent, f"T{child}")
+        self.edges.append(
+            {
+                "kind": "join",
+                "target": f"T{child}",
+                "src": [child, self._final_region.get(child, 0), lt],
+                "dst": [parent, self._region(parent) + 1, lt],
+            }
+        )
+
+    # -- synchronization (each hook fires before its sync commit) ----------
+
+    def on_acquire(self, tid: int, lock: Lock) -> None:
+        key = f"lock:{self._name(lock)}"
+        lt = self._event("acquire", tid, key)
+        self._draw("lock", key, tid, self._region(tid) + 1, lt)
+
+    def on_release(self, tid: int, lock: Lock) -> None:
+        key = f"lock:{self._name(lock)}"
+        lt = self._event("release", tid, key)
+        self._deposit(key, tid, lt)
+
+    def on_barrier_arrive(self, tid: int, barrier: Barrier, generation: int) -> None:
+        key = f"barrier:{self._name(barrier)}:{generation}"
+        lt = self._event("barrier_arrive", tid, key)
+        self._deposit(key, tid, lt)
+
+    def on_barrier_depart(self, tid: int, barrier: Barrier, generation: int) -> None:
+        # Departure fires after the departer's arrival commit, so its
+        # current region is already the post-barrier SFR.
+        key = f"barrier:{self._name(barrier)}:{generation}"
+        lt = self._event("barrier_depart", tid, key)
+        self._draw("barrier", key, tid, self._region(tid), lt)
+
+    def on_cond_signal(self, tid: int, cond: Condition) -> None:
+        key = f"cond:{self._name(cond)}"
+        lt = self._event("cond_signal", tid, key)
+        self._deposit(key, tid, lt)
+
+    def on_cond_wake(self, tid: int, cond: Condition) -> None:
+        key = f"cond:{self._name(cond)}"
+        lt = self._event("cond_wake", tid, key)
+        self._draw("cond", key, tid, self._region(tid) + 1, lt)
+
+    def on_sem_post(self, tid: int, sem: Semaphore) -> None:
+        key = f"sem:{self._name(sem)}"
+        lt = self._event("sem_post", tid, key)
+        self._deposit(key, tid, lt)
+
+    def on_sem_wait(self, tid: int, sem: Semaphore) -> None:
+        key = f"sem:{self._name(sem)}"
+        lt = self._event("sem_wait", tid, key)
+        self._draw("sem", key, tid, self._region(tid) + 1, lt)
+
+    def on_sync_commit(self, tid: int, op: Op) -> None:
+        # The commit already bumped the region: close the finished SFR
+        # and open the new current one.
+        lt = self._event("sync_commit", tid, type(op).__name__.lstrip("_"))
+        self._close_segment(tid, lt)
+        self._open_segment(tid, self._region(tid), lt)
+
+    def on_rollback(self, tid: int) -> None:
+        # Recovery discarded the open SFR (rollback-retry or the discard
+        # half of quarantine); the region number is reused by the retry.
+        lt = self._event("rollback", tid)
+        region = self._region(tid)
+        self._close_segment(tid, lt, aborted=True)
+        self._retries[tid] = self._retries.get(tid, 0) + 1
+        self._open_segment(tid, region, lt)
+
+    # -- end of run --------------------------------------------------------
+
+    def on_finish(self, result: ExecutionResult) -> None:
+        self._steps = result.steps
+        if result.race is not None:
+            race = result.race
+            self._race = {
+                "kind": race.kind,
+                "address": race.address,
+                "accessing_tid": race.accessing_tid,
+                "prior_writer_tid": race.prior_writer_tid,
+                "size": race.size,
+            }
+            self._lt += 1
+            self.events.append(
+                {
+                    "lt": self._lt,
+                    "kind": "race",
+                    "tid": race.accessing_tid,
+                    "target": race.kind,
+                    "det": None,
+                }
+            )
+        if result.recovery is not None:
+            self._recovery = result.recovery.to_payload()
+            if result.recovery.deadlocked:
+                self._lt += 1
+                self.events.append(
+                    {
+                        "lt": self._lt,
+                        "kind": "deadlock",
+                        "tid": -1,
+                        "target": None,
+                        "det": None,
+                    }
+                )
+        final = self._lt
+        for tid in sorted(self._open):
+            seg = self._open[tid]
+            seg["end"] = final
+            seg["end_det"] = None
+            seg["aborted"] = False
+            self.segments.append(seg)
+        self._open = {}
+
+    # -- export ------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The full timeline as a JSON-safe dict (see module docstring)."""
+        return {
+            "format": TIMELINE_FORMAT_VERSION,
+            "label": self.label,
+            "threads": sorted(self._threads, key=lambda t: t["tid"]),
+            "events": self.events,
+            "segments": sorted(
+                self.segments, key=lambda s: (s["start"], s["tid"], s["region"])
+            ),
+            "edges": self.edges,
+            "steps": self._steps,
+            "race": self._race,
+            "race_report": self.race_report,
+            "recovery": self._recovery,
+        }
+
+
+class TimelineSink:
+    """Collects the timeline payloads of every run under an ambient scope.
+
+    Installed through :func:`~repro.obs.context.telemetry_scope`'s
+    ``timeline=`` slot (see :func:`~repro.obs.context.current_timeline`):
+    :func:`repro.clean.run_clean` attaches a fresh recorder per run when
+    a sink is ambient and delivers the payload here, so a job that
+    executes many CLEAN runs ships them all back in execution order.
+    """
+
+    def __init__(self) -> None:
+        self.payloads: List[Dict[str, Any]] = []
+
+    def add(self, payload: Dict[str, Any]) -> None:
+        self.payloads.append(payload)

@@ -6,15 +6,26 @@ parent).  All timing uses :func:`time.perf_counter` — the monotonic
 clock — never wall time, so durations survive NTP adjustments and are
 meaningful at microsecond scale.
 
-The JSONL format is one record per line:
+The JSONL format starts with a header record
+
+``{"type": "header", "format": SPANS_FORMAT_VERSION, "clock":
+"perf_counter"}``
+
+followed by one record per line:
 
 ``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
 "start": ..., "end": ..., "duration_s": ..., "attrs": {...}}``
 
 plus optional ``{"type": "metrics", "label": ..., "metrics": {...}}``
 records carrying a :class:`~repro.obs.registry.MetricsRegistry`
-snapshot.  ``start``/``end`` are monotonic seconds: only differences
-between records of one file are meaningful.
+snapshot.  ``start``/``end`` are seconds since the owning tracer's
+**origin** (captured at tracer construction), so every record of one
+file shares a zero point and records from different processes can be
+rebased onto one axis (see :meth:`Tracer.ingest`).  Raw
+``perf_counter`` values never leave a process: their origin differs
+per process, which made cross-process spans incomparable.
+:func:`read_jsonl` rejects files whose header declares a format major
+newer than this library understands.
 """
 
 from __future__ import annotations
@@ -23,7 +34,19 @@ import json
 import time
 from typing import IO, Any, Dict, Iterable, List, Optional, Union
 
-__all__ = ["JsonlExporter", "Span", "Timer", "Tracer", "read_jsonl"]
+__all__ = [
+    "SPANS_FORMAT_VERSION",
+    "JsonlExporter",
+    "Span",
+    "Timer",
+    "Tracer",
+    "read_jsonl",
+]
+
+#: Schema major of the spans JSONL format.  1: origin-relative
+#: ``start``/``end`` with a leading header record (headerless files are
+#: accepted as the legacy format-0 dialect).
+SPANS_FORMAT_VERSION = 1
 
 
 class Span:
@@ -55,15 +78,21 @@ class Span:
         end = self.end if self.end is not None else time.perf_counter()
         return end - self.start
 
-    def to_record(self) -> Dict[str, Any]:
-        """The span as a JSONL-ready dict."""
+    def to_record(self, origin: float = 0.0) -> Dict[str, Any]:
+        """The span as a JSONL-ready dict.
+
+        ``origin`` — normally the owning tracer's construction
+        timestamp — is subtracted from ``start``/``end`` so exported
+        records are relative to one per-run zero point instead of the
+        process-local ``perf_counter`` epoch.
+        """
         return {
             "type": "span",
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
-            "start": self.start,
-            "end": self.end,
+            "start": self.start - origin,
+            "end": self.end - origin if self.end is not None else None,
             "duration_s": self.duration,
             "attrs": self.attrs,
         }
@@ -79,11 +108,15 @@ class Tracer:
 
     def __init__(self, exporter: Optional["JsonlExporter"] = None) -> None:
         self.exporter = exporter
+        #: the tracer's zero point; every exported record is relative to it.
+        self.origin = time.perf_counter()
         self.finished: List[Span] = []
         #: span *records* adopted from other processes via :meth:`ingest`.
         self.ingested: List[Dict[str, Any]] = []
         self._stack: List[Span] = []
         self._next_id = 1
+        if exporter is not None:
+            exporter.export_header()
 
     # -- context-manager API (the normal way) ------------------------------
 
@@ -117,7 +150,7 @@ class Tracer:
                 break
         self.finished.append(span)
         if self.exporter is not None:
-            self.exporter.export(span.to_record())
+            self.exporter.export(span.to_record(self.origin))
         return span
 
     def event(self, name: str, **attrs: Any) -> Span:
@@ -125,7 +158,10 @@ class Tracer:
         return self.end_span(self.start_span(name, **attrs))
 
     def ingest(
-        self, records: Iterable[Dict[str, Any]], **attrs: Any
+        self,
+        records: Iterable[Dict[str, Any]],
+        at: Optional[float] = None,
+        **attrs: Any,
     ) -> int:
         """Adopt finished span *records* from another process.
 
@@ -133,14 +169,27 @@ class Tracer:
         ``Span.to_record()`` dicts back instead.  ``attrs`` (e.g. the
         owning job's label) are merged into each record's ``attrs`` so
         provenance survives the flattening of per-process span-id
-        namespaces.  Records are re-exported when an exporter is
-        attached and kept on :attr:`ingested`; returns how many were
-        adopted.
+        namespaces.
+
+        ``at`` rebases the records onto *this* tracer's axis: worker
+        records are relative to the worker tracer's origin (≈ the job
+        start), so shifting them by the parent-side start of that job
+        (e.g. the matching ``runner.job`` span's origin-relative start)
+        makes worker and parent spans ordered on one timeline.
+
+        Records are re-exported when an exporter is attached and kept
+        on :attr:`ingested`; returns how many were adopted.
         """
         count = 0
         for record in records:
-            if attrs:
+            if attrs or at is not None:
                 record = dict(record)
+            if at is not None:
+                if isinstance(record.get("start"), (int, float)):
+                    record["start"] = record["start"] + at
+                if isinstance(record.get("end"), (int, float)):
+                    record["end"] = record["end"] + at
+            if attrs:
                 merged = dict(record.get("attrs") or {})
                 merged.update(attrs)
                 record["attrs"] = merged
@@ -208,10 +257,24 @@ class JsonlExporter:
         else:
             self._fh = open(destination, "w", encoding="utf-8")
             self._owns = True
+        self._header_written = False
 
     def export(self, record: Dict[str, Any]) -> None:
         self._fh.write(json.dumps(record, sort_keys=True) + "\n")
         self._fh.flush()
+
+    def export_header(self) -> None:
+        """Write the leading format-version record (idempotent)."""
+        if self._header_written:
+            return
+        self._header_written = True
+        self.export(
+            {
+                "type": "header",
+                "format": SPANS_FORMAT_VERSION,
+                "clock": "perf_counter",
+            }
+        )
 
     def export_metrics(self, registry: Any, label: str = "final") -> None:
         """Write a registry snapshot as one ``metrics`` record."""
@@ -231,10 +294,25 @@ class JsonlExporter:
 
 
 def read_jsonl(path: Union[str, IO[str]]) -> List[Dict[str, Any]]:
-    """Load every record of a telemetry JSONL file (blank lines skipped)."""
+    """Load every record of a telemetry JSONL file (blank lines skipped).
+
+    A leading ``header`` record is version-checked: a format major newer
+    than :data:`SPANS_FORMAT_VERSION` raises :class:`ValueError` (write
+    tools evolve faster than readers; silent misreads of future formats
+    are worse than a refusal).  Headerless files are the legacy dialect
+    and load unchecked.
+    """
     if hasattr(path, "read"):
         text = path.read()  # type: ignore[union-attr]
     else:
         with open(path, "r", encoding="utf-8") as fh:
             text = fh.read()
-    return [json.loads(line) for line in text.splitlines() if line.strip()]
+    records = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if records and records[0].get("type") == "header":
+        major = records[0].get("format")
+        if not isinstance(major, int) or major > SPANS_FORMAT_VERSION:
+            raise ValueError(
+                f"spans JSONL format {major!r} is newer than this reader "
+                f"(supports <= {SPANS_FORMAT_VERSION})"
+            )
+    return records

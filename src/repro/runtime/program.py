@@ -54,6 +54,7 @@ class Program:
         raise_on_race: bool = False,
         fused: bool = True,
         recovery: Optional[object] = None,
+        timeline: Optional[ExecutionMonitor] = None,
     ) -> ExecutionResult:
         """Execute the program once and return its result.
 
@@ -63,8 +64,12 @@ class Program:
         pre-refactor call-every-monitor dispatch (equivalence testing
         and benchmarking only).  ``recovery`` — a mode string or
         :class:`~repro.runtime.recovery.RecoveryPolicy` — enables SFR
-        write buffering and race-exception recovery.
+        write buffering and race-exception recovery.  ``timeline`` — a
+        :class:`~repro.obs.timeline.TimelineRecorder` — is appended to
+        the monitor stack so the run's execution timeline lands on it.
         """
+        if timeline is not None:
+            monitors = list(monitors or []) + [timeline]
         scheduler = Scheduler(
             memory=memory,
             monitors=monitors,

@@ -17,6 +17,7 @@ from repro.determinism.kendo import KendoGate
 from repro.experiments.traces import record_trace
 from repro.hardware import SimConfig, simulate_trace
 from repro.obs import (
+    SPANS_FORMAT_VERSION,
     JsonlExporter,
     MetricsRegistry,
     TelemetryMonitor,
@@ -148,10 +149,16 @@ class TestTracer:
             exporter.export_metrics(registry)
         records = read_jsonl(str(path))
         kinds = [r["type"] for r in records]
-        assert kinds == ["span", "span", "metrics"]  # marker, phase, metrics
+        # header, marker, phase, metrics
+        assert kinds == ["header", "span", "span", "metrics"]
+        header = records[0]
+        assert header["format"] == SPANS_FORMAT_VERSION
+        assert header["clock"] == "perf_counter"
         by_name = {r["name"]: r for r in records if r["type"] == "span"}
         assert by_name["marker"]["parent_id"] == by_name["phase"]["span_id"]
         assert by_name["phase"]["attrs"] == {"step": 1}
+        # Origin-relative timestamps: non-negative, small, and ordered.
+        assert 0 <= by_name["phase"]["start"] <= by_name["marker"]["start"]
         assert records[-1]["metrics"]["events"] == 2
 
     def test_timer_is_monotonic(self):

@@ -207,7 +207,8 @@ class TestTracerHardening:
         assert parent.ingest(records, job="clean-1") == 1
         exporter.close()
         assert parent.ingested[0]["attrs"] == {"seed": 1, "job": "clean-1"}
-        (line,) = out.read_text().strip().splitlines()
+        header_line, line = out.read_text().strip().splitlines()
+        assert json.loads(header_line)["type"] == "header"
         assert json.loads(line)["attrs"]["job"] == "clean-1"
 
 
