@@ -32,8 +32,15 @@ profile NAME [--scale S] [--seed K] [--format text|json|prom] [--sites]
     adds the hot-site attribution tables, ``--serve`` exposes /metrics
     over HTTP during the run, and ``--format prom`` emits the final
     snapshot as Prometheus text.
-trace NAME OUT.jsonl [--scale S] [--seed K]
-    Record a benchmark's access trace to a file.
+trace NAME OUT.jsonl [--scale S] [--seed K] [--racy]
+    Record a benchmark's access trace to a file (record-only, so racy
+    variants capture the race for offline analysis).
+analyze TRACE [--mode scalar|batch|sharded] [--shards N] [--jobs N]
+        [--salvage] [--json]
+    Race-analyze a recorded trace offline: the vectorized check_block
+    batch path by default, or sharded across worker processes; all
+    modes report identical verdicts, racing pairs and clean.* counters.
+    Exits 1 when a race is found.
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
          [--telemetry OUT.jsonl]
     Replay a recorded trace on the hardware simulator.
@@ -411,7 +418,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .workloads import get_benchmark
 
     trace = record_trace(
-        get_benchmark(args.name), scale=args.scale, seed=args.seed
+        get_benchmark(args.name), scale=args.scale, seed=args.seed,
+        racy=args.racy,
     )
     trace.save(args.out)
     print(
@@ -420,6 +428,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         f"{len(trace.thread_ids())} threads) to {args.out}"
     )
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze_trace
+
+    report = analyze_trace(
+        args.trace,
+        mode=args.mode,
+        shards=args.shards,
+        workers=args.jobs,
+        salvage=args.salvage,
+    )
+    if args.json:
+        print(json.dumps(report.to_payload(), sort_keys=True))
+        return 1 if report.racy else 0
+    print(
+        f"analyzed {report.accesses} accesses / {report.syncs} syncs "
+        f"across {report.threads} threads ({report.mode} mode"
+        + (f", {report.shards} shards" if report.shards else "")
+        + ")"
+    )
+    if report.racy:
+        race = report.race
+        where = (
+            f" at access #{race['position']}"
+            if race.get("position") is not None
+            else ""
+        )
+        print(
+            f"RACE: {race['kind']} on {race['address']:#x} "
+            f"(tid {race['accessing_tid']} vs writer "
+            f"tid {race['prior_writer_tid']}@{race['prior_writer_clock']})"
+            + where
+        )
+    else:
+        print("no race found")
+    checks = report.counters.get("clean.checks", 0)
+    print(f"  checks: {checks:.0f}  "
+          f"(counters: {len(report.counters)} clean.* totals)")
+    return 1 if report.racy else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -698,7 +746,28 @@ def main(argv=None) -> int:
     p.add_argument("out")
     p.add_argument("--scale", default="test")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--racy", action="store_true",
+                   help="record the seeded-race variant (for `analyze`)")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "analyze", help="race-analyze a recorded trace offline"
+    )
+    p.add_argument("trace")
+    p.add_argument("--mode", default="batch",
+                   choices=["scalar", "batch", "sharded"],
+                   help="scalar reference, vectorized check_block batch "
+                        "(default), or address-sharded worker processes")
+    p.add_argument("--shards", type=int, default=0,
+                   help="address shards for --mode sharded (0 = one per "
+                        "worker)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for --mode sharded "
+                        "(default: CPU count)")
+    p.add_argument("--salvage", action="store_true",
+                   help="analyze the readable prefix of a damaged trace")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser("simulate", help="replay a trace on the hw simulator")
     p.add_argument("trace")

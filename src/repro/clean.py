@@ -20,7 +20,9 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from .core.detector import CleanDetector
 from .core.events import AccessEvent, DetectorBackend
@@ -221,6 +223,212 @@ class CleanMonitor(ExecutionMonitor):
             sites.note_check(tid, address, is_write=False)
         self.detector.check_read(tid, address, size)
 
+    # -- the batch lane (replay / analysis) ---------------------------------
+
+    #: Below this many accesses the scalar loop beats the numpy setup.
+    BATCH_MIN = 16
+
+    def on_access_block(self, tid: int, events: Sequence[AccessEvent]) -> None:
+        """Scheduler batch-lane hook: one thread's in-order access run."""
+        self.check_block(
+            tid,
+            [(e.is_write, e.address, e.size, e.private) for e in events],
+        )
+
+    def check_block(
+        self, tid: int, block: Sequence[Tuple[bool, int, int, bool]]
+    ) -> None:
+        """Drive a whole in-order access block through the adapter.
+
+        ``block`` items are ``(is_write, address, size, private)`` —
+        one synchronization-free run of a single thread's accesses, as
+        streaming replay and the batch scheduler lane produce them.
+        Semantics are identical to the per-event hooks: same verdicts,
+        same fast-path hit/miss counts, same ``note_same_epoch`` /
+        SiteProfiler / shadow accounting, and on a race the same
+        exception with the same counter trail.
+
+        The same-epoch classification of the *whole* block is resolved
+        in one vectorized pass (a byte is covered at access ``i`` iff it
+        was in the written-this-epoch set before the block or an earlier
+        write in the block covered it), then hit runs collapse into one
+        aggregate accounting call and miss runs go to the backend's
+        vectorized :meth:`~repro.core.events.DetectorBackend.check_block`.
+
+        ``block`` may also arrive columnar — a 4-tuple of equal-length
+        numpy arrays ``(is_write, address, size, private)`` — which the
+        offline analysis engine hands over straight from its decoded
+        trace columns, skipping every per-event tuple.
+        """
+        columnar = (
+            type(block) is tuple
+            and len(block) == 4
+            and isinstance(block[0], np.ndarray)
+        )
+        if columnar and not self.instrument_private_fraction:
+            w_col, a_col, s_col, p_col = block
+            keep = ~np.asarray(p_col, dtype=bool)
+            is_write = np.asarray(w_col, dtype=bool)[keep]
+            addr = np.asarray(a_col, dtype=np.int64)[keep]
+            size = np.asarray(s_col, dtype=np.int64)[keep]
+            n = int(addr.size)
+            items = None
+        else:
+            if columnar:
+                w_col, a_col, s_col, p_col = block
+                block = list(
+                    zip(
+                        w_col.tolist(), a_col.tolist(),
+                        s_col.tolist(), p_col.tolist(),
+                    )
+                )
+            if self.instrument_private_fraction:
+                items = [
+                    (w, a, s)
+                    for (w, a, s, p) in block
+                    if self._instrument(p, a)
+                ]
+            else:
+                items = [(w, a, s) for (w, a, s, p) in block if not p]
+            n = len(items)
+        if not n:
+            return
+        # The profiler's sampling tick is order-sensitive, and without
+        # the fast path there is no classification to batch: replay the
+        # exact scalar hook bodies.
+        if self.sites is not None or not self._fastpath or n < self.BATCH_MIN:
+            if items is None:
+                items = list(
+                    zip(is_write.tolist(), addr.tolist(), size.tolist())
+                )
+            for is_write_, address, size_ in items:
+                self._check_one(tid, is_write_, address, size_)
+            return
+
+        if items is not None:
+            is_write = np.fromiter((a[0] for a in items), dtype=bool, count=n)
+            addr = np.fromiter((a[1] for a in items), dtype=np.int64, count=n)
+            size = np.fromiter((a[2] for a in items), dtype=np.int64, count=n)
+        if int(size.min()) < 1:
+            if items is None:
+                items = list(
+                    zip(is_write.tolist(), addr.tolist(), size.tolist())
+                )
+            for is_write_, address, size_ in items:
+                self._check_one(tid, is_write_, address, size_)
+            return
+
+        # Byte expansion and the written-this-epoch coverage overlay.
+        total = int(size.sum())
+        acc_idx = np.repeat(np.arange(n), size)
+        seg_starts = np.cumsum(size) - size
+        baddr = np.repeat(addr, size) + (
+            np.arange(total) - np.repeat(seg_starts, size)
+        )
+        unique, inv = np.unique(baddr, return_inverse=True)
+        written = self._epoch_writes.get(tid)
+        if written:
+            covered0 = np.fromiter(
+                (int(u) in written for u in unique),
+                dtype=bool,
+                count=len(unique),
+            )
+        else:
+            covered0 = np.zeros(len(unique), dtype=bool)
+        first_write = np.full(len(unique), n, dtype=np.int64)
+        byte_is_write = is_write[acc_idx]
+        np.minimum.at(first_write, inv[byte_is_write], acc_idx[byte_is_write])
+        byte_covered = covered0[inv] | (first_write[inv] < acc_idx)
+        hit = np.ones(n, dtype=bool)
+        np.logical_and.at(hit, acc_idx, byte_covered)
+
+        # One detector call for the whole miss subsequence, one aggregate
+        # accounting call for every hit.  Squeezing the hits out is
+        # sound: a hit's bytes already carry the thread's current epoch
+        # (that is what made it a hit), so removing it changes neither
+        # the detector's effective-epoch overlay nor any verdict — and
+        # hits never touch the shadow on the scalar fast path either.
+        # First-touch workloads alternate hit/miss at access grain, so
+        # per-run dispatch would degenerate into thousands of length-1
+        # scalar calls.
+        detector = self.detector
+        miss_idx = np.flatnonzero(~hit)
+        if miss_idx.size:
+            try:
+                detector.check_block(
+                    tid,
+                    (is_write[miss_idx], addr[miss_idx], size[miss_idx]),
+                )
+            except Exception:
+                # The scalar loop counts every hit and miss before the
+                # raising access (and applies the misses' earlier writes
+                # to the written set), then stops.
+                done = int(getattr(detector, "block_progress", 0))
+                raiser = int(miss_idx[done])
+                self.fastpath_misses += done + 1
+                pre_hits = np.flatnonzero(hit[:raiser])
+                if pre_hits.size:
+                    self.fastpath_hits += int(pre_hits.size)
+                    detector.note_same_epoch_block(
+                        tid,
+                        (is_write[pre_hits], addr[pre_hits], size[pre_hits]),
+                    )
+                if written is None:
+                    written = self._epoch_writes.setdefault(tid, set())
+                processed = np.zeros(n, dtype=bool)
+                processed[miss_idx[:done]] = True
+                done_mask = processed[acc_idx] & byte_is_write
+                written.update(baddr[done_mask].tolist())
+                raise
+            self.fastpath_misses += int(miss_idx.size)
+            if written is None:
+                written = self._epoch_writes.setdefault(tid, set())
+            miss_mask = ~hit[acc_idx] & byte_is_write
+            written.update(baddr[miss_mask].tolist())
+        n_hits = n - int(miss_idx.size)
+        if n_hits:
+            self.fastpath_hits += n_hits
+            detector.note_same_epoch_block(
+                tid, (is_write[hit], addr[hit], size[hit])
+            )
+
+    def _check_one(
+        self, tid: int, is_write: bool, address: int, size: int
+    ) -> None:
+        """One (already instrument-filtered) access, exact hook body."""
+        sites = self.sites
+        if self._fastpath:
+            written = self._epoch_writes.get(tid)
+            if written is not None and (
+                address in written
+                if size == 1
+                else all(address + o in written for o in range(size))
+            ):
+                self.fastpath_hits += 1
+                self.detector.note_same_epoch(
+                    tid, address, size, is_read=not is_write
+                )
+                if sites is not None:
+                    sites.note_same_epoch(tid, address, is_write=is_write)
+                return
+            self.fastpath_misses += 1
+            if sites is not None:
+                sites.note_check(tid, address, is_write=is_write)
+            if is_write:
+                self.detector.check_write(tid, address, size)
+                if written is None:
+                    written = self._epoch_writes.setdefault(tid, set())
+                written.update(range(address, address + size))
+            else:
+                self.detector.check_read(tid, address, size)
+            return
+        if sites is not None:
+            sites.note_check(tid, address, is_write=is_write)
+        if is_write:
+            self.detector.check_write(tid, address, size)
+        else:
+            self.detector.check_read(tid, address, size)
+
     # -- synchronization (vector-clock maintenance) ----------------------------
 
     def on_acquire(self, tid: int, lock: Lock) -> None:
@@ -303,6 +511,15 @@ class CleanMonitor(ExecutionMonitor):
                 value = getattr(stats, field, None)
                 if isinstance(value, (int, float)) and value:
                     registry.inc(f"clean.{field}", value)
+        shadow = getattr(self.detector, "shadow", None)
+        if shadow is not None:
+            # Shadow traffic stays exact under batch operations (the
+            # batch paths account loads/stores explicitly), so the fast
+            # path is observable from the profile output.
+            for field in ("loads", "stores", "resets"):
+                value = getattr(shadow, field, None)
+                if isinstance(value, (int, float)) and value:
+                    registry.inc(f"clean.shadow.{field}", value)
         if self._fastpath:
             registry.inc("clean.same_epoch.hits", self.fastpath_hits)
             registry.inc("clean.same_epoch.misses", self.fastpath_misses)

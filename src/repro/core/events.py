@@ -26,7 +26,7 @@ vocabulary:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from .epoch import DEFAULT_LAYOUT, EpochLayout
 from .exceptions import MetadataError, TooManyThreadsError
@@ -36,8 +36,28 @@ __all__ = [
     "AccessEvent",
     "DetectorBackend",
     "VectorClockBackend",
+    "block_items",
     "stable_sync_id",
 ]
+
+
+def block_items(block: object) -> Sequence[Tuple[bool, int, int]]:
+    """Normalize an access block to per-item ``(is_write, address, size)``.
+
+    Blocks travel in two shapes: a sequence of per-access tuples, or
+    *columnar* — a 3-tuple of equal-length numpy arrays, the zero-copy
+    form the batch lane hands between monitor and backend.  Scalar code
+    paths call this at their boundary; tuple sequences pass through
+    untouched.
+    """
+    if (
+        type(block) is tuple
+        and len(block) == 3
+        and hasattr(block[0], "tolist")
+    ):
+        is_write, address, size = block
+        return list(zip(is_write.tolist(), address.tolist(), size.tolist()))
+    return block
 
 
 class AccessEvent:
@@ -128,6 +148,11 @@ class DetectorBackend:
     #: change verdicts on such accesses may set this.
     same_epoch_filter = False
 
+    #: After :meth:`check_block` raises: how many leading accesses of
+    #: that block completed before the raising one.  Batch adapters use
+    #: it to keep their own per-access accounting exact across a race.
+    block_progress = 0
+
     # -- thread lifecycle ---------------------------------------------------
 
     def spawn_root(self) -> int:
@@ -172,6 +197,47 @@ class DetectorBackend:
         recorded, so cost models and figures are invariant under the
         filter.  The default is a no-op (and the filter stays off).
         """
+
+    def note_same_epoch_block(
+        self, tid: int, block: Sequence[Tuple[bool, int, int]]
+    ) -> None:
+        """Account a batch of accesses the same-epoch fast path skipped.
+
+        ``block`` items are ``(is_write, address, size)`` — per-access
+        tuples or the columnar form (see :func:`block_items`).  The
+        default loops :meth:`note_same_epoch`; backends with counter
+        arithmetic cheap enough to aggregate override this.
+        """
+        note = self.note_same_epoch
+        for is_write, address, size in block_items(block):
+            note(tid, address, size, is_read=not is_write)
+
+    def check_block(
+        self, tid: int, block: Sequence[Tuple[bool, int, int]]
+    ) -> None:
+        """Race-check a batch of same-thread accesses in program order.
+
+        ``block`` is a sequence of ``(is_write, address, size)`` tuples
+        or the columnar array form (see :func:`block_items`) — typically
+        one synchronization-free region's worth of accesses.  The
+        default simply loops over :meth:`check_read` /
+        :meth:`check_write`, so every backend is batch-correct for free;
+        engines with a vectorized batch path override this.  Semantics
+        are identical to the scalar loop: checks happen in order and the
+        first race raises out of the block.
+        """
+        self.block_progress = 0
+        check_read = self.check_read
+        check_write = self.check_write
+        for index, (is_write, address, size) in enumerate(block_items(block)):
+            try:
+                if is_write:
+                    check_write(tid, address, size)
+                else:
+                    check_read(tid, address, size)
+            except Exception:
+                self.block_progress = index
+                raise
 
 
 class VectorClockBackend(DetectorBackend):

@@ -25,7 +25,12 @@ from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 
-__all__ = ["SparseShadow", "DenseShadow", "EPOCH_BYTES_PER_DATA_BYTE"]
+__all__ = [
+    "SparseShadow",
+    "DenseShadow",
+    "FlatShadow",
+    "EPOCH_BYTES_PER_DATA_BYTE",
+]
 
 #: The paper's software layout dedicates 4 metadata bytes per data byte.
 EPOCH_BYTES_PER_DATA_BYTE = 4
@@ -112,6 +117,181 @@ class SparseShadow:
     def items(self) -> Iterable[Tuple[int, int]]:
         """Iterate over ``(address, epoch)`` pairs with explicit epochs."""
         return self._epochs.items()
+
+
+class FlatShadow:
+    """Growable flat-array epoch store: the batch-first hot path.
+
+    Generalizes :class:`DenseShadow` to an unbounded address space: a
+    flat ``uint32`` array covers the low, dense window the bump
+    allocator hands out (growing geometrically on demand), and a spill
+    dict absorbs the rare address outside it, so the store is a drop-in
+    replacement for :class:`SparseShadow` with array speed.
+
+    The scalar surface (``load``/``store``/``load_range``/…) keeps the
+    exact counter semantics of the other stores.  The *batch* surface —
+    :meth:`gather` / :meth:`scatter` / :meth:`scatter_where` — is
+    deliberately **uncounted**: vectorized callers account ``loads`` and
+    ``stores`` explicitly for exactly the bytes the scalar path would
+    have touched, so the counters never drift under batching.
+
+    Reset stays O(1)-style: a fresh zero array is calloc-backed (pages
+    materialize lazily), mirroring the paper's zero-page remap.
+    """
+
+    __slots__ = ("_epochs", "_window", "_spill", "resets", "stores", "loads")
+
+    #: Addresses below this live in the flat array; beyond it, the spill
+    #: dict (64 MiB of epoch words for 16 MiB of data bytes).
+    DEFAULT_WINDOW = 1 << 24
+
+    def __init__(self, capacity: int = 4096, window: int = DEFAULT_WINDOW) -> None:
+        if capacity <= 0:
+            raise ValueError("initial capacity must be positive")
+        self._window = window
+        self._epochs = np.zeros(min(capacity, window), dtype=np.uint32)
+        self._spill: Dict[int, int] = {}
+        self.resets = 0
+        self.stores = 0
+        self.loads = 0
+
+    # -- growth -------------------------------------------------------------
+
+    def _ensure(self, upto: int) -> None:
+        """Grow the flat array to cover addresses ``[0, upto)``."""
+        if upto <= len(self._epochs):
+            return
+        capacity = len(self._epochs)
+        while capacity < upto:
+            capacity *= 2
+        capacity = min(capacity, self._window)
+        grown = np.zeros(capacity, dtype=np.uint32)
+        grown[: len(self._epochs)] = self._epochs
+        self._epochs = grown
+
+    def _in_window(self, address: int) -> bool:
+        return 0 <= address < self._window
+
+    # -- scalar surface (counted, same semantics as the other stores) -------
+
+    def load(self, address: int) -> int:
+        self.loads += 1
+        return self.peek(address)
+
+    def store(self, address: int, epoch: int) -> None:
+        self.stores += 1
+        if self._in_window(address):
+            self._ensure(address + 1)
+            self._epochs[address] = epoch
+        else:
+            self._spill[address] = epoch
+
+    def compare_and_swap(self, address: int, expected: int, new: int) -> bool:
+        if self.peek(address) != expected:
+            return False
+        self.stores += 1
+        if self._in_window(address):
+            self._ensure(address + 1)
+            self._epochs[address] = new
+        else:
+            self._spill[address] = new
+        return True
+
+    def load_range(self, address: int, size: int) -> List[int]:
+        self.loads += size
+        if self._in_window(address) and self._in_window(address + size - 1):
+            self._ensure(address + size)
+            return [int(e) for e in self._epochs[address : address + size]]
+        return [self.peek(address + i) for i in range(size)]
+
+    def peek(self, address: int) -> int:
+        """Uncounted epoch inspection (see :meth:`SparseShadow.peek`)."""
+        if self._in_window(address):
+            if address < len(self._epochs):
+                return int(self._epochs[address])
+            return 0
+        return self._spill.get(address, 0)
+
+    def clear(self, address: int) -> None:
+        """Uncounted epoch scrub (see :meth:`SparseShadow.clear`)."""
+        if self._in_window(address):
+            if address < len(self._epochs):
+                self._epochs[address] = 0
+        else:
+            self._spill.pop(address, None)
+
+    def store_range(self, address: int, size: int, epoch: int) -> None:
+        self.stores += size
+        if self._in_window(address) and self._in_window(address + size - 1):
+            self._ensure(address + size)
+            self._epochs[address : address + size] = epoch
+        else:
+            for i in range(size):
+                if self._in_window(address + i):
+                    self._ensure(address + i + 1)
+                    self._epochs[address + i] = epoch
+                else:
+                    self._spill[address + i] = epoch
+
+    def reset(self) -> None:
+        """O(1)-style global reset (rollover): swap in a zero page."""
+        self._epochs = np.zeros(len(self._epochs), dtype=np.uint32)
+        self._spill = {}
+        self.resets += 1
+
+    # -- batch surface (uncounted; batch callers account explicitly) --------
+
+    def gather(self, addresses: "np.ndarray") -> "np.ndarray":
+        """Epochs at ``addresses`` (a ``uint64`` array), uncounted.
+
+        Vectorized callers bump ``loads`` themselves for exactly the
+        bytes the scalar path would have loaded.
+        """
+        if addresses.size == 0:
+            return np.zeros(0, dtype=np.uint32)
+        hi = int(addresses.max())
+        if hi < self._window and int(addresses.min()) >= 0:
+            self._ensure(hi + 1)
+            return self._epochs[addresses]
+        return np.fromiter(
+            (self.peek(int(a)) for a in addresses),
+            dtype=np.uint32,
+            count=addresses.size,
+        )
+
+    def scatter(self, addresses: "np.ndarray", epoch: int) -> None:
+        """Set the epochs at ``addresses`` to ``epoch``, uncounted."""
+        if addresses.size == 0:
+            return
+        hi = int(addresses.max())
+        if hi < self._window and int(addresses.min()) >= 0:
+            self._ensure(hi + 1)
+            self._epochs[addresses] = epoch
+            return
+        for a in addresses:
+            address = int(a)
+            if self._in_window(address):
+                self._ensure(address + 1)
+                self._epochs[address] = epoch
+            else:
+                self._spill[address] = epoch
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def touched_bytes(self) -> int:
+        return int(np.count_nonzero(self._epochs)) + len(self._spill)
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.touched_bytes * EPOCH_BYTES_PER_DATA_BYTE
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        nz = np.nonzero(self._epochs)[0]
+        for i in nz:
+            yield int(i), int(self._epochs[i])
+        for address, epoch in self._spill.items():
+            yield address, epoch
 
 
 class DenseShadow:

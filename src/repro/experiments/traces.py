@@ -23,11 +23,19 @@ __all__ = ["record_trace", "record_trace_file", "record_all_traces"]
 
 
 def record_trace(
-    spec: BenchmarkSpec, scale: str = "simsmall", seed: int = 0
+    spec: BenchmarkSpec, scale: str = "simsmall", seed: int = 0,
+    racy: bool = False,
 ) -> Trace:
-    """Run ``spec``'s race-free variant and record its access trace."""
+    """Run ``spec`` detector-free and record its access trace.
+
+    Recording is always record-only (no detector attached): a live
+    detector raises *before* the racing access reaches the recorder, so
+    a detection-recorded racy trace would end just short of its race.
+    ``racy=True`` records the benchmark's seeded-race variant for
+    offline analysis (``python -m repro analyze``).
+    """
     recorder = TraceRecorder()
-    program = build_program(spec, scale=scale, racy=False, seed=seed)
+    program = build_program(spec, scale=scale, racy=racy, seed=seed)
     program.run(
         policy=RoundRobinPolicy(),
         monitors=[recorder],

@@ -224,6 +224,22 @@ class ExecutionMonitor:
     def on_sync_commit(self, tid: int, op: Op) -> None:
         """A synchronization operation committed (rollover hook point)."""
 
+    def on_access_block(self, tid: int, events: Sequence[AccessEvent]) -> None:
+        """A run of ``tid``'s accesses, delivered as one in-order block.
+
+        The batch lane: streaming replay and the offline analysis engine
+        hand whole synchronization-free runs here instead of one event
+        at a time.  Semantically equivalent to calling
+        :meth:`before_access` / :meth:`after_access` for every event in
+        order — the default does exactly that, so every monitor is
+        batch-correct for free; batch-aware monitors override it.
+        """
+        before = self.before_access
+        after = self.after_access
+        for event in events:
+            before(event)
+            after(event)
+
     def on_rollback(self, tid: int) -> None:
         """Recovery discarded ``tid``'s open SFR (its buffered writes
         never became visible; any per-thread caches keyed on its open
@@ -498,6 +514,18 @@ class Scheduler:
         self._c_write_before = memory_chain("before_write")
         self._c_write_after = memory_chain("after_write")
 
+        # The batch lane: monitors consuming whole access runs.  Event-
+        # style monitors ride along through the base class's default
+        # (which loops their per-event hooks), so block dispatch is
+        # semantically the per-event dispatch.
+        self._c_access_block = tuple(
+            m.on_access_block
+            for m in monitors
+            if _overrides(m, "on_access_block")
+            or _overrides(m, "before_access")
+            or _overrides(m, "after_access")
+        )
+
         handlers = dict(self._HANDLERS)
         if self.recovery is not None:
             handlers[Read] = Scheduler._do_read_buffered
@@ -514,6 +542,15 @@ class Scheduler:
             self._schedulable = self._schedulable_legacy
             self._feasible = self._feasible_legacy
         self._handlers = handlers
+
+    def dispatch_access_block(
+        self, tid: int, events: Sequence[AccessEvent]
+    ) -> None:
+        """Deliver one thread's in-order access run to every interested
+        monitor through the compiled batch lane (replay drivers only —
+        live execution dispatches per event)."""
+        for fn in self._c_access_block:
+            fn(tid, events)
 
     # -- public API -----------------------------------------------------------
 

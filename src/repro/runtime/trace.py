@@ -37,15 +37,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import BinaryIO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+import numpy as np
+
 from ..core.events import AccessEvent
 from .scheduler import ExecutionMonitor
 
 __all__ = [
     "TraceEvent",
+    "TraceChunk",
     "Trace",
     "TraceRecorder",
     "StreamingTrace",
     "open_trace",
+    "chunked_events",
     "READ",
     "WRITE",
     "SYNC",
@@ -86,6 +90,21 @@ _FLAG_CRC32 = 0x02
 #: compression, small enough that streaming replay stays lightweight.
 DEFAULT_CHUNK_EVENTS = 4096
 
+#: Numpy view of the packed record stream: one field per :data:`_RECORD`
+#: column, no padding (``itemsize == _RECORD.size``), so a whole chunk
+#: decodes to column arrays in a single ``frombuffer`` call — the entry
+#: point of the batch replay path.
+_RECORD_DTYPE = np.dtype(
+    [
+        ("code", "u1"),
+        ("address", "<u8"),
+        ("size", "<u4"),
+        ("gap", "<u4"),
+        ("name", "<u2"),
+    ]
+)
+assert _RECORD_DTYPE.itemsize == _RECORD.size
+
 
 @dataclass(frozen=True)
 class TraceEvent:
@@ -102,6 +121,90 @@ class TraceEvent:
     private: bool = False
     gap: int = 0
     sync_name: str = ""
+
+
+@dataclass
+class TraceChunk:
+    """One run of a thread's events, decoded to column arrays.
+
+    The currency of the batch replay path: a binary chunk's packed
+    records become five numpy columns in one ``frombuffer`` call (no
+    per-event Python objects), and the offline analysis engine slices
+    synchronization-free runs straight out of them for
+    ``check_block``.  ``names`` is the chunk's sync-name table;
+    ``name_idx`` holds :data:`_NO_NAME` for non-sync events.
+    """
+
+    tid: int
+    codes: "np.ndarray"
+    addresses: "np.ndarray"
+    sizes: "np.ndarray"
+    gaps: "np.ndarray"
+    name_idx: "np.ndarray"
+    names: List[str]
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    @property
+    def kinds(self) -> "np.ndarray":
+        """Kind codes (0=read, 1=write, 2=sync) with the private bit off."""
+        return self.codes & ~np.uint8(_PRIVATE_BIT)
+
+    @property
+    def private(self) -> "np.ndarray":
+        """Boolean private flag per event."""
+        return (self.codes & np.uint8(_PRIVATE_BIT)) != 0
+
+    def sync_name_at(self, i: int) -> str:
+        """The sync name of event ``i`` ("" for memory events)."""
+        idx = int(self.name_idx[i])
+        return "" if idx == _NO_NAME else self.names[idx]
+
+    def events(self) -> List[TraceEvent]:
+        """Materialize the chunk as :class:`TraceEvent` objects."""
+        kinds = self.kinds
+        private = self.private
+        names = self.names
+        return [
+            TraceEvent(
+                kind=_CODE_KIND[int(kinds[i])],
+                address=int(self.addresses[i]),
+                size=int(self.sizes[i]),
+                private=bool(private[i]),
+                gap=int(self.gaps[i]),
+                sync_name=(
+                    "" if self.name_idx[i] == _NO_NAME
+                    else names[int(self.name_idx[i])]
+                ),
+            )
+            for i in range(len(self.codes))
+        ]
+
+    @classmethod
+    def from_events(cls, tid: int, events: List[TraceEvent]) -> "TraceChunk":
+        """Column-ize an in-memory event list (the recorder's output)."""
+        n = len(events)
+        names: List[str] = []
+        name_pos: Dict[str, int] = {}
+        name_idx = np.full(n, _NO_NAME, dtype=np.uint16)
+        codes = np.zeros(n, dtype=np.uint8)
+        addresses = np.zeros(n, dtype=np.uint64)
+        sizes = np.zeros(n, dtype=np.uint32)
+        gaps = np.zeros(n, dtype=np.uint32)
+        for i, e in enumerate(events):
+            codes[i] = _KIND_CODE[e.kind] | (_PRIVATE_BIT if e.private else 0)
+            addresses[i] = e.address
+            sizes[i] = e.size
+            gaps[i] = e.gap
+            if e.sync_name:
+                idx = name_pos.get(e.sync_name)
+                if idx is None:
+                    idx = len(names)
+                    name_pos[e.sync_name] = idx
+                    names.append(e.sync_name)
+                name_idx[i] = idx
+        return cls(tid, codes, addresses, sizes, gaps, name_idx, names)
 
 
 # -- binary chunk encode/decode ---------------------------------------------
@@ -218,22 +321,15 @@ def _read_chunk_raw(
     return tid, flags, n_events, raw_len, stored, offset
 
 
-def _decode_stored(
+def _verify_stored(
     stored: bytes,
     flags: int,
-    n_events: int,
     raw_len: int,
     path: object,
     index: int,
     offset: int,
-) -> List[TraceEvent]:
-    """Verify, decompress and decode one chunk's stored bytes.
-
-    Every failure mode — checksum mismatch, zlib damage, record-level
-    garbage — surfaces as the wrapped ``truncated/corrupt trace``
-    :class:`ValueError` with file, chunk and offset context.  A failure
-    here damages only this chunk; the file remains walkable.
-    """
+) -> bytes:
+    """Checksum-verify and decompress one chunk's stored bytes."""
     if flags & _FLAG_CRC32:
         if len(stored) < _CRC.size:
             raise _corrupt(path, index, offset, "chunk too short for its checksum")
@@ -254,8 +350,87 @@ def _decode_stored(
             path, index, offset,
             f"payload length mismatch ({len(payload)} != {raw_len})",
         )
+    return payload
+
+
+def _decode_stored(
+    stored: bytes,
+    flags: int,
+    n_events: int,
+    raw_len: int,
+    path: object,
+    index: int,
+    offset: int,
+) -> List[TraceEvent]:
+    """Verify, decompress and decode one chunk's stored bytes.
+
+    Every failure mode — checksum mismatch, zlib damage, record-level
+    garbage — surfaces as the wrapped ``truncated/corrupt trace``
+    :class:`ValueError` with file, chunk and offset context.  A failure
+    here damages only this chunk; the file remains walkable.
+    """
+    payload = _verify_stored(stored, flags, raw_len, path, index, offset)
     try:
         return _decode_payload(payload, n_events)
+    except (ValueError, struct.error, IndexError, UnicodeDecodeError) as exc:
+        raise _corrupt(path, index, offset, str(exc)) from None
+
+
+def _payload_to_chunk(tid: int, payload: bytes, n_events: int) -> TraceChunk:
+    """Decode a verified payload straight to column arrays.
+
+    The batch-path twin of :func:`_decode_payload`: the name table is
+    walked in Python (it is tiny), then every packed record lands in
+    numpy columns via one ``frombuffer`` — no per-event objects.
+    """
+    (n_names,) = _NAME_LEN.unpack_from(payload, 0)
+    offset = _NAME_LEN.size
+    names: List[str] = []
+    for _ in range(n_names):
+        (length,) = _NAME_LEN.unpack_from(payload, offset)
+        offset += _NAME_LEN.size
+        names.append(payload[offset : offset + length].decode("utf-8"))
+        offset += length
+    records = payload[offset:]
+    if len(records) != n_events * _RECORD.size:
+        raise ValueError(
+            f"corrupt trace chunk: header says {n_events} events, "
+            f"payload holds {len(records) // _RECORD.size}"
+        )
+    arr = np.frombuffer(records, dtype=_RECORD_DTYPE, count=n_events)
+    codes = arr["code"].copy()
+    kinds = codes & ~np.uint8(_PRIVATE_BIT)
+    if n_events and int(kinds.max()) > max(_CODE_KIND):
+        raise ValueError(f"unknown event kind code {int(kinds.max())}")
+    name_idx = arr["name"].copy()
+    named = name_idx[name_idx != _NO_NAME]
+    if named.size and int(named.max()) >= len(names):
+        raise ValueError(f"sync-name index {int(named.max())} out of range")
+    return TraceChunk(
+        tid=tid,
+        codes=codes,
+        addresses=arr["address"].copy(),
+        sizes=arr["size"].copy(),
+        gaps=arr["gap"].copy(),
+        name_idx=name_idx,
+        names=names,
+    )
+
+
+def _decode_stored_chunk(
+    stored: bytes,
+    flags: int,
+    n_events: int,
+    raw_len: int,
+    path: object,
+    index: int,
+    offset: int,
+    tid: int,
+) -> TraceChunk:
+    """Column-array twin of :func:`_decode_stored` (same error surface)."""
+    payload = _verify_stored(stored, flags, raw_len, path, index, offset)
+    try:
+        return _payload_to_chunk(tid, payload, n_events)
     except (ValueError, struct.error, IndexError, UnicodeDecodeError) as exc:
         raise _corrupt(path, index, offset, str(exc)) from None
 
@@ -288,6 +463,19 @@ class Trace:
     def iter_events(self, tid: int) -> Iterator[TraceEvent]:
         """Iterate thread ``tid``'s events (the simulator's protocol)."""
         return iter(self.per_thread.get(tid, ()))
+
+    def iter_chunks(
+        self, tid: int, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[TraceChunk]:
+        """Yield thread ``tid``'s events as column-array chunks.
+
+        In-memory traces have no native chunk structure, so slices of
+        ``chunk_events`` events are column-ized on the fly — same
+        protocol as :meth:`StreamingTrace.iter_chunks`.
+        """
+        events = self.per_thread.get(tid, [])
+        for start in range(0, len(events), chunk_events):
+            yield TraceChunk.from_events(tid, events[start : start + chunk_events])
 
     def __iter__(self) -> Iterator[TraceEvent]:
         for tid in self.thread_ids():
@@ -566,6 +754,32 @@ class StreamingTrace:
                 ):
                     yield event
 
+    def iter_chunks(self, tid: int) -> Iterator[TraceChunk]:
+        """Yield thread ``tid``'s stored chunks as column arrays.
+
+        The batch replay fast path: each chunk's packed records decode
+        straight into numpy columns (one ``frombuffer``), skipping
+        per-event :class:`TraceEvent` construction entirely.  Fresh
+        file handle per call, like :meth:`iter_events`.
+        """
+        chunks = self._index.get(tid, [])
+        if not chunks:
+            return
+        with open(self._path, "rb") as fh:
+            for index, offset, flags, n_events, raw_len, stored_len in chunks:
+                fh.seek(offset)
+                stored = fh.read(stored_len)
+                if len(stored) != stored_len:
+                    raise _corrupt(
+                        self._path, index, offset - _CHUNK_HEADER.size,
+                        f"truncated chunk payload "
+                        f"({len(stored)}/{stored_len} bytes)",
+                    )
+                yield _decode_stored_chunk(
+                    stored, flags, n_events, raw_len,
+                    self._path, index, offset - _CHUNK_HEADER.size, tid,
+                )
+
     def events(self, tid: int) -> List[TraceEvent]:
         """Materialize thread ``tid``'s events (compatibility helper)."""
         return list(self.iter_events(tid))
@@ -598,12 +812,57 @@ def open_trace(
     return Trace._load_jsonl(path)
 
 
+def chunked_events(
+    trace: object, tid: int, chunk_events: int = DEFAULT_CHUNK_EVENTS
+) -> Iterator[List[TraceEvent]]:
+    """Yield thread ``tid``'s events one chunk-sized list at a time.
+
+    The simulator's refill protocol: instead of pulling events one
+    ``next()`` at a time, it buffers a whole chunk's list and walks it
+    by index.  In-memory :class:`Trace` objects hand out list slices
+    (zero copy decode); :class:`StreamingTrace` decodes each stored
+    chunk once; anything else satisfying ``iter_events`` is batched
+    through a fallback.
+    """
+    if isinstance(trace, Trace):
+        events = trace.per_thread.get(tid, [])
+        for start in range(0, len(events), chunk_events):
+            yield events[start : start + chunk_events]
+        return
+    if isinstance(trace, StreamingTrace):
+        for chunk in trace.iter_chunks(tid):
+            yield chunk.events()
+        return
+    batch: List[TraceEvent] = []
+    for event in trace.iter_events(tid):
+        batch.append(event)
+        if len(batch) >= chunk_events:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
 class TraceRecorder(ExecutionMonitor):
-    """Monitor that builds a :class:`Trace` while a program runs."""
+    """Monitor that builds a :class:`Trace` while a program runs.
+
+    Sync events are recorded *replayably*: each carries a descriptor
+    naming the operation and its target (``"Acquire:L"``,
+    ``"BarrierWait:B@3"``, ``"Spawn:2"``, ...) in ``sync_name``, and the
+    global synchronization commit order — the scheduler's deterministic
+    sync sequence — in the otherwise-unused ``address`` field (1-based;
+    0 marks traces from older recorders).  Offline analysis rebuilds the
+    exact happens-before relation from these without re-running the
+    program.
+    """
 
     def __init__(self) -> None:
         self.trace = Trace()
         self._gap: Dict[int, int] = {}
+        self._sync_seq = 0
+        #: Last child tid spawned per parent, captured by :meth:`on_spawn`
+        #: so the Spawn commit right after it can name the child.
+        self._spawned: Dict[int, int] = {}
 
     def _emit(self, tid: int, event: TraceEvent) -> None:
         self.trace.per_thread.setdefault(tid, []).append(event)
@@ -634,12 +893,51 @@ class TraceRecorder(ExecutionMonitor):
             ),
         )
 
+    def on_spawn(self, parent: int, child: int) -> None:
+        self._spawned[parent] = child
+
+    def _sync_descriptor(self, tid: int, op: object) -> str:
+        """``"Kind:target"`` descriptor for a committed sync operation.
+
+        Targets are the stable sync-object names the detector itself
+        keys vector clocks by, so replay applies happens-before edges to
+        exactly the objects the live run used.  The barrier generation
+        is read *at commit*, before the trip increments it, so every
+        arriver of one episode records the same ``B@gen`` key.
+        """
+        kind = type(op).__name__
+        lock = getattr(op, "lock", None)
+        cond = getattr(op, "cond", None)
+        if kind == "_Reacquire":
+            # Waking from a cond wait: reacquire the lock, ordered after
+            # the signaller.  Replay must acquire both L and C.
+            return f"CondWake:{lock.name}:{cond.name}"
+        if kind == "CondWait":
+            return f"CondWait:{cond.name}:{lock.name}"
+        if lock is not None:
+            return f"{kind}:{lock.name}"
+        if cond is not None:
+            return f"{kind}:{cond.name}"
+        barrier = getattr(op, "barrier", None)
+        if barrier is not None:
+            return f"{kind}:{barrier.name}@{barrier.generation}"
+        sem = getattr(op, "sem", None)
+        if sem is not None:
+            return f"{kind}:{sem.name}"
+        if kind == "Spawn":
+            return f"Spawn:{self._spawned.get(tid, -1)}"
+        if kind == "Join":
+            return f"Join:{getattr(op, 'tid', -1)}"
+        return kind
+
     def on_sync_commit(self, tid: int, op: object) -> None:
+        self._sync_seq += 1
         self._emit(
             tid,
             TraceEvent(
                 SYNC,
+                address=self._sync_seq,
                 gap=self._take_gap(tid),
-                sync_name=type(op).__name__,
+                sync_name=self._sync_descriptor(tid, op),
             ),
         )

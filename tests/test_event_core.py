@@ -1,6 +1,6 @@
 """Tests for the unified access-event core.
 
-Three groups, matching the hot-path refactor's guarantees:
+Four groups, matching the hot-path refactor's guarantees:
 
 1. **Stable sync keys** — per-sync vector clocks are keyed by
    :func:`~repro.core.events.stable_sync_id`, never object identity, so
@@ -12,26 +12,34 @@ Three groups, matching the hot-path refactor's guarantees:
 3. **Verdict invariance** — the fused dispatch + same-epoch-filter hot
    path raises a race exception iff the pre-refactor reference stack
    (``fused=False``, filter off) does, with identical provenance.
+4. **Offline analysis equivalence** — scalar, ``check_block`` batch and
+   sharded-parallel trace analysis agree on every verdict, racing pair
+   and ``clean.*`` counter total, and race-free replays are counter-exact
+   against the live run that recorded them.
 """
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import analyze_trace
 from repro.clean import CleanMonitor, clean_stack
 from repro.core import CleanDetector
 from repro.core.events import stable_sync_id
 from repro.determinism.counters import PreciseCounter
 from repro.hardware import SimConfig, simulate_trace
+from repro.obs import MetricsRegistry
 from repro.runtime import (
     READ,
     SYNC,
     WRITE,
     Lock,
+    Program,
     RandomPolicy,
     StreamingTrace,
     Trace,
     TraceEvent,
+    TraceRecorder,
     open_trace,
 )
 from repro.workloads.randprog import make_random_program
@@ -312,3 +320,138 @@ class TestVerdictInvariance:
             fastpath=True,
         )
         assert not monitor.fastpath_enabled
+
+
+# ---------------------------------------------------------------------------
+# 4. Offline analysis equivalence (scalar / batch / sharded)
+# ---------------------------------------------------------------------------
+
+
+def record_only(program, sseed):
+    """Record a trace with no detector attached.
+
+    Offline analysis of *racy* programs needs record-only traces: a live
+    detector raises before the racing access reaches the recorder, so a
+    detection-recorded racy trace is truncated just short of its race.
+    """
+    recorder = TraceRecorder()
+    program.run(
+        policy=RandomPolicy(sseed),
+        monitors=[recorder],
+        max_threads=MAX_THREADS,
+        counter_cost=PreciseCounter(),
+    )
+    return recorder.trace
+
+
+def clean_counters(monitor):
+    """The monitor's ``clean.*`` totals, as offline analysis reports them."""
+    registry = MetricsRegistry()
+    monitor.accumulate_metrics(registry)
+    return {
+        name: value
+        for name, value in registry.snapshot().items()
+        if isinstance(value, (int, float))
+    }
+
+
+RACE_KEYS = (
+    "kind",
+    "address",
+    "size",
+    "accessing_tid",
+    "prior_writer_tid",
+    "prior_writer_clock",
+)
+
+
+def assert_same_race(left, right):
+    assert (left is None) == (right is None)
+    if left is not None:
+        for key in RACE_KEYS:
+            assert left[key] == right[key], key
+
+
+class TestAnalysisEquivalence:
+    """``check_block`` and the sharded runner are drop-in equivalents of
+    the scalar path: same verdict, same racing pair, same ``clean.*``
+    counter totals on every trace."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(pseed=program_seeds, sseed=schedule_seeds, prob=race_probs)
+    def test_scalar_equals_batch(self, pseed, sseed, prob):
+        program, _plan = make_random_program(
+            pseed, n_threads=3, ops_per_thread=10, race_probability=prob
+        )
+        trace = record_only(program, sseed)
+        scalar = analyze_trace(trace, mode="scalar")
+        batch = analyze_trace(trace, mode="batch")
+        assert scalar.racy == batch.racy
+        assert_same_race(scalar.race, batch.race)
+        assert scalar.counters == batch.counters
+        assert (scalar.threads, scalar.events, scalar.accesses) == (
+            batch.threads,
+            batch.events,
+            batch.accesses,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(pseed=program_seeds, sseed=schedule_seeds)
+    def test_race_free_replay_matches_live_counters(self, pseed, sseed):
+        """On a race-free trace the offline replay is figure-exact: every
+        ``clean.*`` counter equals the live run that recorded it."""
+        program, _plan = make_random_program(
+            pseed, n_threads=3, ops_per_thread=10, race_probability=0.0
+        )
+        monitors, clean, _gate = clean_stack(max_threads=MAX_THREADS)
+        recorder = TraceRecorder()
+        result = program.run(
+            policy=RandomPolicy(sseed),
+            monitors=monitors + [recorder],
+            max_threads=MAX_THREADS,
+            counter_cost=PreciseCounter(),
+        )
+        assert result.race is None  # race-free by construction
+        for mode in ("scalar", "batch"):
+            report = analyze_trace(recorder.trace, mode=mode)
+            assert not report.racy
+            assert report.counters == clean_counters(clean), mode
+
+    def test_sharded_equals_scalar_on_racy_trace(self, tmp_path):
+        # Seeds chosen so the recorded interleaving contains a race.
+        program, _plan = make_random_program(
+            0, n_threads=3, ops_per_thread=10, race_probability=0.9
+        )
+        path = tmp_path / "racy.trace"
+        record_only(program, 0).save(path)
+        scalar = analyze_trace(path, mode="scalar")
+        assert scalar.racy
+        sharded = analyze_trace(path, mode="sharded", shards=3, workers=2)
+        assert sharded.racy
+        assert_same_race(scalar.race, sharded.race)
+        assert scalar.race["position"] == sharded.race["position"]
+        assert scalar.counters == sharded.counters
+        assert sharded.shards == 3
+        assert len(sharded.shard_stats) == 3
+
+    def test_sharded_equals_scalar_on_race_free_trace(self, tmp_path):
+        program, _plan = make_random_program(
+            1, n_threads=3, ops_per_thread=12, race_probability=0.0
+        )
+        path = tmp_path / "clean.trace"
+        record_only(program, 1).save(path)
+        scalar = analyze_trace(path, mode="scalar")
+        assert not scalar.racy
+        sharded = analyze_trace(path, mode="sharded", shards=3, workers=2)
+        assert not sharded.racy
+        assert sharded.race is None
+        assert scalar.counters == sharded.counters
+
+    def test_legacy_traces_are_rejected(self):
+        # Pre-batch recorders left the SYNC address field zero; without
+        # the global sync order replay cannot be reconstructed.
+        trace = Trace(
+            per_thread={0: [TraceEvent(SYNC, sync_name="Acquire:L")]}
+        )
+        with pytest.raises(ValueError, match="re-record"):
+            analyze_trace(trace)
