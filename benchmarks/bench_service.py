@@ -1,0 +1,296 @@
+"""Throughput and latency of the ``repro serve`` ingestion daemon.
+
+An in-process :class:`~repro.service.ServeDaemon` (real HTTP over
+loopback, real worker processes) under a closed-loop client fleet: each
+of ``--clients`` threads repeatedly POSTs a recorded trace to
+``/submit`` and polls ``/result/<id>`` until the verdict lands, for
+``--seconds`` of wall time.  Half the clients submit the racy variant,
+half the clean one, and every verdict is checked against the expected
+answer — a fast wrong answer is no answer.
+
+The JSON artifact records sustained throughput (verdicts/sec), the
+client-observed submit-to-verdict latency distribution (p50/p90/p99),
+the server-side ``serve.latency`` histogram's sample count, and a
+saturation probe: with the daemon paused and a tiny queue, a burst of
+submissions must split into 202s and 429s — the backpressure contract
+measured, not assumed.
+
+Run it directly (CI's service-smoke job does)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+
+``--check`` (release checklist) fails unless the daemon sustains
+``--min-throughput`` verdicts/sec (default 10) with zero failed or
+mismatched verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List
+
+from repro.experiments.traces import record_trace
+from repro.obs import MetricsRegistry
+from repro.service import RaceCheckService, ServeDaemon
+from repro.workloads.suite import get_benchmark
+
+#: Workload the clients upload: the dedup model at test scale — small
+#: enough that the daemon (not the detector) dominates, large enough to
+#: exercise the real batch lane per submission.
+BENCHMARK = "dedup"
+SCALE = "test"
+SEED = 1
+
+
+def _record(racy: bool) -> bytes:
+    trace = record_trace(
+        get_benchmark(BENCHMARK), scale=SCALE, seed=SEED, racy=racy
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench.trace")
+        trace.save(path)
+        with open(path, "rb") as fh:
+            return fh.read()
+
+
+def _post(port: int, path: str, body: bytes):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("POST", path, body=body)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def _get(port: int, path: str):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _Client(threading.Thread):
+    """One closed-loop submitter: POST, poll to verdict, repeat."""
+
+    def __init__(self, port: int, body: bytes, expected: str,
+                 deadline: float) -> None:
+        super().__init__(daemon=True)
+        self.port = port
+        self.body = body
+        self.expected = expected
+        self.deadline = deadline
+        self.latencies: List[float] = []
+        self.completed = 0
+        self.mismatches = 0
+        self.failures = 0
+        self.rejected = 0
+
+    def run(self) -> None:
+        while time.monotonic() < self.deadline:
+            start = time.monotonic()
+            status, payload = _post(self.port, "/submit", self.body)
+            if status == 429:
+                self.rejected += 1
+                time.sleep(0.01)
+                continue
+            if status != 202:
+                self.failures += 1
+                continue
+            sid = payload["id"]
+            while True:
+                _, result = _get(self.port, f"/result/{sid}")
+                if result["state"] in ("done", "failed"):
+                    break
+                time.sleep(0.002)
+            self.latencies.append(time.monotonic() - start)
+            if result["state"] != "done":
+                self.failures += 1
+            elif result["verdict"] != self.expected:
+                self.mismatches += 1
+            else:
+                self.completed += 1
+
+
+def _measure_throughput(
+    port: int, racy: bytes, clean: bytes, clients: int, seconds: float
+) -> Dict[str, object]:
+    deadline = time.monotonic() + seconds
+    fleet = [
+        _Client(
+            port,
+            racy if i % 2 == 0 else clean,
+            "racy" if i % 2 == 0 else "clean",
+            deadline,
+        )
+        for i in range(clients)
+    ]
+    start = time.monotonic()
+    for c in fleet:
+        c.start()
+    for c in fleet:
+        c.join()
+    elapsed = time.monotonic() - start
+    latencies = [s for c in fleet for s in c.latencies]
+    completed = sum(c.completed for c in fleet)
+    return {
+        "clients": clients,
+        "wall_seconds": round(elapsed, 3),
+        "verdicts": completed,
+        "verdicts_per_sec": completed / elapsed if elapsed else 0.0,
+        "rejected_429": sum(c.rejected for c in fleet),
+        "failed": sum(c.failures for c in fleet),
+        "verdict_mismatches": sum(c.mismatches for c in fleet),
+        "latency_s": {
+            "p50": round(_percentile(latencies, 0.50), 6),
+            "p90": round(_percentile(latencies, 0.90), 6),
+            "p99": round(_percentile(latencies, 0.99), 6),
+            "max": round(max(latencies), 6) if latencies else 0.0,
+            "samples": len(latencies),
+        },
+    }
+
+
+def _measure_saturation(clean: bytes, spool: str) -> Dict[str, object]:
+    """Pause a tiny-queue daemon and burst it: count 202 vs 429."""
+    service = RaceCheckService(
+        spool=spool, workers=1, queue_size=2, registry=MetricsRegistry()
+    )
+    accepted = rejected = 0
+    with ServeDaemon(service) as daemon:
+        service.pause()
+        for _ in range(12):
+            status, _payload = _post(daemon.port, "/submit", clean)
+            if status == 202:
+                accepted += 1
+            elif status == 429:
+                rejected += 1
+        service.resume()
+        drained = service.drain(timeout=60)
+    return {
+        "burst": 12,
+        "queue_size": 2,
+        "accepted_202": accepted,
+        "rejected_429": rejected,
+        "drained_after_resume": drained,
+    }
+
+
+def run_benchmarks(clients: int, seconds: float,
+                   workers: int) -> Dict[str, object]:
+    racy = _record(racy=True)
+    clean = _record(racy=False)
+    with tempfile.TemporaryDirectory() as spool:
+        registry = MetricsRegistry()
+        service = RaceCheckService(
+            spool=os.path.join(spool, "run"),
+            workers=workers,
+            queue_size=64,
+            registry=registry,
+        )
+        with ServeDaemon(service) as daemon:
+            throughput = _measure_throughput(
+                daemon.port, racy, clean, clients, seconds
+            )
+            server_latency = registry.histogram("serve.latency")
+            saturation = _measure_saturation(
+                clean, os.path.join(spool, "saturation")
+            )
+    return {
+        "benchmark": "service_ingestion",
+        "workload": {
+            "model": BENCHMARK,
+            "scale": SCALE,
+            "racy_trace_bytes": len(racy),
+            "clean_trace_bytes": len(clean),
+        },
+        "host": {"cpu_count": os.cpu_count() or 1, "workers": workers},
+        "throughput": throughput,
+        "server_latency_samples": server_latency.count,
+        "saturation": saturation,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop submitter threads")
+    parser.add_argument("--seconds", type=float, default=5.0,
+                        help="measurement window")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="daemon analysis worker processes")
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--min-throughput", type=float, default=10.0,
+                        help="verdicts/sec floor for --check")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail below --min-throughput or on any failed/wrong verdict",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(args.clients, args.seconds, args.workers)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    t = report["throughput"]
+    lat = t["latency_s"]
+    sat = report["saturation"]
+    print(
+        f"throughput: {t['verdicts_per_sec']:.1f} verdicts/s "
+        f"({t['verdicts']} verdicts, {t['clients']} clients, "
+        f"{t['wall_seconds']}s)"
+    )
+    print(
+        f"latency:    p50 {lat['p50'] * 1000:.1f}ms  "
+        f"p90 {lat['p90'] * 1000:.1f}ms  p99 {lat['p99'] * 1000:.1f}ms  "
+        f"({lat['samples']} samples)"
+    )
+    print(
+        f"saturation: {sat['accepted_202']}x202 + {sat['rejected_429']}x429 "
+        f"from a {sat['burst']}-deep burst into a "
+        f"{sat['queue_size']}-slot queue"
+    )
+    print(f"wrote {args.out}")
+    if args.check:
+        problems = []
+        if t["verdicts_per_sec"] < args.min_throughput:
+            problems.append(
+                f"throughput {t['verdicts_per_sec']:.1f}/s below "
+                f"{args.min_throughput}/s floor"
+            )
+        if t["failed"] or t["verdict_mismatches"]:
+            problems.append(
+                f"{t['failed']} failed / {t['verdict_mismatches']} "
+                f"mismatched verdicts"
+            )
+        if not sat["rejected_429"] or not sat["accepted_202"]:
+            problems.append("saturation burst did not split into 202s + 429s")
+        if not sat["drained_after_resume"]:
+            problems.append("daemon did not drain after resume")
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,11 +36,19 @@ trace NAME OUT.jsonl [--scale S] [--seed K] [--racy]
     Record a benchmark's access trace to a file (record-only, so racy
     variants capture the race for offline analysis).
 analyze TRACE [--mode scalar|batch|sharded] [--shards N] [--jobs N]
-        [--salvage] [--json]
+        [--salvage] [--hot-sites K] [--json]
     Race-analyze a recorded trace offline: the vectorized check_block
     batch path by default, or sharded across worker processes; all
     modes report identical verdicts, racing pairs and clean.* counters.
+    ``--hot-sites K`` ranks the K most-accessed shared addresses.
     Exits 1 when a race is found.
+serve [--host H] [--port P] [--workers N] [--queue-size N] [--quota T]
+      [--mode batch|scalar] [--spool DIR] [--for SECONDS]
+    Run the race-checking ingestion daemon: clients POST binary traces
+    to /submit (CRC-validated on ingest) and poll /result/<id> or
+    /report/<id> for verdicts; a bounded queue sheds load with 429 +
+    Retry-After, per-tenant token quotas gate admission, and /metrics
+    + /status expose the service counters live.  See docs/service.md.
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
          [--telemetry OUT.jsonl]
     Replay a recorded trace on the hardware simulator.
@@ -317,19 +325,25 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     program = build_program(spec, scale=args.scale, racy=False, seed=args.seed)
     # The scope makes the profiler ambient, so the CleanMonitor built by
     # clean_stack picks it up without signature changes.
-    with telemetry_scope(registry=registry, tracer=tracer, sites=profiler):
-        monitors, _clean, _gate = clean_stack(registry=registry, max_threads=24)
-        monitors.append(TelemetryMonitor(registry=registry, tracer=tracer))
-        with tracer.span("profile", benchmark=spec.name, scale=args.scale):
-            result = program.run(
-                policy=RoundRobinPolicy(),
-                monitors=monitors,
-                max_threads=24,
-                counter_cost=PreciseCounter(),
+    try:
+        with telemetry_scope(registry=registry, tracer=tracer, sites=profiler):
+            monitors, _clean, _gate = clean_stack(
+                registry=registry, max_threads=24
             )
-    _close_telemetry(exporter, registry)
-    if server is not None:
-        server.stop()
+            monitors.append(TelemetryMonitor(registry=registry, tracer=tracer))
+            with tracer.span("profile", benchmark=spec.name, scale=args.scale):
+                result = program.run(
+                    policy=RoundRobinPolicy(),
+                    monitors=monitors,
+                    max_threads=24,
+                    counter_cost=PreciseCounter(),
+                )
+        _close_telemetry(exporter, registry)
+    finally:
+        # Always through finally: an exception mid-run must not leak the
+        # bound socket and its daemon thread (stop() is idempotent).
+        if server is not None:
+            server.stop()
     if fmt == "json":
         payload = {
             "format": PROFILE_FORMAT_VERSION,
@@ -439,6 +453,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         shards=args.shards,
         workers=args.jobs,
         salvage=args.salvage,
+        hot_sites=args.hot_sites,
     )
     if args.json:
         print(json.dumps(report.to_payload(), sort_keys=True))
@@ -467,7 +482,67 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     checks = report.counters.get("clean.checks", 0)
     print(f"  checks: {checks:.0f}  "
           f"(counters: {len(report.counters)} clean.* totals)")
+    if report.hot_sites:
+        print(f"hot sites (top {len(report.hot_sites)} by shared accesses):")
+        print("  address       accesses  reads  writes  threads")
+        for site in report.hot_sites:
+            mark = "  <- racy" if site["racy"] else ""
+            print(
+                f"  {site['address']:#12x}  {site['accesses']:8d}  "
+                f"{site['reads']:5d}  {site['writes']:6d}  "
+                f"{site['threads']:7d}{mark}"
+            )
     return 1 if report.racy else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import tempfile
+    import time
+
+    from .service import RaceCheckService, ServeDaemon
+
+    registry, tracer, exporter = _telemetry_session(args)
+    spool = args.spool or tempfile.mkdtemp(prefix="repro-serve-")
+    service = RaceCheckService(
+        spool=spool,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        retries=args.retries,
+        mode=args.mode,
+        hot_sites=args.hot_sites,
+        quota_tokens=args.quota,
+        quota_refill_per_s=args.quota_refill,
+        job_timeout=args.job_timeout,
+        registry=registry,
+        tracer=tracer,
+        keep_traces=args.keep_traces,
+        crash_every=args.chaos_crash_every,
+    )
+    daemon = ServeDaemon(service, host=args.host, port=args.port)
+    port = daemon.start()
+    try:
+        print(
+            f"repro serve listening on http://{args.host}:{port} "
+            f"(workers={args.workers} queue={args.queue_size} "
+            f"mode={args.mode} spool={spool})",
+            flush=True,
+        )
+        print(
+            "endpoints: POST /submit | GET /result/<id> /report/<id> "
+            "/metrics /status /healthz",
+            flush=True,
+        )
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        daemon.stop()
+        _close_telemetry(exporter, registry)
+    return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -766,8 +841,51 @@ def main(argv=None) -> int:
                         "(default: CPU count)")
     p.add_argument("--salvage", action="store_true",
                    help="analyze the readable prefix of a damaged trace")
+    p.add_argument("--hot-sites", type=int, default=0, metavar="K",
+                   help="rank the top K shared addresses by access count "
+                        "(0 = off)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the race-checking ingestion daemon (POST /submit binary "
+             "traces, poll /result/<id>)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (0 = pick an ephemeral port)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="resident analysis worker processes")
+    p.add_argument("--queue-size", type=int, default=32, metavar="N",
+                   help="bounded ingest queue; full -> 429 queue_full")
+    p.add_argument("--retries", type=int, default=1, metavar="N",
+                   help="per-submission retries after a worker crash")
+    p.add_argument("--mode", default="batch", choices=["batch", "scalar"],
+                   help="analysis lane for each submission")
+    p.add_argument("--hot-sites", type=int, default=8, metavar="K",
+                   help="hot-site entries in each report (0 = off)")
+    p.add_argument("--quota", type=int, default=None, metavar="TOKENS",
+                   help="per-tenant submission budget "
+                        "(default: unlimited)")
+    p.add_argument("--quota-refill", type=float, default=0.0,
+                   metavar="PER_S",
+                   help="token refill rate; 0 makes --quota a hard budget")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                   help="kill an analysis worker stuck longer than S")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="upload spool directory (default: temp dir)")
+    p.add_argument("--keep-traces", action="store_true",
+                   help="keep spooled traces after analysis")
+    p.add_argument("--chaos-crash-every", type=int, default=0, metavar="N",
+                   help="fault injection: crash the worker on every Nth "
+                        "submission (0 = off)")
+    p.add_argument("--for", dest="for_seconds", type=float, default=None,
+                   metavar="SECONDS",
+                   help="serve for a fixed time then exit cleanly "
+                        "(default: until Ctrl-C)")
+    telemetry_flag(p)
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("simulate", help="replay a trace on the hw simulator")
     p.add_argument("trace")

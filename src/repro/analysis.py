@@ -73,6 +73,8 @@ class AnalysisReport:
     shards: int = 0
     #: per-shard verdict summaries (sharded mode only)
     shard_stats: List[Dict[str, Any]] = field(default_factory=list)
+    #: top-K shared addresses by access count (``hot_sites`` > 0 only)
+    hot_sites: List[Dict[str, Any]] = field(default_factory=list)
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-ready dict (the ``analyze --json`` output)."""
@@ -87,6 +89,7 @@ class AnalysisReport:
             "counters": dict(self.counters),
             "shards": self.shards,
             "shard_stats": list(self.shard_stats),
+            "hot_sites": list(self.hot_sites),
         }
 
 
@@ -602,6 +605,50 @@ def _max_span(plan: _Plan) -> int:
     return max(spans, default=1)
 
 
+# -- hot-site ranking ---------------------------------------------------------
+
+
+def _hot_sites(
+    plan: _Plan, top_k: int, race: Optional[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Top ``top_k`` shared addresses by access count, reads/writes split.
+
+    Pure column arithmetic over the replay plan (no detector state):
+    per-thread ``np.unique`` histograms of shared read/write start
+    addresses, merged across threads, ranked by total accesses with the
+    address as deterministic tie-break.  When the analysis found a race
+    the racing address is flagged in its entry.
+    """
+    reads: Dict[int, int] = {}
+    writes: Dict[int, int] = {}
+    threads: Dict[int, set] = {}
+    for tid, cols in plan.cols.items():
+        shared = (cols.kinds != 2) & ~cols.private
+        for counts, mask in ((reads, cols.kinds == 0), (writes, cols.kinds == 1)):
+            addrs, tallies = np.unique(
+                cols.addresses[shared & mask], return_counts=True
+            )
+            for addr, n in zip(addrs.tolist(), tallies.tolist()):
+                counts[addr] = counts.get(addr, 0) + n
+                threads.setdefault(addr, set()).add(tid)
+    race_addr = race.get("address") if race else None
+    ranked = sorted(
+        set(reads) | set(writes),
+        key=lambda a: (-(reads.get(a, 0) + writes.get(a, 0)), a),
+    )
+    return [
+        {
+            "address": addr,
+            "accesses": reads.get(addr, 0) + writes.get(addr, 0),
+            "reads": reads.get(addr, 0),
+            "writes": writes.get(addr, 0),
+            "threads": len(threads.get(addr, ())),
+            "racy": addr == race_addr,
+        }
+        for addr in ranked[:top_k]
+    ]
+
+
 # -- the public entry point ---------------------------------------------------
 
 
@@ -613,6 +660,7 @@ def analyze_trace(
     max_threads: Optional[int] = None,
     layout: EpochLayout = DEFAULT_LAYOUT,
     salvage: bool = False,
+    hot_sites: int = 0,
 ) -> AnalysisReport:
     """Race-analyze a recorded trace offline.
 
@@ -621,7 +669,9 @@ def analyze_trace(
     needs a file path (workers re-open the trace) and splits detection
     across ``shards`` address ranges executed by ``workers`` processes
     (defaults: shards = workers = CPU count).  All three modes return
-    identical verdicts, racing pairs and counter totals.
+    identical verdicts, racing pairs and counter totals.  With
+    ``hot_sites`` > 0 the report additionally ranks the top-K shared
+    addresses by access count (the service's ``/report`` diagnostics).
     """
     path: Optional[str] = None
     if isinstance(trace, (str,)) or hasattr(trace, "__fspath__"):
@@ -636,15 +686,19 @@ def analyze_trace(
             plan, batch=(mode == "batch"), max_threads=max_threads,
             layout=layout,
         )
+        payload = _race_payload(race, position) if race is not None else None
         return AnalysisReport(
             mode=mode,
             racy=race is not None,
-            race=_race_payload(race, position) if race is not None else None,
+            race=payload,
             threads=plan.threads,
             events=plan.events,
             accesses=plan.accesses,
             syncs=len(plan.syncs),
             counters=_collect_counters(monitor),
+            hot_sites=(
+                _hot_sites(plan, hot_sites, payload) if hot_sites > 0 else []
+            ),
         )
 
     if mode != "sharded":
@@ -728,4 +782,7 @@ def analyze_trace(
         counters=_collect_counters(monitor),
         shards=shards,
         shard_stats=shard_stats,
+        hot_sites=(
+            _hot_sites(plan, hot_sites, winner) if hot_sites > 0 else []
+        ),
     )

@@ -17,7 +17,13 @@ measurement harness such a sweep deserves:
   telemetry pipeline: each job executes inside a fresh telemetry scope
   (:func:`~repro.exec.job.run_job_traced`) and its metrics/spans/
   hot-site payload is merged back in submission order, so parallel and
-  serial sweeps report identical telemetry totals.
+  serial sweeps report identical telemetry totals;
+* :class:`~repro.exec.runner.PersistentPool` — the streaming sibling of
+  the runner for long-lived services (``repro serve``): ``workers``
+  resident child processes that jobs are fed to one at a time, with the
+  same crash/timeout/retry/degradation semantics, ticket-based results
+  (:class:`~repro.exec.runner.PoolTicket`) and per-completion telemetry
+  merging.
 
 See ``docs/experiment_runner.md`` for the job model, the cache layout
 and the failure semantics.
@@ -25,13 +31,15 @@ and the failure semantics.
 
 from .checkpoint import CheckpointStore
 from .job import Job, resolve, run_job, run_job_traced
-from .runner import JobResult, JobRunner
+from .runner import JobResult, JobRunner, PersistentPool, PoolTicket
 
 __all__ = [
     "CheckpointStore",
     "Job",
     "JobResult",
     "JobRunner",
+    "PersistentPool",
+    "PoolTicket",
     "resolve",
     "run_job",
     "run_job_traced",

@@ -57,12 +57,12 @@ import time
 import traceback
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _wait_connections
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .checkpoint import CheckpointStore
 from .job import Job, run_job, run_job_traced
 
-__all__ = ["JobResult", "JobRunner"]
+__all__ = ["JobResult", "JobRunner", "PersistentPool", "PoolTicket"]
 
 
 @dataclass
@@ -756,3 +756,617 @@ class JobRunner:
             )
             + (" degraded=yes" if s.get("degraded") else "")
         )
+
+
+# -- the persistent pool -------------------------------------------------------
+
+
+def _pool_worker_main(
+    conn,
+    telemetry: bool = True,
+    sites: bool = False,
+    sample_every: int = 1,
+) -> None:
+    """Child-process entry for the persistent pool: serve jobs forever.
+
+    Receives ``(seq, fn, config)`` tuples, replies ``("ok", seq, value,
+    cpu_s, telem)`` or ``("error", seq, message, cpu_s)``.  A ``None``
+    message (or EOF on the pipe) is the shutdown signal.  One worker
+    runs many jobs over its lifetime — that is the point of the pool.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return
+        seq, fn, config = message
+        cpu0 = time.process_time()
+        try:
+            job = Job(fn=fn, config=config)
+            if telemetry:
+                value, telem = run_job_traced(
+                    job, sites=sites, sample_every=sample_every
+                )
+            else:
+                value, telem = run_job(job), None
+        except BaseException as exc:  # noqa: BLE001 - job failures are data
+            try:
+                conn.send(
+                    (
+                        "error",
+                        seq,
+                        f"{type(exc).__name__}: {exc}",
+                        time.process_time() - cpu0,
+                    )
+                )
+            except OSError:
+                return
+            continue
+        try:
+            conn.send(("ok", seq, value, time.process_time() - cpu0, telem))
+        except OSError:
+            return
+
+
+class PoolTicket:
+    """Handle for one job submitted to a :class:`PersistentPool`."""
+
+    __slots__ = ("seq", "job", "result", "_event")
+
+    def __init__(self, seq: int, job: Job) -> None:
+        self.seq = seq
+        self.job = job
+        self.result: Optional[JobResult] = None
+        self._event = threading.Event()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[JobResult]:
+        """Block for the result; ``None`` if not done within ``timeout``."""
+        if self._event.wait(timeout):
+            return self.result
+        return None
+
+    def _deliver(self, result: JobResult) -> None:
+        self.result = result
+        self._event.set()
+
+
+class _PoolWorker:
+    """One persistent child process and its duplex pipe."""
+
+    __slots__ = ("process", "conn", "inflight")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.inflight: Optional[int] = None  # seq of the job it is running
+
+
+class _PoolEntry:
+    """Parent-side book-keeping for one submitted job."""
+
+    __slots__ = ("ticket", "callback", "attempt", "start", "deadline")
+
+    def __init__(self, ticket: PoolTicket, callback) -> None:
+        self.ticket = ticket
+        self.callback = callback
+        self.attempt = 0
+        self.start = time.perf_counter()
+        self.deadline: Optional[float] = None
+
+
+@dataclass
+class PersistentPool:
+    """A worker pool that outlives a single batch — jobs stream in.
+
+    Where :class:`JobRunner` forks one process per attempt and winds
+    everything down when its batch completes, the pool keeps
+    ``workers`` long-lived child processes and feeds them jobs as they
+    arrive: the execution backend for the ``repro serve`` daemon, where
+    submissions trickle in over hours and a fork per analysis would
+    dominate latency.  :meth:`submit` returns a :class:`PoolTicket`
+    immediately; jobs complete out of order; an optional ``callback``
+    fires (on the dispatcher thread) with the finished
+    :class:`JobResult`.
+
+    The runner's resilience carries over:
+
+    * a worker that **crashes** mid-job is respawned and the job
+      retried, up to ``retries`` times, then failed structurally
+      (``JobResult.status == "failed"`` — never an exception);
+    * a job past ``timeout`` seconds (``job.timeout`` overrides) has
+      its worker terminated and respawned, same retry policy;
+    * if child processes cannot be spawned at all (restricted
+      sandboxes) the pool **degrades** to in-process threads —
+      ``degraded`` flips in :meth:`status_snapshot` and timeouts
+      become best-effort;
+    * per-job telemetry payloads (metrics + spans) merge into
+      ``registry``/``tracer`` as each job completes, and ``pool.*``
+      counters track submissions, completions, failures, crashes,
+      timeouts, retries and respawns.
+    """
+
+    workers: int = 2
+    timeout: Optional[float] = None
+    retries: int = 1
+    job_telemetry: bool = True
+    registry: Any = None  # MetricsRegistry-compatible (duck-typed)
+    tracer: Any = None  # Tracer-compatible (duck-typed)
+    mp_context: Optional[str] = None
+    #: force in-process (threaded) execution — tests and sandboxes
+    inline: bool = False
+
+    def __post_init__(self) -> None:
+        self.workers = max(1, self.workers)
+        self._lock = threading.Lock()
+        self._started = False
+        self._stopping = False
+        self._degraded = False
+        self._seq = 0
+        self._queue: List[int] = []
+        self._entries: Dict[int, _PoolEntry] = {}
+        self._workers: List[_PoolWorker] = []
+        self._inline_busy = 0
+        self._thread: Optional[threading.Thread] = None
+        self._wake_r = None
+        self._wake_w = None
+        self._wake_lock = threading.Lock()
+        self._counts = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "retries": 0,
+            "crashes": 0,
+            "timeouts": 0,
+            "respawns": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "PersistentPool":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+            self._stopping = False
+            ctx = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context is not None
+                else multiprocessing.get_context(
+                    "fork"
+                    if "fork" in multiprocessing.get_all_start_methods()
+                    else None
+                )
+            )
+            self._ctx = ctx
+            self._wake_r, self._wake_w = ctx.Pipe(duplex=False)
+            if not self.inline:
+                for _ in range(self.workers):
+                    worker = self._spawn_worker()
+                    if worker is None:
+                        break
+                    self._workers.append(worker)
+                if not self._workers:
+                    self._degraded = True
+            if self.registry is not None:
+                self.registry.set_gauge(
+                    "pool.workers", len(self._workers) or self.workers
+                )
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-pool-dispatch", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _spawn_worker(self) -> Optional[_PoolWorker]:
+        """Fork one persistent worker; ``None`` on failure (sandbox)."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self.job_telemetry),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except BaseException:  # noqa: BLE001 - restricted sandboxes
+            parent_conn.close()
+            child_conn.close()
+            self._degraded = True
+            if self.registry is not None:
+                self.registry.inc("pool.degraded")
+            return None
+        child_conn.close()
+        return _PoolWorker(process, parent_conn)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain nothing: fail queued jobs, let in-flight ones finish
+        (up to ``timeout`` seconds), then tear the workers down.
+        Idempotent."""
+        with self._lock:
+            if not self._started or self._stopping:
+                thread = None
+                if self._started and self._thread is not None:
+                    thread = self._thread
+            else:
+                self._stopping = True
+                thread = self._thread
+        if thread is None:
+            return
+        self._notify()
+        thread.join(timeout=timeout)
+        leftovers: List[int] = []
+        with self._lock:
+            workers, self._workers = self._workers, []
+            leftovers = [s for s in self._entries]
+            self._queue = []
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except OSError:
+                pass
+        for worker in workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for seq in leftovers:
+            self._resolve(seq, error="PoolStopped: pool shut down", cpu_s=0.0,
+                          retryable=False)
+
+    def __enter__(self) -> "PersistentPool":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, job: Job, callback=None) -> PoolTicket:
+        """Enqueue ``job``; returns immediately with a ticket.
+
+        ``callback(result)``, when given, runs on the dispatcher thread
+        right after the ticket resolves — keep it quick and don't block
+        in it.
+        """
+        with self._lock:
+            if not self._started:
+                raise RuntimeError("PersistentPool.submit before start()")
+            if self._stopping:
+                raise RuntimeError("PersistentPool.submit after stop()")
+            self._seq += 1
+            seq = self._seq
+            ticket = PoolTicket(seq, job)
+            self._entries[seq] = _PoolEntry(ticket, callback)
+            self._queue.append(seq)
+            self._counts["submitted"] += 1
+        if self.registry is not None:
+            self.registry.inc("pool.submitted")
+            self.registry.set_gauge("pool.pending", self.pending())
+        self._notify()
+        return ticket
+
+    def pending(self) -> int:
+        """Jobs waiting for a worker slot (not yet dispatched)."""
+        with self._lock:
+            return len(self._queue)
+
+    def busy(self) -> int:
+        """Jobs currently executing (process workers + inline threads)."""
+        with self._lock:
+            return (
+                sum(1 for w in self._workers if w.inflight is not None)
+                + self._inline_busy
+            )
+
+    def status_snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            counts = dict(self._counts)
+            return {
+                "workers": len(self._workers) or (
+                    self.workers if (self.inline or self._degraded) else 0
+                ),
+                "busy": sum(
+                    1 for w in self._workers if w.inflight is not None
+                ) + self._inline_busy,
+                "pending": len(self._queue),
+                "inflight": len(self._entries) - len(self._queue),
+                "degraded": self._degraded or self.inline,
+                **counts,
+            }
+
+    # -- dispatcher ---------------------------------------------------------
+
+    def _notify(self) -> None:
+        with self._wake_lock:
+            if self._wake_w is not None:
+                try:
+                    self._wake_w.send(None)
+                except OSError:
+                    pass
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                self._assign_locked()
+                conns = [
+                    w.conn for w in self._workers if w.inflight is not None
+                ]
+                idle_conns = [
+                    w.conn for w in self._workers if w.inflight is None
+                ]
+                wake = self._next_deadline_locked()
+                finished = self._stopping and not self._entries
+            if finished:
+                return
+            timeout = None
+            if wake is not None:
+                timeout = max(0.0, wake - time.perf_counter())
+            # Idle workers' conns are watched too: a spontaneous child
+            # death shows up as EOF and triggers a respawn.
+            ready = _wait_connections(
+                conns + idle_conns + [self._wake_r], timeout
+            )
+            if self._wake_r in ready:
+                while self._wake_r.poll():
+                    try:
+                        self._wake_r.recv()
+                    except (EOFError, OSError):
+                        break
+            for worker in list(self._workers):
+                if worker.conn in ready:
+                    self._drain_worker(worker)
+            self._check_deadlines()
+
+    def _assign_locked(self) -> None:
+        """Hand queued jobs to idle workers (or inline threads). Caller
+        holds the lock."""
+        if self._stopping:
+            return
+        for worker in self._workers:
+            if not self._queue:
+                break
+            if worker.inflight is not None:
+                continue
+            seq = self._queue.pop(0)
+            entry = self._entries[seq]
+            entry.attempt += 1
+            job = entry.ticket.job
+            limit = job.timeout if job.timeout is not None else self.timeout
+            entry.deadline = (
+                time.perf_counter() + limit if limit else None
+            )
+            try:
+                worker.conn.send((seq, job.fn, job.config))
+            except (OSError, ValueError):
+                # The child died between jobs; requeue and respawn.
+                self._queue.insert(0, seq)
+                entry.attempt -= 1
+                self._replace_worker_locked(worker)
+                continue
+            worker.inflight = seq
+        if (self.inline or self._degraded) and not self._workers:
+            while self._queue and self._inline_busy < self.workers:
+                seq = self._queue.pop(0)
+                entry = self._entries[seq]
+                entry.attempt += 1
+                entry.deadline = None  # threads cannot be killed
+                self._inline_busy += 1
+                threading.Thread(
+                    target=self._run_inline,
+                    args=(seq,),
+                    name=f"repro-pool-inline-{seq}",
+                    daemon=True,
+                ).start()
+        if self.registry is not None:
+            self.registry.set_gauge("pool.pending", len(self._queue))
+            self.registry.set_gauge(
+                "pool.busy",
+                sum(1 for w in self._workers if w.inflight is not None)
+                + self._inline_busy,
+            )
+
+    def _next_deadline_locked(self) -> Optional[float]:
+        deadlines = [
+            e.deadline
+            for e in self._entries.values()
+            if e.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _replace_worker_locked(self, worker: _PoolWorker) -> None:
+        """Swap a dead worker for a fresh one. Caller holds the lock."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=2.0)
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if not self._stopping:
+            self._counts["respawns"] += 1
+            if self.registry is not None:
+                self.registry.inc("pool.respawns")
+            fresh = self._spawn_worker()
+            if fresh is not None:
+                self._workers.append(fresh)
+
+    def _drain_worker(self, worker: _PoolWorker) -> None:
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            with self._lock:
+                seq = worker.inflight
+                worker.inflight = None
+                self._replace_worker_locked(worker)
+                if seq is not None:
+                    self._counts["crashes"] += 1
+            if seq is not None:
+                if self.registry is not None:
+                    self.registry.inc("pool.crashes")
+                code = worker.process.exitcode
+                self._resolve(
+                    seq,
+                    error=(
+                        f"WorkerCrash: worker exited with code {code} "
+                        "before reporting a result"
+                    ),
+                    cpu_s=0.0,
+                )
+            return
+        kind = message[0]
+        with self._lock:
+            worker.inflight = None
+        if kind == "ok":
+            _, seq, value, cpu_s, telem = message
+            self._resolve(seq, value=value, cpu_s=cpu_s, telemetry=telem)
+        else:
+            _, seq, error, cpu_s = message
+            self._resolve(seq, error=error, cpu_s=cpu_s)
+
+    def _check_deadlines(self) -> None:
+        now = time.perf_counter()
+        expired: List[Tuple[_PoolWorker, int]] = []
+        with self._lock:
+            for worker in list(self._workers):
+                seq = worker.inflight
+                if seq is None:
+                    continue
+                entry = self._entries.get(seq)
+                if entry is None or entry.deadline is None:
+                    continue
+                if now >= entry.deadline:
+                    worker.inflight = None
+                    self._replace_worker_locked(worker)
+                    self._counts["timeouts"] += 1
+                    expired.append((worker, seq))
+        for worker, seq in expired:
+            if self.registry is not None:
+                self.registry.inc("pool.timeouts")
+            entry = self._entries.get(seq)
+            limit = None
+            if entry is not None:
+                job = entry.ticket.job
+                limit = job.timeout if job.timeout is not None else self.timeout
+            self._resolve(
+                seq,
+                error=(
+                    f"Timeout: job exceeded "
+                    f"{limit if limit is not None else 0.0:.1f}s"
+                ),
+                cpu_s=0.0,
+            )
+
+    def _run_inline(self, seq: int) -> None:
+        """Degraded path: one job on one parent-process thread."""
+        with self._lock:
+            entry = self._entries.get(seq)
+        if entry is None:
+            with self._lock:
+                self._inline_busy -= 1
+            return
+        job = entry.ticket.job
+        cpu0 = time.process_time()
+        try:
+            if self.job_telemetry:
+                value, telem = run_job_traced(job)
+            else:
+                value, telem = run_job(job), None
+        except BaseException as exc:  # noqa: BLE001
+            with self._lock:
+                self._inline_busy -= 1
+            self._resolve(
+                seq,
+                error=f"{type(exc).__name__}: {exc}",
+                cpu_s=time.process_time() - cpu0,
+            )
+            self._notify()
+            return
+        with self._lock:
+            self._inline_busy -= 1
+        self._resolve(
+            seq, value=value, cpu_s=time.process_time() - cpu0, telemetry=telem
+        )
+        self._notify()
+
+    # -- completion ---------------------------------------------------------
+
+    def _resolve(
+        self,
+        seq: int,
+        value: Any = None,
+        error: Optional[str] = None,
+        cpu_s: float = 0.0,
+        telemetry: Optional[Dict[str, Any]] = None,
+        retryable: bool = True,
+    ) -> None:
+        """One attempt ended; retry or deliver the final JobResult."""
+        with self._lock:
+            entry = self._entries.get(seq)
+            if entry is None:
+                return
+            if (
+                error is not None
+                and retryable
+                and entry.attempt <= self.retries
+                and not self._stopping
+            ):
+                self._counts["retries"] += 1
+                self._queue.append(seq)
+                requeued = True
+            else:
+                del self._entries[seq]
+                requeued = False
+                result = JobResult(
+                    job=entry.ticket.job,
+                    status="ok" if error is None else "failed",
+                    value=value,
+                    error=error,
+                    attempts=max(1, entry.attempt),
+                    duration_s=time.perf_counter() - entry.start,
+                    cpu_s=cpu_s,
+                    telemetry=telemetry,
+                )
+                if error is None:
+                    self._counts["completed"] += 1
+                else:
+                    self._counts["failed"] += 1
+        if requeued:
+            if self.registry is not None:
+                self.registry.inc("pool.retries")
+            self._notify()
+            return
+        if self.registry is not None:
+            self.registry.inc(
+                "pool.completed" if error is None else "pool.failed"
+            )
+        if telemetry:
+            if self.registry is not None and telemetry.get("metrics"):
+                self.registry.merge_snapshot(
+                    telemetry["metrics"], kinds=telemetry.get("kinds")
+                )
+            if self.tracer is not None and telemetry.get("spans"):
+                self.tracer.ingest(
+                    telemetry["spans"], job=entry.ticket.job.label
+                )
+        if entry.callback is not None:
+            try:
+                entry.callback(result)
+            except Exception:  # noqa: BLE001 - callbacks must not kill
+                # the dispatcher; the ticket still resolves below.
+                if self.registry is not None:
+                    self.registry.inc("pool.callback_errors")
+        entry.ticket._deliver(result)

@@ -50,6 +50,7 @@ def record_trace_file(
     out: Union[str, Path],
     scale: str = "simsmall",
     seed: int = 0,
+    racy: bool = False,
 ) -> str:
     """Job form of :func:`record_trace`: record ``benchmark``'s trace and
     save it (binary format) to ``out``, returning the path.
@@ -58,7 +59,9 @@ def record_trace_file(
     trace recording goes through the filesystem: workers write binary
     trace files, the parent replays them with :func:`open_trace`.
     """
-    trace = record_trace(get_benchmark(benchmark), scale=scale, seed=seed)
+    trace = record_trace(
+        get_benchmark(benchmark), scale=scale, seed=seed, racy=racy
+    )
     trace.save(out)
     return str(out)
 

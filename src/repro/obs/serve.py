@@ -1,17 +1,40 @@
-"""A zero-dependency telemetry HTTP endpoint (stdlib ``http.server``).
+"""A zero-dependency telemetry/ingestion HTTP server (stdlib ``http.server``).
 
-``repro profile --serve PORT`` / ``report --serve PORT`` start one of
-these next to a long run:
+Started life as a two-endpoint scrape target (``/metrics`` +
+``/status``); now a small request **router** that the race-checking
+service daemon (:mod:`repro.service`) builds its ingestion API on:
 
-* ``GET /metrics`` — the shared registry in Prometheus text format
-  (see :mod:`repro.obs.prom`), scrapable by any Prometheus-compatible
-  collector;
-* ``GET /status``  — the live job-progress JSON (the same payload the
-  :class:`~repro.obs.status.StatusFile` publishes);
-* ``GET /``        — a one-line index.
+* :class:`TelemetryServer` owns the socket, the daemon thread and the
+  route table.  The built-in routes are ``GET /metrics`` (the shared
+  registry in Prometheus text format, see :mod:`repro.obs.prom`),
+  ``GET /status`` (the live status JSON from ``status_fn``) and
+  ``GET /`` (a one-line index of registered routes);
+* :meth:`TelemetryServer.add_route` registers additional handlers —
+  exact paths (``POST /submit``) or prefix routes (``GET /result/``,
+  where the remainder of the path arrives as ``request.rest``);
+* handlers receive a :class:`Request` and return a :class:`Response`;
+  everything else (content length, JSON encoding, error mapping) is the
+  server's problem.
 
-The server runs in a daemon thread and binds ``127.0.0.1`` only — this
-is an operator convenience, not a hardened service.  Reads are lock-free
+Hardening contract
+------------------
+
+* **Client disconnects never crash a handler thread.**  A scraper or
+  submitter that goes away mid-request (``BrokenPipeError``,
+  ``ConnectionResetError``, a short body read) is swallowed and counted
+  in the ``serve.client_aborts`` counter instead of dumping a traceback
+  to stderr from the daemon thread.
+* **``stop()`` is idempotent and thread-safe.**  Calling it twice, from
+  two threads at once, or concurrently with an in-flight request is
+  fine; only the first caller tears the server down.
+* **The bound port survives a restart.**  After ``start()`` the bound
+  port is remembered: :attr:`port` keeps returning it after ``stop()``
+  (so cached URLs stay meaningful), and a subsequent ``start()`` on a
+  server that originally asked for an ephemeral port (``port=0``)
+  rebinds the *same* port rather than silently picking a fresh one.
+  Want a genuinely new ephemeral port?  Build a new server.
+
+The server binds ``127.0.0.1`` by default.  Reads are lock-free
 snapshots of in-memory dicts; under CPython's GIL a scrape can at worst
 observe a metrically-consistent mid-run state, never a crash.
 """
@@ -20,22 +43,81 @@ from __future__ import annotations
 
 import json
 import threading
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .prom import render_prom
 from .registry import MetricsRegistry
 
-__all__ = ["TelemetryServer"]
+__all__ = ["Request", "Response", "TelemetryServer"]
+
+#: Connection-level errors that mean the *client* went away mid-request.
+_CLIENT_GONE = (BrokenPipeError, ConnectionResetError, ConnectionAbortedError)
+
+#: Default cap on accepted request bodies (64 MiB of trace upload).
+DEFAULT_MAX_BODY = 64 * 1024 * 1024
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, as handed to a route handler."""
+
+    method: str
+    path: str  #: full request path, query string stripped
+    rest: str = ""  #: path remainder after a prefix route's pattern
+    query: str = ""  #: raw query string ("" when absent)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class Response:
+    """What a route handler returns; the server does the wire format."""
+
+    status: int = 200
+    body: bytes = b""
+    ctype: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(
+        cls, payload: Any, status: int = 200, **headers: str
+    ) -> "Response":
+        """A JSON response (sorted keys, trailing newline)."""
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(
+            status=status,
+            body=body,
+            ctype="application/json",
+            headers=dict(headers),
+        )
+
+    @classmethod
+    def text(
+        cls,
+        content: str,
+        status: int = 200,
+        ctype: str = "text/plain; charset=utf-8",
+    ) -> "Response":
+        return cls(status=status, body=content.encode("utf-8"), ctype=ctype)
+
+
+Handler = Callable[[Request], Response]
 
 
 class TelemetryServer:
-    """Serves ``/metrics`` and ``/status`` for a registry + status source.
+    """Routes HTTP requests for a registry + status source (+ add-ons).
 
     ``status_fn`` is any zero-argument callable returning a JSON-ready
     dict (e.g. ``runner.status_snapshot``); omitted, ``/status`` serves
     ``{}``.  ``port=0`` binds an ephemeral port — read :attr:`port`
-    after :meth:`start`.
+    after :meth:`start` (it stays readable after :meth:`stop`, and a
+    restart rebinds it; see the module docstring for the contract).
     """
 
     def __init__(
@@ -44,70 +126,203 @@ class TelemetryServer:
         status_fn: Optional[Callable[[], Dict[str, Any]]] = None,
         port: int = 0,
         host: str = "127.0.0.1",
+        max_body: int = DEFAULT_MAX_BODY,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.status_fn = status_fn
+        self.max_body = max_body
         self._requested = (host, port)
+        self._last_port = 0
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+        self._routes: Dict[Tuple[str, str], Handler] = {}
+        self._prefixes: List[Tuple[str, str, Handler]] = []
+        self.add_route("GET", "/metrics", self._route_metrics)
+        self.add_route("GET", "/status", self._route_status)
+        self.add_route("GET", "/", self._route_index)
 
-    # -- lifecycle ---------------------------------------------------------
+    # -- the route table -----------------------------------------------------
+
+    def add_route(self, method: str, pattern: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` requests to ``pattern``.
+
+        A pattern ending in ``/`` (other than the root) is a *prefix*
+        route: ``GET /result/`` matches ``/result/s000123`` and the
+        handler sees ``request.rest == "s000123"``.  Exact routes win
+        over prefix routes; longer prefixes win over shorter ones.
+        """
+        method = method.upper()
+        if len(pattern) > 1 and pattern.endswith("/"):
+            self._prefixes.append((method, pattern, handler))
+            self._prefixes.sort(key=lambda r: -len(r[1]))
+        else:
+            self._routes[(method, pattern)] = handler
+
+    def routes(self) -> List[str]:
+        """Registered routes, for the index page ("METHOD pattern")."""
+        exact = [f"{m} {p}" for (m, p) in self._routes]
+        prefix = [f"{m} {p}<id>" for (m, p, _h) in self._prefixes]
+        return sorted(exact + prefix)
+
+    def _dispatch(self, request: Request) -> Response:
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            for method, prefix, candidate in self._prefixes:
+                if method == request.method and request.path.startswith(prefix):
+                    request.rest = request.path[len(prefix):]
+                    handler = candidate
+                    break
+        if handler is None:
+            return Response.json(
+                {"error": "unknown_endpoint", "path": request.path}, status=404
+            )
+        try:
+            return handler(request)
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not
+            # kill the connection thread silently; surface it structurally.
+            self.registry.inc("serve.errors")
+            return Response.json(
+                {"error": "internal", "detail": f"{type(exc).__name__}: {exc}"},
+                status=500,
+            )
+
+    # -- built-in routes -----------------------------------------------------
+
+    def _route_metrics(self, request: Request) -> Response:
+        return Response.text(
+            render_prom(self.registry),
+            ctype="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    def _route_status(self, request: Request) -> Response:
+        payload = self.status_fn() if self.status_fn is not None else {}
+        return Response.json(payload)
+
+    def _route_index(self, request: Request) -> Response:
+        return Response.text("repro telemetry: " + " ".join(self.routes()) + "\n")
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _note_abort(self) -> None:
+        self.registry.inc("serve.client_aborts")
+
+    def _read_request(
+        self, handler: BaseHTTPRequestHandler, method: str
+    ) -> Tuple[Optional[Request], Optional[Response]]:
+        """Parse the request; returns (request, early_response).
+
+        ``(None, None)`` means the client disconnected mid-upload — the
+        abort is already counted and there is nobody to respond to.
+        """
+        path, _, query = handler.path.partition("?")
+        path = path.rstrip("/") or "/"
+        headers = {k.lower(): v for k, v in handler.headers.items()}
+        request = Request(
+            method=method, path=path, query=query, headers=headers
+        )
+        if method != "POST":
+            return request, None
+        length_text = headers.get("content-length")
+        if length_text is None:
+            return None, Response.json({"error": "length_required"}, status=411)
+        try:
+            length = int(length_text)
+        except ValueError:
+            return None, Response.json({"error": "bad_content_length"}, status=400)
+        if length > self.max_body:
+            return None, Response.json(
+                {"error": "body_too_large", "max_bytes": self.max_body},
+                status=413,
+            )
+        body = handler.rfile.read(length)
+        if len(body) != length:
+            # The uploader went away mid-body; nothing to respond to.
+            self._note_abort()
+            return None, None
+        request.body = body
+        return request, None
+
+    def _write(self, handler: BaseHTTPRequestHandler, response: Response) -> None:
+        handler.send_response(response.status)
+        handler.send_header("Content-Type", response.ctype)
+        handler.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            handler.send_header(name, str(value))
+        handler.end_headers()
+        handler.wfile.write(response.body)
+
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        self.registry.inc("serve.requests")
+        try:
+            request, early = self._read_request(handler, method)
+            if request is None and early is None:
+                return
+            response = early if early is not None else self._dispatch(request)
+            self._write(handler, response)
+        except _CLIENT_GONE:
+            self._note_abort()
+
+    # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> int:
-        """Bind and start serving in a daemon thread; returns the port."""
-        if self._httpd is not None:
-            return self.port
+        """Bind and start serving in a daemon thread; returns the port.
+
+        Restarting a stopped server rebinds the port of its previous
+        life, even if that port was originally ephemeral (``port=0``) —
+        callers that cached the URL keep a working one.
+        """
         server = self
 
-        class Handler(BaseHTTPRequestHandler):
+        class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
-                path = self.path.split("?", 1)[0].rstrip("/") or "/"
-                if path == "/metrics":
-                    body = render_prom(server.registry).encode("utf-8")
-                    ctype = "text/plain; version=0.0.4; charset=utf-8"
-                elif path == "/status":
-                    payload = (
-                        server.status_fn() if server.status_fn is not None
-                        else {}
-                    )
-                    body = json.dumps(payload, sort_keys=True).encode("utf-8")
-                    ctype = "application/json"
-                elif path == "/":
-                    body = b"repro telemetry: /metrics /status\n"
-                    ctype = "text/plain; charset=utf-8"
-                else:
-                    self.send_error(404, "unknown endpoint")
-                    return
-                self.send_response(200)
-                self.send_header("Content-Type", ctype)
-                self.send_header("Content-Length", str(len(body)))
-                self.end_headers()
-                self.wfile.write(body)
+                server._handle(self, "GET")
+
+            def do_POST(self) -> None:  # noqa: N802 - http.server API
+                server._handle(self, "POST")
 
             def log_message(self, *args: Any) -> None:
-                pass  # scrapes must not interleave with report output
+                pass  # requests must not interleave with report output
 
-        self._httpd = ThreadingHTTPServer(self._requested, Handler)
-        self._httpd.daemon_threads = True
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="repro-telemetry-server",
-            daemon=True,
-        )
-        self._thread.start()
-        return self.port
+        with self._lifecycle:
+            if self._httpd is not None:
+                return self.port
+            host, port = self._requested
+            if port == 0 and self._last_port:
+                port = self._last_port
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+            self._httpd.daemon_threads = True
+            self._last_port = self._httpd.server_address[1]
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry-server",
+                daemon=True,
+            )
+            self._thread.start()
+            return self._last_port
 
     @property
     def port(self) -> int:
-        """The bound port (0 before :meth:`start`)."""
-        return self._httpd.server_address[1] if self._httpd else 0
+        """The bound port — live, or remembered from the last
+        :meth:`start` once stopped (0 only before the first start)."""
+        httpd = self._httpd
+        if httpd is not None:
+            return httpd.server_address[1]
+        return self._last_port
 
     def stop(self) -> None:
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
-            self._httpd = None
-            self._thread = None
+        """Shut down and close the socket.  Idempotent; safe to call
+        from multiple threads and concurrently with in-flight requests
+        (their daemon handler threads finish against a closed socket and
+        any resulting client-side error is swallowed by the handler)."""
+        with self._lifecycle:
+            httpd, self._httpd = self._httpd, None
+            thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "TelemetryServer":
         self.start()

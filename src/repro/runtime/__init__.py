@@ -63,6 +63,8 @@ from .trace import (
     TraceEvent,
     TraceRecorder,
     open_trace,
+    verify_trace,
+    verify_trace_bytes,
 )
 
 __all__ = [
@@ -119,6 +121,8 @@ __all__ = [
     "TraceEvent",
     "TraceRecorder",
     "open_trace",
+    "verify_trace",
+    "verify_trace_bytes",
     "READ",
     "WRITE",
     "SYNC",

@@ -30,6 +30,7 @@ bytes, so old traces keep loading unchanged.
 
 from __future__ import annotations
 
+import io
 import json
 import struct
 import zlib
@@ -50,6 +51,8 @@ __all__ = [
     "StreamingTrace",
     "open_trace",
     "chunked_events",
+    "verify_trace",
+    "verify_trace_bytes",
     "READ",
     "WRITE",
     "SYNC",
@@ -810,6 +813,42 @@ def open_trace(
     if _is_binary_trace(path):
         return StreamingTrace(path, salvage=salvage)
     return Trace._load_jsonl(path)
+
+
+def _verify_walk(fh: BinaryIO, path: object) -> int:
+    _check_magic(fh, path)
+    events = 0
+    index = 0
+    while True:
+        chunk = _read_chunk_raw(fh, path, index)
+        if chunk is None:
+            return events
+        tid, flags, n_events, raw_len, stored, offset = chunk
+        _decode_stored_chunk(
+            stored, flags, n_events, raw_len, path, index, offset, tid
+        )
+        events += n_events
+        index += 1
+
+
+def verify_trace(path: Union[str, Path]) -> int:
+    """Validate a binary trace end to end; returns its event count.
+
+    Walks every chunk through the CRC check, decompression and the
+    columnar record decode — exactly what replay would hit — and raises
+    the usual ``truncated/corrupt trace`` :class:`ValueError` on the
+    first damaged chunk.  The ingestion admission check of the
+    ``repro serve`` daemon: cheap enough to run on every upload, strict
+    enough that an accepted trace cannot later blow up a worker.
+    """
+    with open(path, "rb") as fh:
+        return _verify_walk(fh, path)
+
+
+def verify_trace_bytes(data: bytes, name: str = "<upload>") -> int:
+    """:func:`verify_trace` for a trace still in memory (e.g. an HTTP
+    request body, validated before it is spooled to disk)."""
+    return _verify_walk(io.BytesIO(data), name)
 
 
 def chunked_events(

@@ -1,0 +1,53 @@
+"""Race-checking as a service: the ``repro serve`` ingestion daemon.
+
+The production face of the reproduction's north star — cheap trace
+capture at the edge, detection in a shared backend.  Clients record
+binary traces (:mod:`repro.runtime.trace`) wherever the workload runs
+and ``POST`` them to a long-lived daemon, which race-checks each one
+through the offline analysis lane (:mod:`repro.analysis`) on a pool of
+resident worker processes (:class:`~repro.exec.PersistentPool`) and
+serves per-submission verdicts and diagnostics.
+
+Layering (each piece testable on its own):
+
+* :class:`~repro.service.quota.QuotaManager` — per-tenant token-bucket
+  admission;
+* :class:`~repro.service.store.SubmissionStore` — spooled uploads plus
+  submission lifecycle (``queued -> running -> done | failed``);
+* :func:`~repro.service.jobs.analyze_submission` — the job function the
+  workers execute;
+* :class:`~repro.service.service.RaceCheckService` — admission, the
+  bounded backpressure queue, worker dispatch, completion;
+* :class:`~repro.service.daemon.ServeDaemon` — the HTTP layer on the
+  :class:`~repro.obs.serve.TelemetryServer` router.
+
+See ``docs/service.md`` for the endpoint reference, the quota and
+backpressure semantics, and deployment notes.
+"""
+
+from .daemon import ServeDaemon
+from .quota import QuotaManager
+from .service import (
+    CorruptTrace,
+    NotReady,
+    QueueFull,
+    QuotaExceeded,
+    RaceCheckService,
+    ServiceError,
+    UnknownSubmission,
+)
+from .store import Submission, SubmissionStore
+
+__all__ = [
+    "CorruptTrace",
+    "NotReady",
+    "QueueFull",
+    "QuotaExceeded",
+    "QuotaManager",
+    "RaceCheckService",
+    "ServeDaemon",
+    "ServiceError",
+    "Submission",
+    "SubmissionStore",
+    "UnknownSubmission",
+]

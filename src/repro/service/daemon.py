@@ -1,0 +1,118 @@
+"""HTTP face of the race-checking service: ``python -m repro serve``.
+
+:class:`ServeDaemon` glues a :class:`~repro.service.service.RaceCheckService`
+onto the :class:`~repro.obs.serve.TelemetryServer` router.  Endpoints:
+
+``POST /submit``
+    Body: one binary trace file.  Headers: ``X-Tenant`` (quota key,
+    default ``default``), ``X-Request-Id`` (optional; generated when
+    absent and echoed back either way).  Replies ``202`` with
+    ``{"id", "request_id", "state"}``; ``400 corrupt_trace`` when the
+    CRC walk rejects the body; ``429 quota_exhausted`` /
+    ``429 queue_full`` with a ``Retry-After`` header.
+
+``GET /result/<id>``
+    The submission's current state — poll this.  ``404`` for unknown
+    ids; a terminal payload carries ``verdict``/``error`` and
+    ``latency_s``.
+
+``GET /report/<id>``
+    The full analysis report (verdict, race details, hot sites,
+    ``clean.*`` counters, human-readable one-liner).  ``409 not_ready``
+    while the submission is still queued or running.
+
+``GET /metrics`` · ``GET /status`` · ``GET /healthz``
+    Prometheus exposition of the shared registry; the service status
+    document (queue, pool, quotas, submission histogram); a trivial
+    liveness probe.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..obs.serve import Request, Response, TelemetryServer
+from .service import RaceCheckService, ServiceError
+
+__all__ = ["ServeDaemon"]
+
+
+class ServeDaemon:
+    """Owns the HTTP server for one :class:`RaceCheckService`."""
+
+    def __init__(
+        self,
+        service: RaceCheckService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_body: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        kwargs = {} if max_body is None else {"max_body": max_body}
+        self.server = TelemetryServer(
+            registry=service.registry,
+            status_fn=service.status,
+            host=host,
+            port=port,
+            **kwargs,
+        )
+        self.server.add_route("POST", "/submit", self._submit)
+        self.server.add_route("GET", "/result/", self._result)
+        self.server.add_route("GET", "/report/", self._report)
+        self.server.add_route("GET", "/healthz", self._healthz)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> int:
+        self.service.start()
+        return self.server.start()
+
+    def stop(self) -> None:
+        self.server.stop()
+        self.service.stop()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "ServeDaemon":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- routes -------------------------------------------------------------
+
+    def _error(self, exc: ServiceError) -> Response:
+        headers = {}
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            headers["Retry-After"] = str(max(1, int(round(retry_after))))
+        return Response.json(exc.payload(), status=exc.status, **headers)
+
+    def _submit(self, request: Request) -> Response:
+        tenant = request.header("x-tenant", "default")
+        request_id = request.header("x-request-id") or None
+        try:
+            payload = self.service.submit(
+                request.body, tenant=tenant, request_id=request_id
+            )
+        except ServiceError as exc:
+            return self._error(exc)
+        return Response.json(payload, status=202)
+
+    def _result(self, request: Request) -> Response:
+        try:
+            return Response.json(self.service.result(request.rest))
+        except ServiceError as exc:
+            return self._error(exc)
+
+    def _report(self, request: Request) -> Response:
+        try:
+            return Response.json(self.service.report(request.rest))
+        except ServiceError as exc:
+            return self._error(exc)
+
+    def _healthz(self, request: Request) -> Response:
+        return Response.json({"ok": True})

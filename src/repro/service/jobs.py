@@ -1,0 +1,51 @@
+"""The job function the service's worker pool executes.
+
+One top-level callable (dotted-path resolvable in any worker process,
+per the :class:`~repro.exec.job.Job` contract) that race-analyzes one
+spooled trace file through the PR-7 offline lane and returns the
+JSON-ready verdict payload the API serves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["analyze_submission"]
+
+
+def analyze_submission(
+    trace: str,
+    mode: str = "batch",
+    hot_sites: int = 8,
+    inject_fault: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Analyze ``trace`` and return the submission's report payload.
+
+    ``inject_fault`` is the chaos hook: process-level faults
+    (``worker-crash``) are delivered by :func:`~repro.exec.job.run_job`
+    before this function runs; a leftover ``monitor-raise`` spec
+    arrives here and is re-delivered so it raises inside the analysis
+    attempt.  Detection itself is untouched either way.
+    """
+    if inject_fault is not None:
+        from ..faults import deliver
+
+        deliver(inject_fault, f"analyze:{trace}")
+    from ..analysis import analyze_trace
+
+    report = analyze_trace(trace, mode=mode, hot_sites=hot_sites)
+    payload = report.to_payload()
+    payload["verdict"] = "racy" if report.racy else "clean"
+    race = report.race
+    if race is not None:
+        payload["text"] = (
+            f"race: {race['kind']} at {race['address']:#x} "
+            f"(tid {race['accessing_tid']} vs prior writer "
+            f"tid {race['prior_writer_tid']})"
+        )
+    else:
+        payload["text"] = (
+            f"clean: {report.accesses} accesses, {report.syncs} syncs, "
+            f"{report.threads} threads"
+        )
+    return payload

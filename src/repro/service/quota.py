@@ -1,0 +1,104 @@
+"""Per-tenant admission quotas for the race-checking service.
+
+One token buys one accepted submission.  Each tenant gets an
+independent bucket of ``tokens`` capacity; with ``refill_per_s`` > 0
+the bucket refills continuously (classic token bucket — sustained rate
+``refill_per_s``, burst ``tokens``), with ``refill_per_s == 0`` it is a
+hard budget that only :meth:`QuotaManager.refund` can restore — the
+deterministic mode the tests use.
+
+Unknown tenants are created on first touch; ``tokens=None`` disables
+quotas entirely (every acquire succeeds).  The manager is thread-safe:
+the HTTP server hits it from many handler threads at once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = ["QuotaManager"]
+
+
+class QuotaManager:
+    """Token buckets keyed by tenant name."""
+
+    def __init__(
+        self,
+        tokens: Optional[int] = None,
+        refill_per_s: float = 0.0,
+    ) -> None:
+        if tokens is not None and tokens < 1:
+            raise ValueError("quota capacity must be >= 1 (or None)")
+        self.capacity = tokens
+        self.refill_per_s = max(0.0, float(refill_per_s))
+        self._lock = threading.Lock()
+        self._levels: Dict[str, float] = {}
+        self._stamps: Dict[str, float] = {}
+        self._denied: Dict[str, int] = {}
+
+    @property
+    def unlimited(self) -> bool:
+        return self.capacity is None
+
+    def _refill_locked(self, tenant: str, now: float) -> None:
+        if self.refill_per_s <= 0.0:
+            return
+        elapsed = now - self._stamps[tenant]
+        self._levels[tenant] = min(
+            float(self.capacity),
+            self._levels[tenant] + elapsed * self.refill_per_s,
+        )
+        self._stamps[tenant] = now
+
+    def try_acquire(self, tenant: str) -> bool:
+        """Take one token for ``tenant``; False when the bucket is dry."""
+        if self.capacity is None:
+            return True
+        now = time.monotonic()
+        with self._lock:
+            if tenant not in self._levels:
+                self._levels[tenant] = float(self.capacity)
+                self._stamps[tenant] = now
+            self._refill_locked(tenant, now)
+            if self._levels[tenant] >= 1.0:
+                self._levels[tenant] -= 1.0
+                return True
+            self._denied[tenant] = self._denied.get(tenant, 0) + 1
+            return False
+
+    def refund(self, tenant: str) -> None:
+        """Return one token (the submission was rejected downstream —
+        e.g. a full queue — so it must not burn quota)."""
+        if self.capacity is None:
+            return
+        with self._lock:
+            if tenant in self._levels:
+                self._levels[tenant] = min(
+                    float(self.capacity), self._levels[tenant] + 1.0
+                )
+
+    def retry_after_s(self) -> float:
+        """Seconds until a dry bucket holds one token again (the 429's
+        ``Retry-After``); a hard budget suggests a nominal 1s."""
+        if self.capacity is None or self.refill_per_s <= 0.0:
+            return 1.0
+        return max(1.0 / self.refill_per_s, 0.001)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant levels for ``/status`` (freshly refilled)."""
+        if self.capacity is None:
+            return {}
+        now = time.monotonic()
+        with self._lock:
+            for tenant in self._levels:
+                self._refill_locked(tenant, now)
+            return {
+                tenant: {
+                    "tokens": round(self._levels[tenant], 3),
+                    "capacity": float(self.capacity),
+                    "denied": self._denied.get(tenant, 0),
+                }
+                for tenant in sorted(self._levels)
+            }

@@ -1,0 +1,442 @@
+"""The race-checking service core: admission, queueing, dispatch.
+
+:class:`RaceCheckService` is the daemon minus HTTP: it takes raw trace
+bytes in (:meth:`~RaceCheckService.submit`), pushes verdict payloads
+out (:meth:`~RaceCheckService.result` / :meth:`~RaceCheckService.report`),
+and in between owns the whole pipeline:
+
+1. **admission** — per-tenant token quota
+   (:class:`~repro.service.quota.QuotaManager`), then CRC validation of
+   the upload (:func:`~repro.runtime.trace.verify_trace_bytes`) *before*
+   anything touches disk: a corrupt trace costs one refused request,
+   never a worker;
+2. **queueing** — accepted submissions spool to disk
+   (:class:`~repro.service.store.SubmissionStore`) and enter a bounded
+   ``queue.Queue``; a full queue raises :class:`QueueFull` (the daemon's
+   429 + ``Retry-After``) and refunds the quota token — backpressure,
+   not buffering;
+3. **dispatch** — a dispatcher thread feeds the queue to a
+   :class:`~repro.exec.runner.PersistentPool` of resident analysis
+   workers, at most ``workers`` in flight (a semaphore, so the *queue*
+   is what fills up and the 429 semantics stay honest);
+4. **completion** — the pool's callback lands the verdict in the store,
+   observes the queue-to-verdict latency histogram, ends the
+   submission's span and merges the job's ``clean.*`` counters into the
+   shared registry.
+
+Every submission carries a request id (client-supplied or generated)
+stamped on its span and in every payload.  Faults are first-class: a
+worker crashing mid-analysis costs one retry (the pool respawns the
+worker); a submission that exhausts its retries lands as a structured
+``failed`` result; the daemon itself never goes down with a worker.
+``crash_every=N`` arms the chaos hook — every Nth submission's job
+carries a one-shot ``worker-crash`` fault spec (scarred, so the retry
+runs clean): the recovery path stays exercised in production shape.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..exec import Job, PersistentPool
+from ..runtime.trace import verify_trace_bytes
+from .quota import QuotaManager
+from .store import SubmissionStore
+
+__all__ = [
+    "CorruptTrace",
+    "NotReady",
+    "QueueFull",
+    "QuotaExceeded",
+    "RaceCheckService",
+    "ServiceError",
+    "UnknownSubmission",
+]
+
+#: serve.latency histogram bounds (seconds): sub-second resolution, the
+#: scale a single-trace analysis lives at — the library-wide power-of-two
+#: defaults are integer-scaled and would flatten every sample into one
+#: bucket.
+LATENCY_BOUNDS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+class ServiceError(RuntimeError):
+    """Base of all structured service refusals (maps to an HTTP error)."""
+
+    status = 500
+    error = "internal"
+
+    def payload(self) -> Dict[str, Any]:
+        return {"error": self.error, "detail": str(self)}
+
+
+class QuotaExceeded(ServiceError):
+    status = 429
+    error = "quota_exhausted"
+
+    def __init__(self, tenant: str, retry_after: float) -> None:
+        super().__init__(f"tenant {tenant!r} is out of submission tokens")
+        self.retry_after = retry_after
+
+
+class QueueFull(ServiceError):
+    status = 429
+    error = "queue_full"
+
+    def __init__(self, capacity: int, retry_after: float) -> None:
+        super().__init__(f"submission queue is full ({capacity} deep)")
+        self.retry_after = retry_after
+
+
+class CorruptTrace(ServiceError):
+    status = 400
+    error = "corrupt_trace"
+
+
+class UnknownSubmission(ServiceError):
+    status = 404
+    error = "unknown_submission"
+
+    def __init__(self, sid: str) -> None:
+        super().__init__(f"no submission {sid!r}")
+
+
+class NotReady(ServiceError):
+    status = 409
+    error = "not_ready"
+
+    def __init__(self, sid: str, state: str) -> None:
+        super().__init__(f"submission {sid!r} is still {state}")
+
+
+class RaceCheckService:
+    """Everything between an uploaded trace and its verdict."""
+
+    def __init__(
+        self,
+        spool: str,
+        workers: int = 2,
+        queue_size: int = 32,
+        retries: int = 1,
+        mode: str = "batch",
+        hot_sites: int = 8,
+        quota_tokens: Optional[int] = None,
+        quota_refill_per_s: float = 0.0,
+        retry_after_s: float = 1.0,
+        job_timeout: Optional[float] = None,
+        registry: Any = None,
+        tracer: Any = None,
+        keep_traces: bool = False,
+        crash_every: int = 0,
+        inline_pool: bool = False,
+    ) -> None:
+        if mode not in ("batch", "scalar"):
+            raise ValueError(
+                f"service analysis mode must be batch or scalar, not {mode!r}"
+            )
+        from ..obs import MetricsRegistry
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.histogram("serve.latency", bounds=LATENCY_BOUNDS)
+        self.tracer = tracer
+        self.mode = mode
+        self.hot_sites = hot_sites
+        self.queue_size = queue_size
+        self.retry_after_s = retry_after_s
+        self.crash_every = crash_every
+        self.store = SubmissionStore(spool, keep_traces=keep_traces)
+        self.quota = QuotaManager(
+            tokens=quota_tokens, refill_per_s=quota_refill_per_s
+        )
+        self.pool = PersistentPool(
+            workers=workers,
+            retries=retries,
+            timeout=job_timeout,
+            registry=self.registry,
+            tracer=tracer,
+            inline=inline_pool,
+        )
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._slots = threading.Semaphore(max(1, workers))
+        self._lock = threading.Lock()
+        self._spans: Dict[str, Any] = {}
+        self._accepted = 0
+        self._started = False
+        self._stopping = False
+        self._paused = threading.Event()
+        self._resumed = threading.Event()
+        self._resumed.set()
+        self._idle = threading.Condition(self._lock)
+        self._inflight = 0
+        self._start_time = time.monotonic()
+        self._dispatcher: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "RaceCheckService":
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        self.pool.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting, let in-flight analyses finish, tear down."""
+        with self._lock:
+            if not self._started or self._stopping:
+                self._stopping = True
+                return
+            self._stopping = True
+        self._resumed.set()
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=timeout)
+        self.pool.stop(timeout=timeout)
+
+    def __enter__(self) -> "RaceCheckService":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def pause(self) -> None:
+        """Hold the dispatcher (queued work stays queued) — the ops/test
+        lever that makes queue-full behaviour reproducible."""
+        self._paused.set()
+        self._resumed.clear()
+
+    def resume(self) -> None:
+        self._paused.clear()
+        self._resumed.set()
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(
+        self,
+        data: bytes,
+        tenant: str = "default",
+        request_id: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Admit one uploaded trace; returns the ``202`` payload.
+
+        Raises :class:`QuotaExceeded`, :class:`CorruptTrace` or
+        :class:`QueueFull` — each mapping to one structured HTTP
+        refusal.  A token is only *kept* when the submission is actually
+        queued; refusals downstream of the quota refund it.
+        """
+        if self._stopping or not self._started:
+            raise ServiceError("service is not accepting submissions")
+        self.registry.inc("serve.submissions")
+        if not self.quota.try_acquire(tenant):
+            self.registry.inc("serve.quota_denied")
+            raise QuotaExceeded(tenant, self.quota.retry_after_s())
+        try:
+            events = verify_trace_bytes(data, name=f"upload:{tenant}")
+        except ValueError as exc:
+            self.quota.refund(tenant)
+            self.registry.inc("serve.corrupt_rejected")
+            raise CorruptTrace(str(exc)) from None
+        with self._lock:
+            self._accepted += 1
+            if request_id is None or not request_id.strip():
+                request_id = f"r{self._accepted:06d}"
+        submission = self.store.create(tenant, request_id, data, events)
+        try:
+            self._queue.put_nowait(submission.id)
+        except queue.Full:
+            self.store.discard(submission.id)
+            self.quota.refund(tenant)
+            self.registry.inc("serve.queue_rejected")
+            raise QueueFull(self.queue_size, self.retry_after_s) from None
+        with self._lock:
+            self._inflight += 1
+        self.registry.inc("serve.accepted")
+        self.registry.set_gauge("serve.queue_depth", self._queue.qsize())
+        if self.tracer is not None:
+            span = self.tracer.start_span(
+                "serve.submission",
+                id=submission.id,
+                tenant=tenant,
+                request_id=request_id,
+            )
+            with self._lock:
+                self._spans[submission.id] = span
+        return {
+            "id": submission.id,
+            "request_id": request_id,
+            "state": submission.state,
+            "events": events,
+        }
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._resumed.wait()
+            try:
+                sid = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopping:
+                    break
+                continue
+            if sid is None:
+                break
+            # Re-check the gate after the dequeue: a pause() issued while
+            # we were blocked in get() must hold this submission too (it
+            # is held here, un-launched, until resume), so "paused" means
+            # no new analyses start — deterministically.
+            self._resumed.wait()
+            self.registry.set_gauge("serve.queue_depth", self._queue.qsize())
+            self._slots.acquire()
+            if self._stopping:
+                self._slots.release()
+                self._settle(sid, error="ServiceStopped: daemon shut down",
+                             attempts=0)
+                continue
+            self._launch(sid)
+        # Shutdown: whatever is still queued gets a terminal state so no
+        # client polls a submission that can never finish.
+        while True:
+            try:
+                sid = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if sid is not None:
+                self._settle(sid, error="ServiceStopped: daemon shut down",
+                             attempts=0)
+
+    def _launch(self, sid: str) -> None:
+        submission = self.store.get(sid)
+        if submission is None:
+            self._slots.release()
+            return
+        self.store.mark_running(sid)
+        config: Dict[str, Any] = {
+            "trace": submission.trace_path,
+            "mode": self.mode,
+            "hot_sites": self.hot_sites,
+        }
+        if self.crash_every > 0:
+            ordinal = int(sid[1:])
+            if ordinal % self.crash_every == 0:
+                scars = os.path.join(str(self.store.spool), "scars")
+                os.makedirs(scars, exist_ok=True)
+                config["inject_fault"] = {
+                    "kind": "worker-crash",
+                    "scar": os.path.join(scars, f"{sid}.scar"),
+                }
+                self.registry.inc("serve.chaos_armed")
+        job = Job(
+            fn="repro.service.jobs:analyze_submission",
+            config=config,
+            name=sid,
+            group="serve",
+        )
+        self.pool.submit(job, callback=lambda result: self._on_result(
+            sid, result
+        ))
+
+    def _on_result(self, sid: str, result: Any) -> None:
+        self._slots.release()
+        if result.ok:
+            self._settle(sid, result=result.value, attempts=result.attempts)
+        else:
+            self._settle(sid, error=result.error, attempts=result.attempts)
+
+    def _settle(
+        self,
+        sid: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        attempts: int = 1,
+    ) -> None:
+        submission = self.store.finish(
+            sid, result=result, error=error, attempts=attempts
+        )
+        latency = submission.latency_s()
+        if latency is not None:
+            self.registry.observe("serve.latency", latency)
+        if error is None:
+            self.registry.inc("serve.completed")
+            verdict = (result or {}).get("verdict", "unknown")
+            self.registry.inc(f"serve.verdict.{verdict}")
+            # Fleet-wide detector totals: every verdict's clean.* counter
+            # trail accumulates into the shared registry, so /metrics
+            # exposes the same counters a live detector would.
+            for name, value in ((result or {}).get("counters") or {}).items():
+                self.registry.inc(name, value)
+        else:
+            self.registry.inc("serve.failed")
+        with self._lock:
+            span = self._spans.pop(sid, None)
+            self._inflight -= 1
+            self._idle.notify_all()
+        if span is not None:
+            span.set("state", submission.state)
+            span.set("attempts", attempts)
+            if error is not None:
+                span.set("error", error)
+            self.tracer.end_span(span)
+
+    # -- results ------------------------------------------------------------
+
+    def result(self, sid: str) -> Dict[str, Any]:
+        """The submission's current state (any lifecycle stage)."""
+        payload = self.store.payload(sid)
+        if payload is None:
+            raise UnknownSubmission(sid)
+        return payload
+
+    def report(self, sid: str) -> Dict[str, Any]:
+        """The full analysis report; 409 until the verdict is in."""
+        submission = self.store.get(sid)
+        if submission is None:
+            raise UnknownSubmission(sid)
+        if not submission.terminal:
+            raise NotReady(sid, submission.state)
+        return submission.to_payload(full=True)
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Block until every accepted submission is terminal."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def status(self) -> Dict[str, Any]:
+        """The ``/status`` document."""
+        return {
+            "state": "stopping" if self._stopping else (
+                "serving" if self._started else "idle"
+            ),
+            "uptime_s": round(time.monotonic() - self._start_time, 3),
+            "queue": {
+                "depth": self._queue.qsize(),
+                "capacity": self.queue_size,
+                "paused": self._paused.is_set(),
+            },
+            "submissions": self.store.counts(),
+            "pool": self.pool.status_snapshot(),
+            "quota": self.quota.snapshot(),
+        }

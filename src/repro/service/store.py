@@ -1,0 +1,187 @@
+"""The submission store: spooled trace files + in-memory lifecycle.
+
+A :class:`Submission` walks ``queued -> running -> done | failed``.
+The store assigns ids (``s000001``, ...), spools each accepted upload
+to ``<spool>/<id>.trace`` for the analysis workers to re-open, stamps
+monotonic queue/start/finish times (the latency numbers the service
+histograms come from), and — unless ``keep_traces`` — deletes the
+spooled file once the submission reaches a terminal state, so a
+long-running daemon's disk footprint is bounded by the work in flight.
+
+All mutation goes through the store's lock; reads hand out JSON-ready
+payload dicts, never live objects.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Submission", "SubmissionStore"]
+
+#: Submission lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class Submission:
+    """One accepted upload and everything the API serves about it."""
+
+    id: str
+    tenant: str
+    request_id: str
+    size: int
+    trace_path: str
+    events: int = 0
+    state: str = QUEUED
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    attempts: int = 0
+    queued_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    def latency_s(self) -> Optional[float]:
+        """Queue-to-verdict seconds (None until terminal)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.queued_at
+
+    def to_payload(self, full: bool = False) -> Dict[str, Any]:
+        """The ``/result`` view; ``full=True`` adds the analysis report
+        (the ``/report`` view)."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "request_id": self.request_id,
+            "state": self.state,
+            "size_bytes": self.size,
+            "events": self.events,
+            "attempts": self.attempts,
+        }
+        if self.terminal:
+            latency = self.latency_s()
+            payload["latency_s"] = (
+                round(latency, 6) if latency is not None else None
+            )
+        if self.state == FAILED:
+            payload["error"] = self.error
+        if self.state == DONE and self.result is not None:
+            payload["verdict"] = self.result.get("verdict")
+            if full:
+                payload["report"] = self.result
+        return payload
+
+
+class SubmissionStore:
+    """Thread-safe registry of submissions plus their spooled traces."""
+
+    def __init__(self, spool: str, keep_traces: bool = False) -> None:
+        self.spool = Path(spool)
+        self.spool.mkdir(parents=True, exist_ok=True)
+        self.keep_traces = keep_traces
+        self._lock = threading.Lock()
+        self._items: Dict[str, Submission] = {}
+        self._next = 0
+
+    def create(
+        self, tenant: str, request_id: str, data: bytes, events: int
+    ) -> Submission:
+        """Spool ``data`` (already CRC-validated) and register it."""
+        with self._lock:
+            self._next += 1
+            sid = f"s{self._next:06d}"
+        path = self.spool / f"{sid}.trace"
+        with open(path, "wb") as fh:
+            fh.write(data)
+        submission = Submission(
+            id=sid,
+            tenant=tenant,
+            request_id=request_id,
+            size=len(data),
+            trace_path=str(path),
+            events=events,
+        )
+        with self._lock:
+            self._items[sid] = submission
+        return submission
+
+    def get(self, sid: str) -> Optional[Submission]:
+        with self._lock:
+            return self._items.get(sid)
+
+    def discard(self, sid: str) -> None:
+        """Drop a record whose submission was rejected downstream (full
+        queue): the client got a 429 with no id, so nothing may remain."""
+        with self._lock:
+            submission = self._items.pop(sid, None)
+        if submission is not None:
+            try:
+                os.unlink(submission.trace_path)
+            except OSError:
+                pass
+
+    def payload(self, sid: str, full: bool = False) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            submission = self._items.get(sid)
+            return submission.to_payload(full=full) if submission else None
+
+    def mark_running(self, sid: str) -> None:
+        with self._lock:
+            submission = self._items[sid]
+            submission.state = RUNNING
+            if submission.started_at is None:
+                submission.started_at = time.monotonic()
+
+    def finish(
+        self,
+        sid: str,
+        result: Optional[Dict[str, Any]] = None,
+        error: Optional[str] = None,
+        attempts: int = 1,
+    ) -> Submission:
+        """Move ``sid`` to its terminal state and reap the spool file."""
+        with self._lock:
+            submission = self._items[sid]
+            submission.finished_at = time.monotonic()
+            submission.attempts = attempts
+            if error is None:
+                submission.state = DONE
+                submission.result = result
+            else:
+                submission.state = FAILED
+                submission.error = error
+        if not self.keep_traces:
+            try:
+                os.unlink(submission.trace_path)
+            except OSError:
+                pass
+        return submission
+
+    def counts(self) -> Dict[str, int]:
+        """State histogram for ``/status``."""
+        with self._lock:
+            tally: Dict[str, int] = {
+                QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0
+            }
+            for submission in self._items.values():
+                tally[submission.state] += 1
+            tally["total"] = len(self._items)
+            return tally
+
+    def latencies(self) -> List[float]:
+        """Latency of every terminal submission (bench/status use)."""
+        with self._lock:
+            return [
+                s.latency_s()
+                for s in self._items.values()
+                if s.terminal and s.latency_s() is not None
+            ]
