@@ -25,6 +25,14 @@ overheads, and the merged counter totals (which must be identical for
 every telemetry-on pass — the merge is deterministic).  ``--check``
 (release checklist) fails if telemetry overhead exceeds the budget or
 the telemetry-on passes disagree on the merged totals.
+
+A second microbenchmark times labeled vs. flat counters on the pattern
+hot paths actually use — a held instrument handle incremented in a
+tight loop (the service caches one handle per (counter, tenant)).
+``--check`` additionally gates handle-held labeled increments at
+<= 1.25x flat.  The per-call lookup path (``registry.inc`` with a
+``labels=`` dict, which canonicalizes the label set every call) is
+also reported, un-gated: it exists for cold paths and tests.
 """
 
 from __future__ import annotations
@@ -67,6 +75,53 @@ def _timed(repeats: int, **runner_kwargs: Any) -> Dict[str, Any]:
     return {"seconds": best, "clean_totals": merged, "stats": stats}
 
 
+def _bench_labeled_counters(
+    iterations: int = 200_000, repeats: int = 3
+) -> Dict[str, Any]:
+    """Best-of wall time for flat, labeled-handle and labeled-lookup
+    counter increments (per-op seconds and ratios vs. flat)."""
+
+    def flat_pass() -> float:
+        registry = MetricsRegistry()
+        counter = registry.counter("bench.flat")
+        start = time.perf_counter()
+        for _ in range(iterations):
+            counter.inc()
+        return time.perf_counter() - start
+
+    def handle_pass() -> float:
+        registry = MetricsRegistry()
+        counter = registry.counter("bench.labeled", labels={"tenant": "t1"})
+        start = time.perf_counter()
+        for _ in range(iterations):
+            counter.inc()
+        return time.perf_counter() - start
+
+    def lookup_pass() -> float:
+        registry = MetricsRegistry()
+        labels = {"tenant": "t1"}
+        start = time.perf_counter()
+        for _ in range(iterations):
+            registry.inc("bench.labeled", labels=labels)
+        return time.perf_counter() - start
+
+    best = {"flat": float("inf"), "labeled_handle": float("inf"),
+            "labeled_lookup": float("inf")}
+    for _ in range(repeats):
+        best["flat"] = min(best["flat"], flat_pass())
+        best["labeled_handle"] = min(best["labeled_handle"], handle_pass())
+        best["labeled_lookup"] = min(best["labeled_lookup"], lookup_pass())
+    return {
+        "iterations": iterations,
+        "seconds": best,
+        "ns_per_op": {k: v / iterations * 1e9 for k, v in best.items()},
+        "ratios": {
+            "labeled_handle": best["labeled_handle"] / best["flat"],
+            "labeled_lookup": best["labeled_lookup"] / best["flat"],
+        },
+    }
+
+
 def run_benchmarks(repeats: int) -> Dict[str, Any]:
     passes = {
         "telemetry_off": _timed(repeats, job_telemetry=False),
@@ -91,6 +146,7 @@ def run_benchmarks(repeats: int) -> Dict[str, Any]:
         "clean_totals": {
             k: v["clean_totals"] for k, v in passes.items()
         },
+        "labeled_counters": _bench_labeled_counters(repeats=repeats),
     }
 
 
@@ -119,6 +175,14 @@ def main(argv=None) -> int:
           f"-> {over['sites_on']:.2f}x")
     print(f"hot sites, sampled (1/16):     {secs['sites_sampled']:.3f}s  "
           f"-> {over['sites_sampled']:.2f}x")
+    labeled = report["labeled_counters"]
+    ns = labeled["ns_per_op"]
+    ratios = labeled["ratios"]
+    print(f"counter, flat:                 {ns['flat']:.0f}ns/op")
+    print(f"counter, labeled (handle):     {ns['labeled_handle']:.0f}ns/op  "
+          f"-> {ratios['labeled_handle']:.2f}x")
+    print(f"counter, labeled (lookup):     {ns['labeled_lookup']:.0f}ns/op  "
+          f"-> {ratios['labeled_lookup']:.2f}x  (un-gated)")
     print(f"wrote {args.out}")
     if args.check:
         totals = report["clean_totals"]
@@ -138,6 +202,15 @@ def main(argv=None) -> int:
         # Generous bound: the per-job scope + merge must stay cheap.
         if over["telemetry_on"] > 2.0:
             print("FAIL: telemetry-on overhead above 2x", file=sys.stderr)
+            return 1
+        # A held labeled handle is the same Counter object as a flat
+        # one — the label cost was paid once at registration.
+        if ratios["labeled_handle"] > 1.25:
+            print(
+                f"FAIL: handle-held labeled counter overhead "
+                f"{ratios['labeled_handle']:.2f}x above 1.25x budget",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

@@ -44,11 +44,23 @@ analyze TRACE [--mode scalar|batch|sharded] [--shards N] [--jobs N]
     Exits 1 when a race is found.
 serve [--host H] [--port P] [--workers N] [--queue-size N] [--quota T]
       [--mode batch|scalar] [--spool DIR] [--for SECONDS]
+      [--sample-interval S] [--retention N] [--slo CONFIG]
+      [--no-collector]
     Run the race-checking ingestion daemon: clients POST binary traces
     to /submit (CRC-validated on ingest) and poll /result/<id> or
     /report/<id> for verdicts; a bounded queue sheds load with 429 +
     Retry-After, per-tenant token quotas gate admission, and /metrics
-    + /status expose the service counters live.  See docs/service.md.
+    + /status expose the service counters live (fleet totals plus
+    per-tenant ``{tenant="..."}`` series).  A collector thread samples
+    every counter into ring buffers exposed at /timeseries, the SLO
+    burn-rate engine serves /alerts, and /dashboard renders the
+    self-contained HTML fleet dashboard.  See docs/service.md.
+slo [--config FILE] [--timeseries FILE] [--json]
+    Evaluate SLO burn-rate alerts offline from a scraped /timeseries
+    artifact — same engine, same verdicts as the live /alerts endpoint.
+    ``--config`` loads declarative objectives (JSON; default: the
+    built-in availability / latency-p99 / shed-rate set).  Exits 1
+    when any objective is firing.
 simulate TRACE.jsonl [--mode clean|epoch1|epoch4] [--unit clean|precise]
          [--telemetry OUT.jsonl]
     Replay a recorded trace on the hardware simulator.
@@ -499,9 +511,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import tempfile
     import time
 
+    from .obs import load_slo_config
     from .service import RaceCheckService, ServeDaemon
 
     registry, tracer, exporter = _telemetry_session(args)
+    slos = load_slo_config(args.slo) if args.slo else None
     spool = args.spool or tempfile.mkdtemp(prefix="repro-serve-")
     service = RaceCheckService(
         spool=spool,
@@ -518,7 +532,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         keep_traces=args.keep_traces,
         crash_every=args.chaos_crash_every,
     )
-    daemon = ServeDaemon(service, host=args.host, port=args.port)
+    daemon = ServeDaemon(
+        service,
+        host=args.host,
+        port=args.port,
+        sample_interval_s=args.sample_interval,
+        retention=args.retention,
+        slos=slos,
+        collect=not args.no_collector,
+    )
     port = daemon.start()
     try:
         print(
@@ -529,7 +551,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         print(
             "endpoints: POST /submit | GET /result/<id> /report/<id> "
-            "/metrics /status /healthz",
+            "/metrics /status /healthz /timeseries /alerts /dashboard",
             flush=True,
         )
         if args.for_seconds is not None:
@@ -543,6 +565,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         daemon.stop()
         _close_telemetry(exporter, registry)
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from .obs import (
+        TimeSeriesStore,
+        default_slos,
+        evaluate_slos,
+        load_slo_config,
+        render_slo_text,
+    )
+
+    objectives = load_slo_config(args.config) if args.config else default_slos()
+    with open(args.timeseries, "r", encoding="utf-8") as fh:
+        store = TimeSeriesStore.from_payload(json.load(fh))
+    report = evaluate_slos(store, objectives)
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(render_slo_text(report))
+    return 0 if report["ok"] else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -884,8 +926,32 @@ def main(argv=None) -> int:
                    metavar="SECONDS",
                    help="serve for a fixed time then exit cleanly "
                         "(default: until Ctrl-C)")
+    p.add_argument("--sample-interval", type=float, default=1.0, metavar="S",
+                   help="collector sampling period for /timeseries "
+                        "(default: 1.0s)")
+    p.add_argument("--retention", type=int, default=600, metavar="N",
+                   help="ring-buffer capacity: samples kept per series "
+                        "(default: 600)")
+    p.add_argument("--slo", default=None, metavar="CONFIG",
+                   help="JSON SLO config for /alerts and /dashboard "
+                        "(default: built-in objectives)")
+    p.add_argument("--no-collector", action="store_true",
+                   help="disable the time-series collector thread")
     telemetry_flag(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate SLO burn-rate alerts offline from a scraped "
+             "/timeseries artifact (exit 1 when firing)",
+    )
+    p.add_argument("--timeseries", required=True, metavar="FILE",
+                   help="JSON payload scraped from GET /timeseries")
+    p.add_argument("--config", default=None, metavar="FILE",
+                   help="JSON SLO config (default: built-in objectives)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full alert document as JSON")
+    p.set_defaults(fn=_cmd_slo)
 
     p = sub.add_parser("simulate", help="replay a trace on the hw simulator")
     p.add_argument("trace")

@@ -24,13 +24,21 @@ gives every layer of the reproduction one way to expose those numbers:
   clock) and its Chrome-trace / HB-graph / HTML exporters;
 * :func:`render_prom` / :class:`TelemetryServer` / :class:`StatusFile` -
   Prometheus text exposition, the ``/metrics`` + ``/status`` HTTP
-  endpoint, and the atomically rewritten live-progress file.
+  endpoint, and the atomically rewritten live-progress file;
+* :class:`TimeSeriesStore` + :class:`Collector` - bounded ring-buffer
+  history of every instrument, sampled on an interval (``/timeseries``);
+* :class:`Objective` / :func:`evaluate_slos` - declarative SLOs with
+  multi-window burn-rate alerting over those ring buffers
+  (``/alerts``, ``repro slo``);
+* :func:`render_dashboard` - the zero-dependency single-file HTML fleet
+  dashboard (``/dashboard``).
 
 See ``docs/observability.md`` for the metric name glossary, the span
 schema, the merge rules and the exposition format.
 """
 
 from .bridges import publish_detector_metrics, publish_sim_metrics
+from .dashboard import render_dashboard
 from .context import (
     TelemetryContext,
     current_context,
@@ -51,10 +59,30 @@ from .forensics import (
 )
 from .monitor import TelemetryMonitor
 from .prom import prom_name, render_prom
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    labeled_name,
+    split_labels,
+)
 from .serve import TelemetryServer
 from .sites import SiteProfiler
+from .slo import (
+    SLO_FORMAT_VERSION,
+    Objective,
+    default_slos,
+    evaluate_slos,
+    load_slo_config,
+    render_slo_text,
+)
 from .status import StatusFile
+from .timeseries import (
+    TIMESERIES_FORMAT_VERSION,
+    Collector,
+    TimeSeriesStore,
+)
 from .timeline import TIMELINE_FORMAT_VERSION, TimelineRecorder, TimelineSink
 from .tracer import (
     SPANS_FORMAT_VERSION,
@@ -66,20 +94,25 @@ from .tracer import (
 )
 
 __all__ = [
+    "Collector",
     "Counter",
     "FORENSICS_FORMAT_VERSION",
     "Gauge",
     "Histogram",
     "JsonlExporter",
     "MetricsRegistry",
+    "Objective",
+    "SLO_FORMAT_VERSION",
     "SPANS_FORMAT_VERSION",
     "SiteProfiler",
     "Span",
     "StatusFile",
     "TIMELINE_FORMAT_VERSION",
+    "TIMESERIES_FORMAT_VERSION",
     "TelemetryContext",
     "TelemetryMonitor",
     "TelemetryServer",
+    "TimeSeriesStore",
     "TimelineRecorder",
     "TimelineSink",
     "Timer",
@@ -91,13 +124,20 @@ __all__ = [
     "current_sites",
     "current_timeline",
     "current_tracer",
+    "default_slos",
+    "evaluate_slos",
     "hb_graph_dot",
+    "labeled_name",
+    "load_slo_config",
     "prom_name",
     "publish_detector_metrics",
     "publish_sim_metrics",
     "read_jsonl",
+    "render_dashboard",
     "render_html",
     "render_prom",
+    "render_slo_text",
+    "split_labels",
     "telemetry_scope",
     "validate_chrome_trace",
     "write_forensics",

@@ -1,0 +1,386 @@
+"""The live daemon dashboard: one self-contained HTML page.
+
+:func:`render_dashboard` turns the serve daemon's four live documents —
+``/status``, ``/timeseries``, ``/alerts`` and the registry snapshot —
+into a single HTML string with **zero external assets**: inline CSS,
+inline SVG sparklines, no scripts, no fonts, no images.  ``curl`` it to
+a file and it opens offline; CI uploads it as an artifact.  A
+``<meta http-equiv="refresh">`` tag makes a live browser tab follow the
+daemon at the collector's cadence.
+
+Layout (in reading order):
+
+* header — daemon state, uptime, pool shape, generation timestamp;
+* the SLO alert panel — one row per objective, worst burn rate and an
+  explicit ``FIRING``/``ok`` label (state is never color-alone);
+* stat tiles + fleet sparklines — accepted/verdict/shed rates and queue
+  depth over the retained window, drawn from the ring buffers;
+* the per-tenant table — submissions, verdicts, rejections, mean
+  latency and a per-tenant accepted-rate sparkline, parsed from the
+  labeled ``serve.*`` series.
+
+Everything client-controlled (tenant names, request ids) is
+HTML-escaped; colors follow the repo-wide viz conventions (one data
+hue; status colors reserved for the alert panel, always with a text
+label; light and dark mode via ``prefers-color-scheme``).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .registry import labeled_name, split_labels
+
+__all__ = ["render_dashboard"]
+
+#: Sparkline geometry (viewBox units).
+_SPARK_W, _SPARK_H = 240, 44
+
+_STYLE = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb; --surface-2: #f0efec;
+  --ink-1: #0b0b0b; --ink-2: #52514e;
+  --grid: #e3e2de;
+  --series-1: #2a78d6; --series-fill: rgba(42,120,214,0.14);
+  --good: #0ca30c; --critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19; --surface-2: #262624;
+    --ink-1: #ffffff; --ink-2: #c3c2b7;
+    --grid: #383835;
+    --series-1: #3987e5; --series-fill: rgba(57,135,229,0.20);
+    --good: #0ca30c; --critical: #d03b3b;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px; background: var(--surface-1);
+  color: var(--ink-1);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 18px; margin: 0 0 4px; }
+h2 { font-size: 13px; font-weight: 600; color: var(--ink-2);
+     text-transform: uppercase; letter-spacing: 0.06em;
+     margin: 28px 0 10px; }
+.sub { color: var(--ink-2); margin: 0 0 18px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; }
+.tile {
+  background: var(--surface-2); border-radius: 8px;
+  padding: 12px 16px; min-width: 132px;
+}
+.tile .v { font-size: 24px; font-weight: 650; font-variant-numeric:
+           tabular-nums; }
+.tile .k { color: var(--ink-2); font-size: 12px; }
+.cards { display: flex; flex-wrap: wrap; gap: 12px; }
+.card {
+  background: var(--surface-2); border-radius: 8px; padding: 12px 16px;
+}
+.card .k { color: var(--ink-2); font-size: 12px; margin-bottom: 6px; }
+.card .last { font-variant-numeric: tabular-nums; font-weight: 600; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: right; padding: 6px 10px;
+         border-bottom: 1px solid var(--grid);
+         font-variant-numeric: tabular-nums; }
+th { color: var(--ink-2); font-size: 12px; font-weight: 600; }
+th:first-child, td:first-child { text-align: left; }
+.state { font-weight: 650; }
+.state.firing { color: var(--critical); }
+.state.ok { color: var(--good); }
+.badge { display: inline-block; border-radius: 6px; padding: 1px 8px;
+         font-size: 12px; font-weight: 650; }
+.badge.firing { background: var(--critical); color: #ffffff; }
+.badge.ok { background: var(--good); color: #ffffff; }
+svg.spark { display: block; }
+.spark .grid { stroke: var(--grid); stroke-width: 1; }
+.spark .line { stroke: var(--series-1); stroke-width: 2; fill: none;
+               stroke-linejoin: round; stroke-linecap: round; }
+.spark .area { fill: var(--series-fill); }
+.spark .dot { fill: var(--series-1); }
+.empty { color: var(--ink-2); font-style: italic; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt_num(value: float) -> str:
+    if value != value:  # NaN
+        return "-"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def _sparkline(points: Sequence[float], title: str) -> str:
+    """An inline-SVG sparkline (one series — titled, no legend).
+
+    The native ``<title>`` element doubles as the hover tooltip, and
+    ``role/aria-label`` name the series for assistive tech — the page's
+    tables carry the exact numbers.
+    """
+    w, h, pad = _SPARK_W, _SPARK_H, 3.0
+    if len(points) < 2:
+        return (
+            f'<svg class="spark" viewBox="0 0 {w} {h}" width="{w}" '
+            f'height="{h}" role="img" aria-label="{_esc(title)}">'
+            f'<line class="grid" x1="0" y1="{h - 1}" x2="{w}" '
+            f'y2="{h - 1}"/></svg>'
+        )
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    n = len(points)
+    xy: List[Tuple[float, float]] = []
+    for i, v in enumerate(points):
+        x = pad + (w - 2 * pad) * i / (n - 1)
+        y = h - pad - (h - 2 * pad) * (v - lo) / span
+        xy.append((x, y))
+    line = " ".join(f"{x:.1f},{y:.1f}" for x, y in xy)
+    area = (
+        f"{xy[0][0]:.1f},{h - pad:.1f} " + line
+        + f" {xy[-1][0]:.1f},{h - pad:.1f}"
+    )
+    lx, ly = xy[-1]
+    return (
+        f'<svg class="spark" viewBox="0 0 {w} {h}" width="{w}" '
+        f'height="{h}" role="img" aria-label="{_esc(title)}">'
+        f"<title>{_esc(title)}: min {_fmt_num(lo)}, max {_fmt_num(hi)}, "
+        f"last {_fmt_num(points[-1])}</title>"
+        f'<line class="grid" x1="0" y1="{h - 1}" x2="{w}" y2="{h - 1}"/>'
+        f'<polygon class="area" points="{area}"/>'
+        f'<polyline class="line" points="{line}"/>'
+        f'<circle class="dot" cx="{lx:.1f}" cy="{ly:.1f}" r="2.5"/>'
+        "</svg>"
+    )
+
+
+# -- series access -----------------------------------------------------------
+
+
+def _series_values(timeseries: Dict[str, Any], name: str) -> List[float]:
+    data = (timeseries.get("series") or {}).get(name)
+    if not data:
+        return []
+    return [float(v) for v in data.get("v", [])]
+
+
+def _deltas(values: Sequence[float]) -> List[float]:
+    """Per-sample increases of a cumulative series (clamped at 0, so a
+    counter reset shows as a flat spot, not a negative spike)."""
+    return [
+        max(0.0, b - a) for a, b in zip(values, values[1:])
+    ]
+
+
+def _rate_points(timeseries: Dict[str, Any], name: str) -> List[float]:
+    return _deltas(_series_values(timeseries, name))
+
+
+# -- page sections -----------------------------------------------------------
+
+
+def _tile(label: str, value: Any) -> str:
+    return (
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(label)}</div></div>'
+    )
+
+
+def _alert_panel(alerts: Dict[str, Any]) -> str:
+    rows = []
+    for entry in alerts.get("objectives", []):
+        obj = entry.get("objective", {})
+        worst = 0.0
+        for pair in entry.get("windows", []):
+            worst = max(worst, pair.get("long", {}).get("burn_rate", 0.0),
+                        pair.get("short", {}).get("burn_rate", 0.0))
+        firing = bool(entry.get("firing"))
+        badge = (
+            '<span class="badge firing">&#9650; FIRING</span>'
+            if firing else '<span class="badge ok">ok</span>'
+        )
+        detail = f"target {obj.get('target', '?')}"
+        if obj.get("kind") == "latency_p99":
+            detail += f" &middot; threshold {obj.get('threshold_s')}s"
+            if entry.get("p99_s") is not None:
+                detail += f" &middot; p99&#8776;{_esc(entry['p99_s'])}s"
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(obj.get('name', '?'))}</td>"
+            f"<td>{_esc(obj.get('kind', '?'))}</td>"
+            f"<td>{detail}</td>"
+            f"<td>{_fmt_num(worst)}x</td>"
+            f"<td>{badge}</td>"
+            "</tr>"
+        )
+    if not rows:
+        return '<p class="empty">no objectives configured</p>'
+    head = ("<tr><th>objective</th><th>kind</th><th>detail</th>"
+            "<th>worst burn</th><th>state</th></tr>")
+    return f"<table>{head}{''.join(rows)}</table>"
+
+
+def _fleet_cards(timeseries: Dict[str, Any]) -> str:
+    queue_shed = _rate_points(timeseries, "serve.queue_rejected")
+    quota_shed = _rate_points(timeseries, "serve.quota_denied")
+    width = max(len(queue_shed), len(quota_shed))
+    queue_shed += [0.0] * (width - len(queue_shed))
+    quota_shed += [0.0] * (width - len(quota_shed))
+    charts: List[Tuple[str, List[float]]] = [
+        ("accepted / interval", _rate_points(timeseries, "serve.accepted")),
+        ("verdicts / interval", _rate_points(timeseries, "serve.completed")),
+        ("failures / interval", _rate_points(timeseries, "serve.failed")),
+        ("shed (429) / interval",
+         [a + b for a, b in zip(queue_shed, quota_shed)]),
+        ("queue depth", _series_values(timeseries, "serve.queue_depth")),
+    ]
+    # Mean latency per interval from the histogram's cumulative count/sum.
+    d_count = _rate_points(timeseries, "serve.latency.count")
+    d_sum = _rate_points(timeseries, "serve.latency.sum")
+    if d_count and d_sum:
+        charts.append((
+            "mean latency (s) / interval",
+            [s / c if c else 0.0 for c, s in zip(d_count, d_sum)],
+        ))
+    cards = []
+    for label, points in charts:
+        last = _fmt_num(points[-1]) if points else "-"
+        cards.append(
+            f'<div class="card"><div class="k">{_esc(label)} &middot; '
+            f'last <span class="last">{last}</span></div>'
+            f"{_sparkline(points, label)}</div>"
+        )
+    return f'<div class="cards">{"".join(cards)}</div>'
+
+
+def _tenant_rows(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Per-tenant aggregates parsed from labeled ``serve.*`` entries."""
+    tenants: Dict[str, Dict[str, Any]] = {}
+
+    def cell(tenant: str) -> Dict[str, Any]:
+        return tenants.setdefault(tenant, {
+            "submissions": 0, "accepted": 0, "racy": 0, "clean": 0,
+            "failed": 0, "shed": 0, "lat_count": 0, "lat_sum": 0.0,
+        })
+
+    for name, value in snapshot.items():
+        if not name.startswith("serve."):
+            continue
+        base, labels = split_labels(name)
+        tenant = dict(labels).get("tenant")
+        if tenant is None:
+            continue
+        row = cell(tenant)
+        if base == "serve.submissions":
+            row["submissions"] += value
+        elif base == "serve.accepted":
+            row["accepted"] += value
+        elif base == "serve.verdict.racy":
+            row["racy"] += value
+        elif base == "serve.verdict.clean":
+            row["clean"] += value
+        elif base == "serve.failed":
+            row["failed"] += value
+        elif base in ("serve.queue_rejected", "serve.quota_denied"):
+            row["shed"] += value
+        elif base == "serve.latency" and isinstance(value, dict):
+            row["lat_count"] += value.get("count", 0)
+            row["lat_sum"] += value.get("sum", 0)
+    return tenants
+
+
+def _tenant_table(
+    snapshot: Dict[str, Any], timeseries: Dict[str, Any]
+) -> str:
+    tenants = _tenant_rows(snapshot)
+    if not tenants:
+        return ('<p class="empty">no per-tenant traffic yet '
+                "(labels appear with the first submission)</p>")
+    rows = []
+    for tenant in sorted(tenants):
+        row = tenants[tenant]
+        mean = (row["lat_sum"] / row["lat_count"]) if row["lat_count"] else 0.0
+        accepted_series = _rate_points(
+            timeseries, labeled_name("serve.accepted", {"tenant": tenant})
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(tenant)}</td>"
+            f"<td>{_fmt_num(row['submissions'])}</td>"
+            f"<td>{_fmt_num(row['accepted'])}</td>"
+            f"<td>{_fmt_num(row['racy'])}</td>"
+            f"<td>{_fmt_num(row['clean'])}</td>"
+            f"<td>{_fmt_num(row['failed'])}</td>"
+            f"<td>{_fmt_num(row['shed'])}</td>"
+            f"<td>{_fmt_num(mean)}s</td>"
+            f"<td>{_sparkline(accepted_series, f'{tenant} accepted rate')}"
+            "</td></tr>"
+        )
+    head = (
+        "<tr><th>tenant</th><th>submitted</th><th>accepted</th>"
+        "<th>racy</th><th>clean</th><th>failed</th><th>shed</th>"
+        "<th>mean latency</th><th>accepted / interval</th></tr>"
+    )
+    return f"<table>{head}{''.join(rows)}</table>"
+
+
+# -- the page ----------------------------------------------------------------
+
+
+def render_dashboard(
+    status: Dict[str, Any],
+    timeseries: Dict[str, Any],
+    alerts: Dict[str, Any],
+    snapshot: Optional[Dict[str, Any]] = None,
+    refresh_s: Optional[int] = 3,
+) -> str:
+    """The daemon dashboard as one self-contained HTML document."""
+    snapshot = snapshot or {}
+    refresh = (
+        f'<meta http-equiv="refresh" content="{int(refresh_s)}">'
+        if refresh_s else ""
+    )
+    queue = status.get("queue", {})
+    pool = status.get("pool", {})
+    subs = status.get("submissions", {})
+    firing = alerts.get("firing", [])
+    state_cls = "firing" if firing else "ok"
+    state_text = (
+        "SLO FIRING: " + ", ".join(_esc(f) for f in firing)
+        if firing else "all SLOs ok"
+    )
+    tiles = "".join([
+        _tile("daemon", status.get("state", "?")),
+        _tile("uptime (s)", _fmt_num(status.get("uptime_s", 0))),
+        _tile("queue depth", f"{queue.get('depth', 0)}"
+              f" / {queue.get('capacity', '?')}"),
+        _tile("workers", pool.get("workers", "?")),
+        _tile("done", subs.get("done", 0)),
+        _tile("failed", subs.get("failed", 0)),
+    ])
+    body = f"""
+<h1>repro serve &mdash; fleet dashboard</h1>
+<p class="sub">state <span class="state {state_cls}">{state_text}</span>
+ &middot; alerts evaluated at t={_esc(alerts.get('now', '?'))}
+ &middot; auto-refresh {int(refresh_s) if refresh_s else 'off'}s</p>
+<div class="tiles">{tiles}</div>
+<h2>SLO burn rates</h2>
+{_alert_panel(alerts)}
+<h2>fleet</h2>
+{_fleet_cards(timeseries)}
+<h2>tenants</h2>
+{_tenant_table(snapshot, timeseries)}
+"""
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head>"
+        '<meta charset="utf-8">'
+        '<meta name="viewport" content="width=device-width, initial-scale=1">'
+        f"{refresh}<title>repro serve dashboard</title>"
+        f"<style>{_STYLE}</style></head>\n<body>{body}</body></html>\n"
+    )

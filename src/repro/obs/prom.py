@@ -4,25 +4,40 @@ Zero dependencies: the renderer emits the `text-based exposition
 format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
 (version 0.0.4) that any Prometheus-compatible scraper parses:
 
-* counters and gauges become one ``# TYPE`` line plus one sample;
-* gauges additionally expose their high-water mark as
-  ``<name>_high_water``;
+* every metric *family* (one base name, all its label sets) gets one
+  ``# HELP`` line (the text registered via ``registry.describe``, or the
+  dotted registry name when none is) and one ``# TYPE`` line, followed
+  by all of its samples — labeled series render as
+  ``name{tenant="t1"} 4``;
+* label values are escaped per the spec's exact rules: backslash
+  (``\\``), double quote (``\"``) and newline (``\n``); ``# HELP`` text
+  escapes backslash and newline;
+* gauges additionally expose their high-water mark as the
+  ``<name>_high_water`` family;
 * histograms become the canonical triplet — cumulative
   ``<name>_bucket{le="..."}`` series ending in ``le="+Inf"``, plus
-  ``<name>_sum`` and ``<name>_count``.
+  ``<name>_sum`` and ``<name>_count`` (labels merged with ``le``).
 
 Dotted registry names are sanitized to the ``[a-zA-Z_:][a-zA-Z0-9_:]*``
-metric-name alphabet (``mem.reads.shared`` → ``mem_reads_shared``).
+metric-name alphabet (``mem.reads.shared`` → ``mem_reads_shared``);
+label keys pass through unchanged (the registry already enforces the
+label-name alphabet).
 """
 
 from __future__ import annotations
 
 import re
-from typing import List, Union
+from typing import Dict, List, Tuple, Union
 
-from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    split_labels,
+)
 
-__all__ = ["prom_name", "render_prom"]
+__all__ = ["prom_name", "render_prom", "escape_label_value"]
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -44,30 +59,79 @@ def _fmt(value: Union[int, float]) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_block(labels: Tuple[Tuple[str, str], ...], *extra: str) -> str:
+    """``{k="v",...}`` with values escaped; "" when there is nothing."""
+    parts = [
+        f'{key}="{escape_label_value(value)}"' for key, value in labels
+    ]
+    parts.extend(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
 def render_prom(registry: MetricsRegistry) -> str:
-    """The registry's current state in Prometheus text format."""
-    lines: List[str] = []
+    """The registry's current state in Prometheus text format.
+
+    Instruments are grouped into families by base name so all label
+    sets of one metric share a single ``# HELP``/``# TYPE`` header, as
+    the exposition spec requires.
+    """
+    # Group instruments by base registry name, keeping name-sorted order
+    # of first appearance (registry iteration is already sorted).
+    families: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], object]]] = {}
+    order: List[str] = []
     for instrument in registry.instruments():
-        name = prom_name(instrument.name)
-        if isinstance(instrument, Counter):
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_fmt(instrument.value)}")
-        elif isinstance(instrument, Gauge):
-            lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_fmt(instrument.value)}")
-            lines.append(f"# TYPE {name}_high_water gauge")
-            lines.append(f"{name}_high_water {_fmt(instrument.high_water)}")
-        elif isinstance(instrument, Histogram):
-            lines.append(f"# TYPE {name} histogram")
-            cumulative = 0
-            for bound, count in zip(instrument.bounds, instrument.bucket_counts):
-                cumulative += count
+        base, labels = split_labels(instrument.name)
+        if base not in families:
+            families[base] = []
+            order.append(base)
+        families[base].append((labels, instrument))
+
+    lines: List[str] = []
+
+    def header(name: str, base: str, kind: str) -> None:
+        help_text = registry.help_text(base) or base
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for base in order:
+        members = families[base]
+        name = prom_name(base)
+        kind = members[0][1].kind
+        header(name, base, kind)
+        if kind == "histogram":
+            for labels, instrument in members:
+                assert isinstance(instrument, Histogram)
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.bounds, instrument.bucket_counts
+                ):
+                    cumulative += count
+                    block = _label_block(labels, f'le="{_fmt(bound)}"')
+                    lines.append(f"{name}_bucket{block} {cumulative}")
+                block = _label_block(labels, 'le="+Inf"')
+                lines.append(f"{name}_bucket{block} {instrument.count}")
                 lines.append(
-                    f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                    f"{name}_sum{_label_block(labels)} "
+                    f"{_fmt(instrument.total)}"
                 )
+                lines.append(
+                    f"{name}_count{_label_block(labels)} {instrument.count}"
+                )
+            continue
+        for labels, instrument in members:
             lines.append(
-                f'{name}_bucket{{le="+Inf"}} {instrument.count}'
+                f"{name}{_label_block(labels)} {_fmt(instrument.value)}"
             )
-            lines.append(f"{name}_sum {_fmt(instrument.total)}")
-            lines.append(f"{name}_count {instrument.count}")
+        if kind == "gauge":
+            header(f"{name}_high_water", f"{base} (high-water mark)", "gauge")
+            for labels, instrument in members:
+                assert isinstance(instrument, Gauge)
+                lines.append(
+                    f"{name}_high_water{_label_block(labels)} "
+                    f"{_fmt(instrument.high_water)}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")

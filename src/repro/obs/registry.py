@@ -29,20 +29,124 @@ snapshot; because a scalar snapshot value cannot distinguish a counter
 from a gauge, the optional ``kinds`` mapping (from
 :meth:`MetricsRegistry.kinds`) carries the instrument kind — without it,
 unknown scalar names default to counters.
+
+**Labels.**  Every instrument accessor takes an optional ``labels``
+mapping (``registry.inc("serve.accepted", labels={"tenant": "t1"})``).
+A labeled instrument lives in the same flat namespace under its
+*canonical name*: the base name plus a ``{key="value",...}`` suffix with
+keys sorted and values escaped (backslash, double quote, newline — the
+Prometheus label-value alphabet), e.g. ``serve.latency{tenant="t1"}``.
+Because a canonical name is just a name, snapshots, ``diff``, merges and
+the cross-process pipeline handle labeled series with zero new
+machinery, and merging the same snapshots in the same order stays
+byte-deterministic.  One constraint is enforced on top: every label set
+of a base name must share one instrument kind (``serve.accepted`` as a
+counter and ``serve.accepted{tenant="t1"}`` as a gauge is the kind
+confusion the registry exists to prevent).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BOUNDS"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BOUNDS",
+    "labeled_name",
+    "split_labels",
+]
 
 #: Default histogram bounds: powers of two up to ~1M, a good fit for the
 #: instruction/SFR-length scales the runtime produces.
 DEFAULT_BOUNDS: Tuple[int, ...] = tuple(2 ** i for i in range(21))
 
 Number = Union[int, float]
+
+#: Label keys share the Prometheus label-name alphabet.
+_LABEL_KEY = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Escapes applied to label values inside a canonical name (and by the
+#: Prometheus renderer — the exposition spec's exact three).
+_ESCAPES = (("\\", "\\\\"), ("\"", "\\\""), ("\n", "\\n"))
+
+
+def escape_label_value(value: str) -> str:
+    """A label value with backslash, double quote and newline escaped."""
+    for raw, escaped in _ESCAPES:
+        value = value.replace(raw, escaped)
+    return value
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def labeled_name(name: str, labels: Optional[Mapping[str, object]]) -> str:
+    """The canonical registry name for ``name`` + ``labels``.
+
+    Keys are sorted (so any insertion order canonicalizes to one name)
+    and values escaped; an empty/None label set is just ``name``.
+    """
+    if not labels:
+        return name
+    if "{" in name:
+        raise ValueError(f"base metric name {name!r} already carries labels")
+    parts = []
+    for key in sorted(labels):
+        if not _LABEL_KEY.match(key):
+            raise ValueError(f"invalid label key {key!r}")
+        parts.append(f'{key}="{escape_label_value(str(labels[key]))}"')
+    return f"{name}{{{','.join(parts)}}}"
+
+
+def split_labels(name: str) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+    """A canonical name split back into ``(base, ((key, value), ...))``.
+
+    The inverse of :func:`labeled_name`; a plain name returns an empty
+    label tuple.
+    """
+    brace = name.find("{")
+    if brace < 0:
+        return name, ()
+    if not name.endswith("}"):
+        raise ValueError(f"malformed labeled metric name {name!r}")
+    base, block = name[:brace], name[brace + 1:-1]
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        key = block[i:eq]
+        if block[eq + 1] != '"':
+            raise ValueError(f"malformed labeled metric name {name!r}")
+        j = eq + 2
+        while j < len(block):
+            if block[j] == "\\":
+                j += 2
+                continue
+            if block[j] == '"':
+                break
+            j += 1
+        else:
+            raise ValueError(f"malformed labeled metric name {name!r}")
+        labels.append((key, _unescape_label_value(block[eq + 2:j])))
+        i = j + 2  # skip closing quote and the comma
+    return base, tuple(labels)
 
 
 class Counter:
@@ -212,20 +316,31 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self._base_kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
 
     # -- instrument access -------------------------------------------------
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Counter:
+        return self._get(labeled_name(name, labels), Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Gauge:
+        return self._get(labeled_name(name, labels), Gauge)
 
     def histogram(
-        self, name: str, bounds: Optional[Sequence[Number]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[Number]] = None,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> Histogram:
+        name = labeled_name(name, labels)
         instrument = self._instruments.get(name)
         if instrument is None:
+            self._bind_base_kind(name, "histogram")
             instrument = Histogram(name, bounds)
             self._instruments[name] = instrument
         elif not isinstance(instrument, Histogram):
@@ -234,9 +349,20 @@ class MetricsRegistry:
             )
         return instrument
 
+    def _bind_base_kind(self, name: str, kind: str) -> None:
+        """One instrument kind per *base* name across every label set."""
+        base = name.partition("{")[0]
+        bound = self._base_kinds.setdefault(base, kind)
+        if bound != kind:
+            raise TypeError(
+                f"metric family {base!r} is a {bound}, not a {kind}; every "
+                "label set of a base name must share one kind"
+            )
+
     def _get(self, name: str, cls: type) -> Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
+            self._bind_base_kind(name, cls.kind)
             instrument = cls(name)
             self._instruments[name] = instrument
         elif not isinstance(instrument, cls):
@@ -247,14 +373,39 @@ class MetricsRegistry:
 
     # -- one-line recording convenience -----------------------------------
 
-    def inc(self, name: str, amount: Number = 1) -> None:
-        self.counter(name).inc(amount)
+    def inc(
+        self,
+        name: str,
+        amount: Number = 1,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.counter(name, labels=labels).inc(amount)
 
-    def set_gauge(self, name: str, value: Number) -> None:
-        self.gauge(name).set(value)
+    def set_gauge(
+        self,
+        name: str,
+        value: Number,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.gauge(name, labels=labels).set(value)
 
-    def observe(self, name: str, value: Number) -> None:
-        self.histogram(name).observe(value)
+    def observe(
+        self,
+        name: str,
+        value: Number,
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.histogram(name, labels=labels).observe(value)
+
+    # -- metric family documentation ---------------------------------------
+
+    def describe(self, base_name: str, help_text: str) -> None:
+        """Attach a one-line ``# HELP`` text to a metric family (the base
+        name, shared by every label set)."""
+        self._help[base_name] = help_text
+
+    def help_text(self, base_name: str) -> Optional[str]:
+        return self._help.get(base_name)
 
     # -- introspection -----------------------------------------------------
 

@@ -1,0 +1,377 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`Objective` states what "good service" means as a *good-event
+fraction* target (``target=0.99`` → a 1% error budget).  Three kinds
+cover the serve daemon:
+
+``availability``
+    good = completed verdicts, bad = failed submissions
+    (``serve.completed`` / ``serve.failed`` counter deltas).
+
+``latency_p99``
+    good = requests finishing within ``threshold_s``, measured from the
+    ``serve.latency`` histogram's cumulative bucket series (the smallest
+    bucket bound >= the threshold classifies each request); the window's
+    estimated p99 is reported alongside.
+
+``shed_rate``
+    bad = submissions shed by admission (``serve.queue_rejected`` +
+    ``serve.quota_denied``), total = all submissions.
+
+Every objective is evaluated over one or more **window pairs** — the
+standard multi-window burn-rate recipe: the *burn rate* is
+``bad_ratio / (1 - target)`` (1.0 = spending the budget exactly at the
+sustainable rate), and a pair fires only when **both** its long and its
+short window burn above the pair's threshold — the long window proves
+the problem is material, the short one proves it is still happening, so
+alerts both catch fast burns quickly and reset promptly once the bleed
+stops.
+
+Evaluation is a pure function of a :class:`~repro.obs.timeseries.TimeSeriesStore`
+and a wall-clock "now" (defaulting to the store's newest sample, so a
+scraped artifact evaluates identically offline — that is what
+``repro slo`` does); the daemon serves the same computation at
+``GET /alerts``.
+
+Config files are JSON::
+
+    {"objectives": [
+      {"name": "availability", "kind": "availability", "target": 0.99},
+      {"name": "latency", "kind": "latency_p99", "target": 0.95,
+       "threshold_s": 2.5,
+       "windows": [[300, 60, 2.0], [60, 15, 6.0]]}
+    ]}
+
+Omitted fields take the defaults below; unknown kinds or malformed
+windows are rejected loudly at load time, not at alert time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .timeseries import TimeSeriesStore
+
+__all__ = [
+    "Objective",
+    "SLO_FORMAT_VERSION",
+    "default_slos",
+    "evaluate_slos",
+    "load_slo_config",
+    "render_slo_text",
+]
+
+#: Schema major stamped into every ``/alerts`` payload.
+SLO_FORMAT_VERSION = 1
+
+#: Objective kinds this engine evaluates.
+KINDS = ("availability", "latency_p99", "shed_rate")
+
+#: Default window pairs: (long_s, short_s, burn_threshold).  Tuned to
+#: the daemon's scale (sessions measured in minutes, ring buffers in
+#: samples-per-second), not a 30-day page budget: a fast pair that
+#: fires within a minute of a hard burn, and a slow pair for sustained
+#: bleed.
+DEFAULT_WINDOWS: Tuple[Tuple[float, float, float], ...] = (
+    (300.0, 60.0, 2.0),
+    (60.0, 15.0, 6.0),
+)
+
+
+@dataclass
+class Objective:
+    """One declarative service-level objective."""
+
+    name: str
+    kind: str
+    target: float
+    #: Latency objectives only: the "good request" latency bound.
+    threshold_s: float = 1.0
+    #: ``(long_s, short_s, burn_threshold)`` pairs.
+    windows: Tuple[Tuple[float, float, float], ...] = DEFAULT_WINDOWS
+    #: Fewer total events than this in the long window → not firing
+    #: (an empty daemon is in SLO, and one early failure must not page).
+    min_events: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; one of {KINDS}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), not {self.target!r}"
+            )
+        windows = []
+        for entry in self.windows:
+            if len(entry) != 3:
+                raise ValueError(
+                    f"SLO window must be [long_s, short_s, burn_threshold], "
+                    f"not {entry!r}"
+                )
+            long_s, short_s, burn = (float(x) for x in entry)
+            if not 0 < short_s <= long_s:
+                raise ValueError(
+                    f"SLO window needs 0 < short_s <= long_s, got {entry!r}"
+                )
+            windows.append((long_s, short_s, burn))
+        self.windows = tuple(windows)
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad-event fraction."""
+        return 1.0 - self.target
+
+    def to_payload(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "windows": [list(w) for w in self.windows],
+            "min_events": self.min_events,
+        }
+        if self.kind == "latency_p99":
+            payload["threshold_s"] = self.threshold_s
+        return payload
+
+
+def default_slos() -> List[Objective]:
+    """The serve daemon's out-of-the-box objectives."""
+    return [
+        Objective(name="availability", kind="availability", target=0.99),
+        Objective(
+            name="latency-p99", kind="latency_p99", target=0.95,
+            threshold_s=5.0,
+        ),
+        Objective(name="shed-rate", kind="shed_rate", target=0.5),
+    ]
+
+
+def load_slo_config(source: Any) -> List[Objective]:
+    """Objectives from a config path, JSON text, or parsed dict."""
+    if isinstance(source, str):
+        if source.lstrip().startswith("{"):
+            payload = json.loads(source)
+        else:
+            with open(source) as fh:
+                payload = json.load(fh)
+    else:
+        payload = source
+    entries = payload.get("objectives")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError('SLO config needs a non-empty "objectives" list')
+    objectives = []
+    for entry in entries:
+        kwargs = dict(entry)
+        if "windows" in kwargs:
+            kwargs["windows"] = tuple(tuple(w) for w in kwargs["windows"])
+        try:
+            objectives.append(Objective(**kwargs))
+        except TypeError as exc:
+            raise ValueError(f"bad SLO objective {entry!r}: {exc}") from None
+    names = [o.name for o in objectives]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate SLO objective names in {names}")
+    return objectives
+
+
+# -- counting good/bad events over a window ---------------------------------
+
+
+def _counter_delta(store: TimeSeriesStore, name: str, seconds: float,
+                   now: float) -> float:
+    return max(0.0, store.delta(name, seconds, now))
+
+
+def _bad_total(
+    objective: Objective,
+    store: TimeSeriesStore,
+    seconds: float,
+    now: float,
+) -> Tuple[float, float]:
+    """``(bad_events, total_events)`` for one objective over a window."""
+    if objective.kind == "availability":
+        done = _counter_delta(store, "serve.completed", seconds, now)
+        failed = _counter_delta(store, "serve.failed", seconds, now)
+        return failed, done + failed
+    if objective.kind == "shed_rate":
+        shed = (
+            _counter_delta(store, "serve.queue_rejected", seconds, now)
+            + _counter_delta(store, "serve.quota_denied", seconds, now)
+        )
+        total = _counter_delta(store, "serve.submissions", seconds, now)
+        return shed, total
+    # latency_p99: classify each request by the smallest histogram
+    # bucket bound >= threshold_s (cumulative buckets, so a delta of the
+    # bound series counts the window's requests at or under the bound).
+    total = _counter_delta(store, "serve.latency.count", seconds, now)
+    bound = _threshold_bound(store, objective.threshold_s)
+    if bound is None:
+        # No finite bound at/above the threshold: every bucketed request
+        # counts as good only if it is under the largest finite bound —
+        # with no bounds at all there is nothing to alert on.
+        return 0.0, total
+    good = _counter_delta(store, f"serve.latency.le.{bound}", seconds, now)
+    return max(0.0, total - good), total
+
+
+def _latency_bounds(store: TimeSeriesStore) -> List[Tuple[float, str]]:
+    """The finite ``serve.latency`` bucket bounds present in the store,
+    as ``(numeric_bound, series_suffix)`` sorted ascending."""
+    bounds = []
+    prefix = "serve.latency.le."
+    for name in store.names():
+        if not name.startswith(prefix) or "{" in name:
+            continue
+        text = name[len(prefix):]
+        if text == "inf":
+            continue
+        try:
+            bounds.append((float(text), text))
+        except ValueError:
+            continue
+    bounds.sort()
+    return bounds
+
+
+def _threshold_bound(
+    store: TimeSeriesStore, threshold_s: float
+) -> Optional[str]:
+    """The series suffix of the smallest bucket bound >= threshold."""
+    for bound, text in _latency_bounds(store):
+        if bound >= threshold_s:
+            return text
+    return None
+
+
+def _estimate_p99(
+    store: TimeSeriesStore, seconds: float, now: float
+) -> Optional[float]:
+    """The window's p99 latency, as the smallest bucket bound covering
+    99% of its requests (an upper estimate; None without data)."""
+    total = _counter_delta(store, "serve.latency.count", seconds, now)
+    if total <= 0:
+        return None
+    need = 0.99 * total
+    for bound, text in _latency_bounds(store):
+        if _counter_delta(store, f"serve.latency.le.{text}", seconds,
+                          now) >= need:
+            return bound
+    return float("inf")
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def _window_state(
+    objective: Objective,
+    store: TimeSeriesStore,
+    seconds: float,
+    burn_threshold: float,
+    now: float,
+) -> Dict[str, Any]:
+    bad, total = _bad_total(objective, store, seconds, now)
+    ratio = (bad / total) if total > 0 else 0.0
+    budget = objective.budget
+    burn = (ratio / budget) if budget > 0 else (0.0 if bad == 0 else
+                                                float("inf"))
+    return {
+        "seconds": seconds,
+        "bad": round(bad, 6),
+        "total": round(total, 6),
+        "bad_ratio": round(ratio, 6),
+        "burn_rate": round(burn, 4),
+        "burning": bool(burn >= burn_threshold and total >= 1),
+    }
+
+
+def evaluate_slos(
+    store: TimeSeriesStore,
+    objectives: Sequence[Objective],
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Every objective's burn-rate state — the ``/alerts`` document.
+
+    ``now`` defaults to the store's newest sample timestamp, which makes
+    the evaluation a pure function of the data: re-running it against a
+    scraped ``/timeseries`` artifact (``repro slo``) yields the same
+    verdicts the live endpoint served.
+    """
+    if now is None:
+        now = store.latest_time() or 0.0
+    results = []
+    firing: List[str] = []
+    for objective in objectives:
+        pairs = []
+        obj_firing = False
+        for long_s, short_s, burn_threshold in objective.windows:
+            long_state = _window_state(
+                objective, store, long_s, burn_threshold, now
+            )
+            short_state = _window_state(
+                objective, store, short_s, burn_threshold, now
+            )
+            pair_firing = bool(
+                long_state["burning"]
+                and short_state["burning"]
+                and long_state["total"] >= objective.min_events
+            )
+            obj_firing = obj_firing or pair_firing
+            pairs.append({
+                "long_s": long_s,
+                "short_s": short_s,
+                "burn_threshold": burn_threshold,
+                "long": long_state,
+                "short": short_state,
+                "firing": pair_firing,
+            })
+        entry: Dict[str, Any] = {
+            "objective": objective.to_payload(),
+            "windows": pairs,
+            "firing": obj_firing,
+        }
+        if objective.kind == "latency_p99":
+            longest = max(w[0] for w in objective.windows)
+            p99 = _estimate_p99(store, longest, now)
+            entry["p99_s"] = (
+                None if p99 is None
+                else ("inf" if p99 == float("inf") else p99)
+            )
+        results.append(entry)
+        if obj_firing:
+            firing.append(objective.name)
+    return {
+        "version": SLO_FORMAT_VERSION,
+        "now": round(now, 3),
+        "objectives": results,
+        "firing": sorted(firing),
+        "ok": not firing,
+    }
+
+
+def render_slo_text(report: Dict[str, Any]) -> str:
+    """A fixed-width terminal rendering of an ``/alerts`` document."""
+    lines = []
+    state = "OK" if report["ok"] else "FIRING: " + ", ".join(report["firing"])
+    lines.append(f"SLO state: {state}")
+    for entry in report["objectives"]:
+        obj = entry["objective"]
+        head = f"  {obj['name']} ({obj['kind']}, target {obj['target']:.3g}"
+        if obj["kind"] == "latency_p99":
+            head += f", threshold {obj['threshold_s']:g}s"
+        head += ")"
+        if entry.get("p99_s") is not None:
+            head += f"  p99~{entry['p99_s']}s"
+        lines.append(head + ("  ** FIRING **" if entry["firing"] else ""))
+        for pair in entry["windows"]:
+            lines.append(
+                f"    {pair['long_s']:g}s/{pair['short_s']:g}s "
+                f"burn>={pair['burn_threshold']:g}: "
+                f"long {pair['long']['burn_rate']:g} "
+                f"({pair['long']['bad']:g}/{pair['long']['total']:g} bad), "
+                f"short {pair['short']['burn_rate']:g}"
+                + ("  FIRING" if pair["firing"] else "")
+            )
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Bounded time-series storage for fleet observability.
+
+``/metrics`` answers "what are the totals *right now*"; this module
+answers "what did they look like *over the last five minutes*".  A
+:class:`TimeSeriesStore` keeps one fixed-capacity ring buffer per series
+name; a :class:`Collector` thread (owned by the serve daemon) samples a
+:class:`~repro.obs.registry.MetricsRegistry` into it on a configurable
+interval.  The store is the substrate both the SLO engine
+(:mod:`repro.obs.slo`) and the live dashboard
+(:mod:`repro.obs.dashboard`) read.
+
+Sampling flattens every instrument into scalar series:
+
+* counters and gauges sample under their registry name (labeled series
+  keep their canonical ``name{key="value"}`` form);
+* a histogram ``h`` samples as ``h.count`` and ``h.sum`` plus one
+  *cumulative* bucket series per bound — ``h.le.<bound>`` and
+  ``h.le.inf`` (labels, when present, stay attached:
+  ``h.count{tenant="t1"}``).  Cumulative bucket samples are monotone,
+  so windowed deltas give exact per-window distributions — that is what
+  the SLO engine's burn rates are computed from.
+
+Sampling only ever *reads* the registry (plain dict reads under the
+GIL), so the collector is observation-grade by construction: verdicts
+and ``clean.*`` counters are byte-identical with the collector on or
+off (``tests/test_fleet_obs.py`` pins this).
+
+The JSON payload (``GET /timeseries``) round-trips through
+:meth:`TimeSeriesStore.from_payload`, which is how ``repro slo``
+re-evaluates scraped artifacts offline with verdicts identical to the
+live ``/alerts`` endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["Collector", "TimeSeriesStore", "TIMESERIES_FORMAT_VERSION"]
+
+#: Schema major stamped into every ``/timeseries`` payload.
+TIMESERIES_FORMAT_VERSION = 1
+
+#: Default ring capacity: 600 samples — ten minutes at the default 1s
+#: collector interval.
+DEFAULT_CAPACITY = 600
+
+
+def _hist_series(base: str, labels: str, suffix: str) -> str:
+    """``base.suffix{labels}`` — the suffix goes *before* the label
+    block so derived series stay parseable by ``split_labels``."""
+    return f"{base}.{suffix}{labels}"
+
+
+class TimeSeriesStore:
+    """Named ring buffers of ``(unix_time, value)`` samples."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError("time-series capacity must be >= 2")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._series: Dict[str, deque] = {}
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, name: str, t: float, value: float) -> None:
+        """Append one sample to ``name``'s ring (evicting the oldest
+        once the ring is full)."""
+        with self._lock:
+            ring = self._series.get(name)
+            if ring is None:
+                ring = deque(maxlen=self.capacity)
+                self._series[name] = ring
+            ring.append((t, value))
+
+    def sample(
+        self, registry: MetricsRegistry, t: Optional[float] = None
+    ) -> float:
+        """Record one sample of every instrument in ``registry``.
+
+        Returns the timestamp used (``time.time()`` by default) so a
+        caller can correlate.  Read-only with respect to the registry.
+        """
+        if t is None:
+            t = time.time()
+        for instrument in registry.instruments():
+            name = instrument.name
+            if isinstance(instrument, (Counter, Gauge)):
+                self.record(name, t, instrument.value)
+                continue
+            if isinstance(instrument, Histogram):
+                brace = name.find("{")
+                base = name if brace < 0 else name[:brace]
+                labels = "" if brace < 0 else name[brace:]
+                self.record(_hist_series(base, labels, "count"), t,
+                            instrument.count)
+                self.record(_hist_series(base, labels, "sum"), t,
+                            instrument.total)
+                cumulative = 0
+                for bound, n in zip(instrument.bounds,
+                                    instrument.bucket_counts):
+                    cumulative += n
+                    bound_text = (
+                        str(bound) if isinstance(bound, int)
+                        else f"{bound:g}"
+                    )
+                    self.record(
+                        _hist_series(base, labels, f"le.{bound_text}"), t,
+                        cumulative,
+                    )
+                self.record(_hist_series(base, labels, "le.inf"), t,
+                            instrument.count)
+        return t
+
+    # -- reading -----------------------------------------------------------
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def latest_time(self) -> Optional[float]:
+        """Timestamp of the newest sample across all series."""
+        with self._lock:
+            stamps = [ring[-1][0] for ring in self._series.values() if ring]
+        return max(stamps) if stamps else None
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """All retained samples of ``name`` (empty when unknown)."""
+        with self._lock:
+            ring = self._series.get(name)
+            return list(ring) if ring is not None else []
+
+    def window(
+        self, name: str, seconds: float, now: Optional[float] = None
+    ) -> List[Tuple[float, float]]:
+        """The samples of ``name`` with ``t >= now - seconds``."""
+        if now is None:
+            now = self.latest_time() or time.time()
+        cutoff = now - seconds
+        return [(t, v) for t, v in self.series(name) if t >= cutoff]
+
+    def delta(
+        self, name: str, seconds: float, now: Optional[float] = None
+    ) -> float:
+        """Increase of a (monotone) series over the trailing window:
+        last sample minus first sample inside it.  0.0 with fewer than
+        two samples in the window."""
+        samples = self.window(name, seconds, now)
+        if len(samples) < 2:
+            return 0.0
+        return samples[-1][1] - samples[0][1]
+
+    # -- JSON round trip ----------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The whole store as a JSON-ready document (``/timeseries``).
+
+        Timestamps round to milliseconds, values to 6 decimals — small
+        on the wire, and more than the SLO math needs.
+        """
+        with self._lock:
+            series = {
+                name: {
+                    "t": [round(t, 3) for t, _v in ring],
+                    "v": [round(v, 6) for _t, v in ring],
+                }
+                for name, ring in sorted(self._series.items())
+            }
+        return {
+            "version": TIMESERIES_FORMAT_VERSION,
+            "capacity": self.capacity,
+            "series": series,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TimeSeriesStore":
+        """Rebuild a store from :meth:`to_payload` output (a scraped
+        ``/timeseries`` artifact) for offline SLO evaluation."""
+        version = payload.get("version")
+        if version != TIMESERIES_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported timeseries payload version {version!r} "
+                f"(this build reads {TIMESERIES_FORMAT_VERSION})"
+            )
+        store = cls(capacity=int(payload.get("capacity", DEFAULT_CAPACITY)))
+        for name, data in payload.get("series", {}).items():
+            for t, v in zip(data.get("t", []), data.get("v", [])):
+                store.record(name, float(t), float(v))
+        return store
+
+
+class Collector:
+    """A daemon thread that samples a registry into a store.
+
+    ``interval_s`` is the sampling period; the constructor does not
+    start anything — :meth:`start` does, and takes an immediate first
+    sample so short-lived daemons still have data.  :meth:`stop` takes
+    one final sample (fresh terminal state for scrapes after shutdown)
+    and is idempotent.
+    """
+
+    def __init__(
+        self,
+        store: TimeSeriesStore,
+        registry: MetricsRegistry,
+        interval_s: float = 1.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("collector interval must be > 0")
+        self.store = store
+        self.registry = registry
+        self.interval_s = interval_s
+        self.clock = clock
+        self.samples_taken = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+
+    def _sample_once(self) -> None:
+        self.store.sample(self.registry, self.clock())
+        self.samples_taken += 1
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._sample_once()
+
+    def start(self) -> "Collector":
+        with self._lifecycle:
+            if self._thread is not None:
+                return self
+            self._stop.clear()
+            self._sample_once()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-obs-collector", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        with self._lifecycle:
+            thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout)
+        self._sample_once()

@@ -1,7 +1,9 @@
 """HTTP face of the race-checking service: ``python -m repro serve``.
 
 :class:`ServeDaemon` glues a :class:`~repro.service.service.RaceCheckService`
-onto the :class:`~repro.obs.serve.TelemetryServer` router.  Endpoints:
+onto the :class:`~repro.obs.serve.TelemetryServer` router, and owns the
+fleet-observability layer: a ring-buffer time-series collector, the SLO
+burn-rate engine and the live dashboard.  Endpoints:
 
 ``POST /submit``
     Body: one binary trace file.  Headers: ``X-Tenant`` (quota key,
@@ -11,34 +13,67 @@ onto the :class:`~repro.obs.serve.TelemetryServer` router.  Endpoints:
     CRC walk rejects the body; ``429 quota_exhausted`` /
     ``429 queue_full`` with a ``Retry-After`` header.
 
-``GET /result/<id>``
-    The submission's current state — poll this.  ``404`` for unknown
-    ids; a terminal payload carries ``verdict``/``error`` and
-    ``latency_s``.
+    Both identity headers are **sanitized before they touch anything**:
+    values must match ``[A-Za-z0-9._-]`` and fit in 64 characters.  An
+    out-of-alphabet or oversized ``X-Request-Id`` is dropped and a fresh
+    id generated (counted in ``serve.request_id_sanitized``) — client
+    bytes never reach spans, store records or log lines unvetted.  A
+    bad ``X-Tenant`` falls back to ``default``
+    (``serve.tenant_sanitized``) so arbitrary bytes cannot mint
+    unbounded label sets.
 
-``GET /report/<id>``
-    The full analysis report (verdict, race details, hot sites,
-    ``clean.*`` counters, human-readable one-liner).  ``409 not_ready``
-    while the submission is still queued or running.
+``GET /result/<id>`` · ``GET /report/<id>``
+    The submission's current state (poll this; ``404`` unknown ids) and
+    the full analysis report (``409 not_ready`` until terminal).
 
 ``GET /metrics`` · ``GET /status`` · ``GET /healthz``
-    Prometheus exposition of the shared registry; the service status
-    document (queue, pool, quotas, submission histogram); a trivial
-    liveness probe.
+    Prometheus exposition of the shared registry (fleet totals plus
+    per-tenant ``{tenant="..."}`` series); the service status document;
+    a trivial liveness probe.
+
+``GET /timeseries``
+    The collector's ring buffers as JSON
+    (:meth:`~repro.obs.timeseries.TimeSeriesStore.to_payload`) — the
+    scrape artifact ``repro slo`` re-evaluates offline.
+
+``GET /alerts``
+    The SLO burn-rate document
+    (:func:`~repro.obs.slo.evaluate_slos`): per-objective window burns
+    and the firing set.
+
+``GET /dashboard``
+    The self-contained HTML dashboard
+    (:func:`~repro.obs.dashboard.render_dashboard`): sparklines,
+    per-tenant tables and the alert panel, auto-refreshing.
+
+The collector samples every ``sample_interval_s`` seconds into
+``retention`` ring slots and only ever *reads* the registry — verdicts
+and counters are byte-identical with it on or off.  ``collect=False``
+disables it (the time-series endpoints then serve whatever was sampled
+manually, typically nothing).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+import re
+from typing import Any, Optional, Sequence
 
+from ..obs.dashboard import render_dashboard
 from ..obs.serve import Request, Response, TelemetryServer
+from ..obs.slo import Objective, default_slos, evaluate_slos
+from ..obs.timeseries import Collector, TimeSeriesStore
 from .service import RaceCheckService, ServiceError
 
 __all__ = ["ServeDaemon"]
 
+#: Client-supplied identity headers must fullmatch this: the charset
+#: that is safe in log lines, span attributes, file names and metric
+#: label values without quoting games.
+_IDENT_RE = re.compile(r"[A-Za-z0-9._-]{1,64}")
+
 
 class ServeDaemon:
-    """Owns the HTTP server for one :class:`RaceCheckService`."""
+    """Owns the HTTP server + observability layer for one service."""
 
     def __init__(
         self,
@@ -46,8 +81,23 @@ class ServeDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         max_body: Optional[int] = None,
+        sample_interval_s: float = 1.0,
+        retention: int = 600,
+        slos: Optional[Sequence[Objective]] = None,
+        collect: bool = True,
+        refresh_s: int = 3,
     ) -> None:
         self.service = service
+        self.timeseries = TimeSeriesStore(capacity=retention)
+        self.slos = list(slos) if slos is not None else default_slos()
+        self.refresh_s = refresh_s
+        self.collector: Optional[Collector] = (
+            Collector(
+                self.timeseries, service.registry,
+                interval_s=sample_interval_s,
+            )
+            if collect else None
+        )
         kwargs = {} if max_body is None else {"max_body": max_body}
         self.server = TelemetryServer(
             registry=service.registry,
@@ -60,15 +110,22 @@ class ServeDaemon:
         self.server.add_route("GET", "/result/", self._result)
         self.server.add_route("GET", "/report/", self._report)
         self.server.add_route("GET", "/healthz", self._healthz)
+        self.server.add_route("GET", "/timeseries", self._timeseries)
+        self.server.add_route("GET", "/alerts", self._alerts)
+        self.server.add_route("GET", "/dashboard", self._dashboard)
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> int:
         self.service.start()
+        if self.collector is not None:
+            self.collector.start()
         return self.server.start()
 
     def stop(self) -> None:
         self.server.stop()
+        if self.collector is not None:
+            self.collector.stop()
         self.service.stop()
 
     @property
@@ -82,6 +139,28 @@ class ServeDaemon:
     def __exit__(self, *exc: Any) -> None:
         self.stop()
 
+    # -- header hygiene ------------------------------------------------------
+
+    def _clean_request_id(self, raw: str) -> Optional[str]:
+        """A vetted request id, or None (= "generate one") for empty,
+        oversized or out-of-alphabet input."""
+        raw = raw.strip()
+        if not raw:
+            return None
+        if _IDENT_RE.fullmatch(raw):
+            return raw
+        self.service.registry.inc("serve.request_id_sanitized")
+        return None
+
+    def _clean_tenant(self, raw: str) -> str:
+        raw = raw.strip()
+        if not raw:
+            return "default"
+        if _IDENT_RE.fullmatch(raw):
+            return raw
+        self.service.registry.inc("serve.tenant_sanitized")
+        return "default"
+
     # -- routes -------------------------------------------------------------
 
     def _error(self, exc: ServiceError) -> Response:
@@ -92,8 +171,8 @@ class ServeDaemon:
         return Response.json(exc.payload(), status=exc.status, **headers)
 
     def _submit(self, request: Request) -> Response:
-        tenant = request.header("x-tenant", "default")
-        request_id = request.header("x-request-id") or None
+        tenant = self._clean_tenant(request.header("x-tenant", "default"))
+        request_id = self._clean_request_id(request.header("x-request-id"))
         try:
             payload = self.service.submit(
                 request.body, tenant=tenant, request_id=request_id
@@ -116,3 +195,26 @@ class ServeDaemon:
 
     def _healthz(self, request: Request) -> Response:
         return Response.json({"ok": True})
+
+    def _timeseries(self, request: Request) -> Response:
+        return Response.json(self.timeseries.to_payload())
+
+    def _alerts_payload(self) -> Any:
+        return evaluate_slos(self.timeseries, self.slos)
+
+    def _alerts(self, request: Request) -> Response:
+        return Response.json(self._alerts_payload())
+
+    def _dashboard(self, request: Request) -> Response:
+        # One fresh sample before rendering, so the page never lags a
+        # full collector interval behind the state it describes.
+        if self.collector is not None:
+            self.timeseries.sample(self.service.registry)
+        html = render_dashboard(
+            self.service.status(),
+            self.timeseries.to_payload(),
+            self._alerts_payload(),
+            snapshot=self.service.registry.snapshot(),
+            refresh_s=self.refresh_s,
+        )
+        return Response.text(html, ctype="text/html; charset=utf-8")

@@ -145,6 +145,11 @@ class RaceCheckService:
 
         self.registry = registry if registry is not None else MetricsRegistry()
         self.registry.histogram("serve.latency", bounds=LATENCY_BOUNDS)
+        self._describe_metrics()
+        # Per-(name, tenant) instrument handles: the canonical labeled
+        # name is built once per tenant, not once per request.
+        self._tenant_counters: Dict[Any, Any] = {}
+        self._tenant_latency: Dict[str, Any] = {}
         self.tracer = tracer
         self.mode = mode
         self.hot_sites = hot_sites
@@ -179,6 +184,47 @@ class RaceCheckService:
         self._inflight = 0
         self._start_time = time.monotonic()
         self._dispatcher: Optional[threading.Thread] = None
+
+    def _describe_metrics(self) -> None:
+        """``# HELP`` text for the serve metric families."""
+        for base, text in (
+            ("serve.submissions", "submissions offered (accepted or not)"),
+            ("serve.accepted", "submissions admitted to the queue"),
+            ("serve.completed", "submissions that reached a verdict"),
+            ("serve.failed", "submissions that exhausted their retries"),
+            ("serve.quota_denied", "submissions refused by tenant quota"),
+            ("serve.queue_rejected", "submissions shed by the full queue"),
+            ("serve.corrupt_rejected", "uploads failing the CRC walk"),
+            ("serve.latency", "queue-to-verdict seconds"),
+            ("serve.queue_depth", "submissions waiting for a worker"),
+        ):
+            self.registry.describe(base, text)
+
+    def _tinc(self, name: str, tenant: str, amount: int = 1) -> None:
+        """Bump ``name`` twice: the flat fleet total and the per-tenant
+        labeled series (handles cached — the label-set canonicalization
+        happens once per (name, tenant), not per request)."""
+        key = (name, tenant)
+        handles = self._tenant_counters.get(key)
+        if handles is None:
+            handles = (
+                self.registry.counter(name),
+                self.registry.counter(name, labels={"tenant": tenant}),
+            )
+            self._tenant_counters[key] = handles
+        handles[0].inc(amount)
+        handles[1].inc(amount)
+
+    def _observe_latency(self, tenant: str, latency: float) -> None:
+        self.registry.observe("serve.latency", latency)
+        histogram = self._tenant_latency.get(tenant)
+        if histogram is None:
+            histogram = self.registry.histogram(
+                "serve.latency", bounds=LATENCY_BOUNDS,
+                labels={"tenant": tenant},
+            )
+            self._tenant_latency[tenant] = histogram
+        histogram.observe(latency)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -243,15 +289,15 @@ class RaceCheckService:
         """
         if self._stopping or not self._started:
             raise ServiceError("service is not accepting submissions")
-        self.registry.inc("serve.submissions")
+        self._tinc("serve.submissions", tenant)
         if not self.quota.try_acquire(tenant):
-            self.registry.inc("serve.quota_denied")
+            self._tinc("serve.quota_denied", tenant)
             raise QuotaExceeded(tenant, self.quota.retry_after_s())
         try:
             events = verify_trace_bytes(data, name=f"upload:{tenant}")
         except ValueError as exc:
             self.quota.refund(tenant)
-            self.registry.inc("serve.corrupt_rejected")
+            self._tinc("serve.corrupt_rejected", tenant)
             raise CorruptTrace(str(exc)) from None
         with self._lock:
             self._accepted += 1
@@ -263,11 +309,11 @@ class RaceCheckService:
         except queue.Full:
             self.store.discard(submission.id)
             self.quota.refund(tenant)
-            self.registry.inc("serve.queue_rejected")
+            self._tinc("serve.queue_rejected", tenant)
             raise QueueFull(self.queue_size, self.retry_after_s) from None
         with self._lock:
             self._inflight += 1
-        self.registry.inc("serve.accepted")
+        self._tinc("serve.accepted", tenant)
         self.registry.set_gauge("serve.queue_depth", self._queue.qsize())
         if self.tracer is not None:
             span = self.tracer.start_span(
@@ -370,20 +416,21 @@ class RaceCheckService:
         submission = self.store.finish(
             sid, result=result, error=error, attempts=attempts
         )
+        tenant = submission.tenant
         latency = submission.latency_s()
         if latency is not None:
-            self.registry.observe("serve.latency", latency)
+            self._observe_latency(tenant, latency)
         if error is None:
-            self.registry.inc("serve.completed")
+            self._tinc("serve.completed", tenant)
             verdict = (result or {}).get("verdict", "unknown")
-            self.registry.inc(f"serve.verdict.{verdict}")
+            self._tinc(f"serve.verdict.{verdict}", tenant)
             # Fleet-wide detector totals: every verdict's clean.* counter
             # trail accumulates into the shared registry, so /metrics
             # exposes the same counters a live detector would.
             for name, value in ((result or {}).get("counters") or {}).items():
                 self.registry.inc(name, value)
         else:
-            self.registry.inc("serve.failed")
+            self._tinc("serve.failed", tenant)
         with self._lock:
             span = self._spans.pop(sid, None)
             self._inflight -= 1

@@ -1,0 +1,535 @@
+"""Tests for the fleet-observability layer (PR 9).
+
+Covers labeled metrics (canonical names, escaping, merge determinism,
+kind enforcement), the Prometheus exposition of labeled families with
+HELP lines, the ring-buffer time-series store and its collector thread,
+the SLO burn-rate engine (synthetic burns, online/offline verdict
+identity, config loading), the self-contained HTML dashboard, and the
+serve daemon's /timeseries, /alerts and /dashboard endpoints plus
+request-id sanitization — including the determinism pin: a run's
+verdict and counters are byte-identical with the collector on or off.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.traces import record_trace
+from repro.obs import (
+    Collector,
+    MetricsRegistry,
+    Objective,
+    TimeSeriesStore,
+    default_slos,
+    evaluate_slos,
+    labeled_name,
+    load_slo_config,
+    render_dashboard,
+    render_prom,
+    render_slo_text,
+    split_labels,
+)
+from repro.obs.timeseries import TIMESERIES_FORMAT_VERSION
+from repro.service import RaceCheckService, ServeDaemon
+from repro.workloads.suite import get_benchmark
+
+from tests.test_service import _request, _wait_for  # noqa: F401
+
+
+@pytest.fixture(scope="module")
+def clean_bytes(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "clean.trace"
+    trace = record_trace(get_benchmark("dedup"), scale="test", seed=1,
+                         racy=False)
+    trace.save(path)
+    return path.read_bytes()
+
+
+# -- labeled names -----------------------------------------------------------
+
+
+class TestLabeledNames:
+    def test_canonical_form_sorts_keys(self):
+        name = labeled_name("serve.accepted", {"b": "2", "a": "1"})
+        assert name == 'serve.accepted{a="1",b="2"}'
+
+    def test_round_trip_with_escaping(self):
+        labels = {"tenant": 't"1\\x\nend', "zone": "us"}
+        name = labeled_name("serve.latency", labels)
+        base, parsed = split_labels(name)
+        assert base == "serve.latency"
+        assert dict(parsed) == labels
+
+    def test_no_labels_passthrough(self):
+        assert labeled_name("serve.accepted", None) == "serve.accepted"
+        assert labeled_name("serve.accepted", {}) == "serve.accepted"
+        assert split_labels("serve.accepted") == ("serve.accepted", ())
+
+    def test_bad_label_key_rejected(self):
+        with pytest.raises(ValueError):
+            labeled_name("x", {"bad key": "v"})
+        with pytest.raises(ValueError):
+            labeled_name("x", {"9lives": "v"})
+
+    def test_brace_in_base_name_rejected(self):
+        with pytest.raises(ValueError):
+            labeled_name('x{a="1"}', {"b": "2"})
+
+
+class TestRegistryLabels:
+    def test_labeled_and_flat_coexist(self):
+        r = MetricsRegistry()
+        r.inc("serve.accepted", 2)
+        r.inc("serve.accepted", 1, labels={"tenant": "t1"})
+        r.inc("serve.accepted", 1, labels={"tenant": "t2"})
+        snap = r.snapshot()
+        assert snap["serve.accepted"] == 2
+        assert snap['serve.accepted{tenant="t1"}'] == 1
+        assert snap['serve.accepted{tenant="t2"}'] == 1
+
+    def test_label_order_is_canonical(self):
+        r = MetricsRegistry()
+        c1 = r.counter("hits", labels={"a": "1", "b": "2"})
+        c2 = r.counter("hits", labels={"b": "2", "a": "1"})
+        assert c1 is c2
+
+    def test_kind_conflict_across_label_sets(self):
+        r = MetricsRegistry()
+        r.counter("x", labels={"t": "1"})
+        with pytest.raises(TypeError):
+            r.gauge("x", labels={"t": "2"})
+        with pytest.raises(TypeError):
+            r.histogram("x")
+
+    def test_merge_is_deterministic(self):
+        def fill(r, amounts):
+            for tenant, n in amounts:
+                r.inc("serve.accepted", n, labels={"tenant": tenant})
+                r.observe("serve.latency", n / 10,
+                          labels={"tenant": tenant})
+
+        serial = MetricsRegistry()
+        fill(serial, [("t1", 1), ("t2", 2), ("t1", 3)])
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        fill(a, [("t1", 1), ("t2", 2)])
+        fill(b, [("t1", 3)])
+        merged = MetricsRegistry()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.to_json() == serial.to_json()
+
+        via_snapshot = MetricsRegistry()
+        via_snapshot.merge_snapshot(a.snapshot())
+        via_snapshot.merge_snapshot(b.snapshot())
+        assert via_snapshot.to_json() == serial.to_json()
+
+    def test_describe_feeds_help_text(self):
+        r = MetricsRegistry()
+        r.describe("serve.accepted", "Accepted submissions.")
+        r.inc("serve.accepted", labels={"tenant": "t1"})
+        assert r.help_text("serve.accepted") == "Accepted submissions."
+
+
+# -- Prometheus exposition ---------------------------------------------------
+
+
+class TestPromLabels:
+    def test_family_grouping_with_help_and_type_once(self):
+        r = MetricsRegistry()
+        r.describe("serve.accepted", "Accepted submissions.")
+        r.inc("serve.accepted", 3)
+        r.inc("serve.accepted", 1, labels={"tenant": "t1"})
+        r.inc("serve.accepted", 2, labels={"tenant": "t2"})
+        text = render_prom(r)
+        assert text.count("# HELP serve_accepted ") == 1
+        assert text.count("# TYPE serve_accepted counter") == 1
+        assert "# HELP serve_accepted Accepted submissions.\n" in text
+        assert "\nserve_accepted 3\n" in text or \
+            text.startswith("serve_accepted 3\n") or \
+            "serve_accepted 3\n" in text
+        assert 'serve_accepted{tenant="t1"} 1\n' in text
+        assert 'serve_accepted{tenant="t2"} 2\n' in text
+
+    def test_label_value_escaping_per_exposition_spec(self):
+        r = MetricsRegistry()
+        r.inc("hits", 1, labels={"tenant": 'a"b\\c\nd'})
+        text = render_prom(r)
+        assert 'hits{tenant="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_labeled_histogram_merges_le_into_label_block(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", bounds=[1, 2], labels={"tenant": "t1"})
+        for v in (1, 2, 5):
+            h.observe(v)
+        text = render_prom(r)
+        assert 'lat_bucket{tenant="t1",le="1"} 1' in text
+        assert 'lat_bucket{tenant="t1",le="2"} 2' in text
+        assert 'lat_bucket{tenant="t1",le="+Inf"} 3' in text
+        assert 'lat_count{tenant="t1"} 3' in text
+        assert 'lat_sum{tenant="t1"} 8' in text
+
+    def test_labeled_gauge_high_water(self):
+        r = MetricsRegistry()
+        r.set_gauge("depth", 5, labels={"q": "ingest"})
+        r.set_gauge("depth", 2, labels={"q": "ingest"})
+        text = render_prom(r)
+        assert 'depth{q="ingest"} 2' in text
+        assert 'depth_high_water{q="ingest"} 5' in text
+
+
+# -- time series -------------------------------------------------------------
+
+
+class TestTimeSeriesStore:
+    def test_ring_eviction_at_capacity(self):
+        store = TimeSeriesStore(capacity=3)
+        for i in range(5):
+            store.record("x", float(i), float(i * 10))
+        assert store.series("x") == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+
+    def test_window_and_delta(self):
+        store = TimeSeriesStore(capacity=10)
+        for i in range(6):
+            store.record("c", float(i * 10), float(i * 100))
+        assert store.window("c", 20.0, now=50.0) == [
+            (30.0, 300.0), (40.0, 400.0), (50.0, 500.0)
+        ]
+        assert store.delta("c", 20.0, now=50.0) == 200.0
+        assert store.delta("c", 5.0, now=50.0) == 0.0  # one sample
+        assert store.delta("missing", 20.0, now=50.0) == 0.0
+
+    def test_sample_flattens_histograms(self):
+        r = MetricsRegistry()
+        r.inc("serve.accepted", 2, labels={"tenant": "t1"})
+        h = r.histogram("serve.latency", bounds=[1, 5])
+        for v in (0.5, 3, 9):
+            h.observe(v)
+        store = TimeSeriesStore(capacity=4)
+        store.sample(r, t=100.0)
+        names = store.names()
+        assert 'serve.accepted{tenant="t1"}' in names
+        assert store.series("serve.latency.count") == [(100.0, 3)]
+        assert store.series("serve.latency.sum") == [(100.0, 12.5)]
+        assert store.series("serve.latency.le.1") == [(100.0, 1)]
+        assert store.series("serve.latency.le.5") == [(100.0, 2)]
+        assert store.series("serve.latency.le.inf") == [(100.0, 3)]
+
+    def test_payload_round_trip(self):
+        store = TimeSeriesStore(capacity=4)
+        store.record("a", 1.0, 2.0)
+        store.record("a", 2.0, 4.0)
+        store.record("b", 1.5, -1.0)
+        payload = store.to_payload()
+        assert payload["version"] == TIMESERIES_FORMAT_VERSION
+        clone = TimeSeriesStore.from_payload(
+            json.loads(json.dumps(payload))
+        )
+        assert clone.to_payload() == payload
+
+    def test_unknown_payload_version_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore.from_payload({"version": 99, "series": {}})
+
+
+class TestCollector:
+    def test_immediate_and_final_samples(self):
+        r = MetricsRegistry()
+        r.inc("c", 1)
+        store = TimeSeriesStore(capacity=10)
+        clock_value = [100.0]
+        collector = Collector(store, r, interval_s=60.0,
+                              clock=lambda: clock_value[0])
+        collector.start()
+        assert store.series("c") == [(100.0, 1)]
+        r.inc("c", 4)
+        clock_value[0] = 101.0
+        collector.stop()
+        assert store.series("c") == [(100.0, 1), (101.0, 5)]
+        collector.stop()  # idempotent
+        assert collector.samples_taken == 2
+
+    def test_periodic_sampling(self):
+        r = MetricsRegistry()
+        r.inc("c", 1)
+        store = TimeSeriesStore(capacity=100)
+        collector = Collector(store, r, interval_s=0.02)
+        collector.start()
+        assert _wait_for(lambda: len(store.series("c")) >= 3, timeout=5.0)
+        collector.stop()
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Collector(TimeSeriesStore(), MetricsRegistry(), interval_s=0)
+
+
+# -- SLO engine --------------------------------------------------------------
+
+
+def _availability_store(failed_recent=True):
+    """A store whose serve.completed/failed series burn the budget.
+
+    With ``failed_recent`` the failures continue into the short window
+    (both windows burn -> firing); without it the bleeding stopped
+    (short window clean -> not firing).
+    """
+    store = TimeSeriesStore(capacity=100)
+    for t, done, failed in ((0.0, 100, 0), (50.0, 150, 50),
+                            (100.0, 200, 100 if failed_recent else 50)):
+        store.record("serve.completed", t, done)
+        store.record("serve.failed", t, failed)
+    return store
+
+
+class TestSLOEngine:
+    def test_availability_burn_fires_on_both_windows(self):
+        report = evaluate_slos(
+            _availability_store(failed_recent=True),
+            [Objective(name="avail", kind="availability", target=0.99)],
+        )
+        assert report["firing"] == ["avail"]
+        assert report["ok"] is False
+        entry = report["objectives"][0]
+        assert entry["firing"] is True
+        assert any(p["firing"] for p in entry["windows"])
+        text = render_slo_text(report)
+        assert "FIRING" in text and "avail" in text
+
+    def test_recovered_short_window_resets_alert(self):
+        # Failures stopped before the short windows: the long window
+        # still burns but the pair needs BOTH, so nothing fires.
+        store = TimeSeriesStore(capacity=100)
+        for t, done, failed in ((0.0, 0, 0), (10.0, 20, 50),
+                                (280.0, 400, 50), (300.0, 450, 50)):
+            store.record("serve.completed", t, done)
+            store.record("serve.failed", t, failed)
+        report = evaluate_slos(
+            store,
+            [Objective(name="avail", kind="availability", target=0.99,
+                       windows=((300.0, 15.0, 2.0),))],
+        )
+        assert report["firing"] == []
+        pair = report["objectives"][0]["windows"][0]
+        assert pair["long"]["burning"] is True
+        assert pair["short"]["burning"] is False
+
+    def test_empty_store_is_in_slo(self):
+        report = evaluate_slos(TimeSeriesStore(), default_slos())
+        assert report["ok"] is True
+        assert report["firing"] == []
+
+    def test_latency_p99_classifies_by_threshold_bucket(self):
+        store = TimeSeriesStore(capacity=100)
+        # 100 requests in the window, only 10 within the 5s bound.
+        for t, count, le5 in ((0.0, 0, 0), (30.0, 100, 10)):
+            store.record("serve.latency.count", t, count)
+            store.record("serve.latency.le.5", t, le5)
+            store.record("serve.latency.le.inf", t, count)
+        report = evaluate_slos(
+            store,
+            [Objective(name="lat", kind="latency_p99", target=0.95,
+                       threshold_s=5.0, windows=((60.0, 30.0, 2.0),))],
+        )
+        assert report["firing"] == ["lat"]
+        assert report["objectives"][0]["p99_s"] == "inf"
+
+    def test_shed_rate(self):
+        store = TimeSeriesStore(capacity=100)
+        for t, subs, shed in ((0.0, 0, 0), (30.0, 100, 80)):
+            store.record("serve.submissions", t, subs)
+            store.record("serve.queue_rejected", t, shed)
+        report = evaluate_slos(
+            store,
+            [Objective(name="shed", kind="shed_rate", target=0.5,
+                       windows=((60.0, 30.0, 1.0),))],
+        )
+        assert report["firing"] == ["shed"]
+
+    def test_offline_evaluation_is_identical(self):
+        store = _availability_store()
+        objectives = default_slos()
+        live = evaluate_slos(store, objectives)
+        scraped = TimeSeriesStore.from_payload(
+            json.loads(json.dumps(store.to_payload()))
+        )
+        offline = evaluate_slos(scraped, objectives)
+        assert offline == live
+
+    def test_config_loading(self):
+        objectives = load_slo_config(json.dumps({
+            "objectives": [
+                {"name": "a", "kind": "availability", "target": 0.999},
+                {"name": "l", "kind": "latency_p99", "target": 0.9,
+                 "threshold_s": 2.5, "windows": [[120, 30, 3.0]]},
+            ]
+        }))
+        assert [o.name for o in objectives] == ["a", "l"]
+        assert objectives[1].windows == ((120.0, 30.0, 3.0),)
+
+    @pytest.mark.parametrize("payload", [
+        {},
+        {"objectives": []},
+        {"objectives": [{"name": "x", "kind": "nope", "target": 0.9}]},
+        {"objectives": [{"name": "x", "kind": "availability",
+                         "target": 1.5}]},
+        {"objectives": [{"name": "x", "kind": "availability",
+                         "target": 0.9, "windows": [[10, 60, 2.0]]}]},
+        {"objectives": [{"name": "x", "kind": "availability",
+                         "target": 0.9, "bogus_field": 1}]},
+        {"objectives": [
+            {"name": "x", "kind": "availability", "target": 0.9},
+            {"name": "x", "kind": "shed_rate", "target": 0.5},
+        ]},
+    ])
+    def test_bad_configs_rejected(self, payload):
+        with pytest.raises(ValueError):
+            load_slo_config(payload)
+
+
+# -- dashboard ---------------------------------------------------------------
+
+
+def _dashboard_inputs():
+    r = MetricsRegistry()
+    r.inc("serve.submissions", 10)
+    r.inc("serve.accepted", 9)
+    r.inc("serve.accepted", 5, labels={"tenant": "t1"})
+    r.inc("serve.accepted", 4, labels={"tenant": "<evil>"})
+    r.observe("serve.latency", 0.5, labels={"tenant": "t1"})
+    store = TimeSeriesStore(capacity=10)
+    for t in (0.0, 1.0, 2.0):
+        store.sample(r, t=t)
+        r.inc("serve.accepted", 1)
+    status = {"state": "serving", "submissions": {"total": 10}}
+    alerts = evaluate_slos(store, default_slos())
+    return status, store.to_payload(), alerts, r.snapshot()
+
+
+class TestDashboard:
+    def test_self_contained_html(self):
+        status, ts, alerts, snap = _dashboard_inputs()
+        html = render_dashboard(status, ts, alerts, snapshot=snap)
+        assert html.lstrip().lower().startswith("<!doctype html")
+        assert "<svg" in html
+        assert "<script" not in html
+        assert 'src="http' not in html and "<link" not in html
+        assert 'http-equiv="refresh"' in html
+
+    def test_client_strings_escaped(self):
+        status, ts, alerts, snap = _dashboard_inputs()
+        html = render_dashboard(status, ts, alerts, snapshot=snap)
+        assert "<evil>" not in html
+        assert "&lt;evil&gt;" in html
+
+    def test_renders_without_snapshot_or_data(self):
+        html = render_dashboard(
+            {"state": "serving"},
+            TimeSeriesStore().to_payload(),
+            evaluate_slos(TimeSeriesStore(), default_slos()),
+        )
+        assert "<svg" in html or "no data" in html.lower()
+
+
+# -- daemon end to end -------------------------------------------------------
+
+
+class TestDaemonFleetObservability:
+    def test_endpoints_and_sanitization(self, tmp_path, clean_bytes):
+        service = RaceCheckService(spool=str(tmp_path / "spool"), workers=1)
+        daemon = ServeDaemon(service, sample_interval_s=0.05, retention=50)
+        port = daemon.start()
+        try:
+            status, sub, _ = _request(
+                port, "POST", "/submit", body=clean_bytes,
+                headers={"X-Tenant": "acme", "X-Request-Id": "bad id!!"},
+            )
+            assert status == 202
+            assert sub["request_id"] != "bad id!!"
+            status, sub2, _ = _request(
+                port, "POST", "/submit", body=clean_bytes,
+                headers={"X-Tenant": "bad tenant\x01",
+                         "X-Request-Id": "ok-1"},
+            )
+            assert status == 202
+            assert sub2["request_id"] == "ok-1"
+
+            assert _wait_for(lambda: _request(
+                port, "GET", f"/result/{sub['id']}"
+            )[1]["state"] in ("done", "failed"))
+            assert _wait_for(
+                lambda: daemon.timeseries.latest_time() is not None
+            )
+
+            status, ts, _ = _request(port, "GET", "/timeseries")
+            assert status == 200
+            assert ts["version"] == TIMESERIES_FORMAT_VERSION
+            assert "serve.submissions" in ts["series"]
+            assert 'serve.accepted{tenant="acme"}' in ts["series"]
+
+            status, alerts, _ = _request(port, "GET", "/alerts")
+            assert status == 200
+            assert {"objectives", "firing", "ok"} <= set(alerts)
+
+            status, html, headers = _request(port, "GET", "/dashboard")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/html")
+            assert "<svg" in html and "acme" in html
+
+            status, prom, _ = _request(port, "GET", "/metrics")
+            assert 'serve_accepted{tenant="acme"} 1' in prom
+            assert 'serve_accepted{tenant="default"} 1' in prom
+            assert "serve_request_id_sanitized 1" in prom
+            assert "serve_tenant_sanitized 1" in prom
+
+            # Offline re-evaluation of the scraped artifact matches the
+            # live endpoint (same engine, now pinned to the data).
+            offline = evaluate_slos(
+                TimeSeriesStore.from_payload(ts), daemon.slos
+            )
+            assert offline["firing"] == alerts["firing"]
+        finally:
+            daemon.stop()
+
+    def test_verdict_identical_with_collector_on_or_off(
+        self, tmp_path, clean_bytes
+    ):
+        def run(collect, spool):
+            service = RaceCheckService(spool=str(spool), workers=1)
+            daemon = ServeDaemon(service, sample_interval_s=0.01,
+                                 retention=50, collect=collect)
+            daemon.start()
+            try:
+                payload = service.submit(clean_bytes, tenant="t1")
+                assert service.drain(timeout=30)
+                verdict = service.result(payload["id"])["verdict"]
+                counters = {
+                    name: value
+                    for name, value in service.registry.snapshot().items()
+                    if name.startswith(("clean.", "serve.verdict"))
+                }
+                return verdict, counters
+            finally:
+                daemon.stop()
+
+        on = run(True, tmp_path / "on")
+        off = run(False, tmp_path / "off")
+        assert on == off
+
+    def test_collector_disabled_serves_empty_timeseries(
+        self, tmp_path
+    ):
+        service = RaceCheckService(spool=str(tmp_path / "spool"), workers=1)
+        daemon = ServeDaemon(service, collect=False)
+        port = daemon.start()
+        try:
+            assert daemon.collector is None
+            status, ts, _ = _request(port, "GET", "/timeseries")
+            assert status == 200
+            assert ts["series"] == {}
+            status, alerts, _ = _request(port, "GET", "/alerts")
+            assert status == 200 and alerts["ok"] is True
+            status, html, _ = _request(port, "GET", "/dashboard")
+            assert status == 200
+        finally:
+            daemon.stop()

@@ -250,15 +250,21 @@ class TestProm:
             r.observe("sfr.length", v)
         text = render_prom(r)
         samples = {}
+        helped = set()
         for line in text.splitlines():
             assert line, "no blank lines in exposition"
             if line.startswith("# TYPE "):
                 _, _, name, kind = line.split()
                 assert kind in ("counter", "gauge", "histogram")
                 continue
+            if line.startswith("# HELP "):
+                helped.add(line.split()[2])
+                continue
             name_and_labels, value = line.rsplit(" ", 1)
             float(value)  # must parse
             samples[name_and_labels] = value
+        # Every family carries a HELP line.
+        assert {"clean_checks", "runner_workers", "sfr_length"} <= helped
         assert samples["clean_checks"] == "7"
         assert samples["runner_workers"] == "4"
         assert samples["runner_workers_high_water"] == "4"

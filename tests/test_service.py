@@ -234,6 +234,64 @@ class TestQuotaManager:
             QuotaManager(tokens=0)
 
 
+class TestQuotaRefund:
+    def test_refund_after_exhaustion_restores_exactly_one_token(self):
+        quota = QuotaManager(tokens=3)
+        for _ in range(3):
+            assert quota.try_acquire("t")
+        assert not quota.try_acquire("t")
+        quota.refund("t")
+        assert quota.try_acquire("t")
+        # Only ONE token came back.
+        assert not quota.try_acquire("t")
+
+    def test_refund_never_exceeds_capacity(self):
+        quota = QuotaManager(tokens=2)
+        assert quota.try_acquire("t")  # level 1
+        for _ in range(10):
+            quota.refund("t")  # clamped at capacity 2
+        assert quota.snapshot()["t"]["tokens"] == 2.0
+        assert quota.try_acquire("t")
+        assert quota.try_acquire("t")
+        assert not quota.try_acquire("t")
+
+    def test_refund_unknown_tenant_is_a_noop(self):
+        quota = QuotaManager(tokens=2)
+        quota.refund("ghost")  # must not create the bucket
+        assert "ghost" not in quota.snapshot()
+        # Unlimited managers ignore refunds entirely.
+        QuotaManager(tokens=None).refund("anyone")
+
+    def test_refund_racing_refill_stays_clamped(self):
+        # Refunds and a fast continuous refill race on the same bucket:
+        # whatever interleaving happens, the level never exceeds
+        # capacity and every acquire/refund pair stays consistent.
+        quota = QuotaManager(tokens=4, refill_per_s=500.0)
+        assert quota.try_acquire("t")
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    if quota.try_acquire("t"):
+                        quota.refund("t")
+            except Exception as exc:  # noqa: BLE001 - the assertion
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(4)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 0.5
+        while time.monotonic() < deadline:
+            assert quota.snapshot()["t"]["tokens"] <= 4.0
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert quota.snapshot()["t"]["tokens"] <= 4.0
+
+
 # -- PersistentPool ---------------------------------------------------------
 
 
