@@ -508,11 +508,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
     import tempfile
     import time
 
     from .obs import load_slo_config
-    from .service import RaceCheckService, ServeDaemon
+    from .service import RaceCheckService, ServeDaemon, SubmissionStore
+
+    journal = args.journal if args.journal is not None else not args.no_journal
+
+    if args.recover_only:
+        # Dry run: replay the journal against the spool and report what
+        # a real boot would do, touching nothing (the journal keeps its
+        # torn tail, lost traces stay on disk).
+        if not args.spool:
+            print("repro serve --recover-only requires --spool", flush=True)
+            return 2
+        store = SubmissionStore(args.spool, journal=journal)
+        report = store.recover(dry_run=True)
+        store.close()
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if not report["lost"] else 1
 
     registry, tracer, exporter = _telemetry_session(args)
     slos = load_slo_config(args.slo) if args.slo else None
@@ -531,6 +547,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         keep_traces=args.keep_traces,
         crash_every=args.chaos_crash_every,
+        journal=journal,
+        dedup=not args.no_dedup,
     )
     daemon = ServeDaemon(
         service,
@@ -541,8 +559,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slos=slos,
         collect=not args.no_collector,
     )
+    # SIGTERM/SIGINT start a graceful drain: admissions get 503 +
+    # Retry-After immediately; in-flight work gets --drain-timeout
+    # seconds to settle; whatever is left stays journaled for the next
+    # boot.  A second signal during the drain is the impatient path —
+    # the default handlers are restored, so it kills the process and
+    # the journal carries the rest.
+    draining = {"flag": False}
+
+    def _on_signal(signum, frame):
+        draining["flag"] = True
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
     port = daemon.start()
+    graceful = False
     try:
+        recovery = service.recovery
+        if recovery:
+            print(
+                "recovery: "
+                f"resumed={len(recovery.get('resumed', []))} "
+                f"restored={len(recovery.get('restored', []))} "
+                f"lost={len(recovery.get('lost', []))}",
+                flush=True,
+            )
         print(
             f"repro serve listening on http://{args.host}:{port} "
             f"(workers={args.workers} queue={args.queue_size} "
@@ -554,15 +598,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "/metrics /status /healthz /timeseries /alerts /dashboard",
             flush=True,
         )
-        if args.for_seconds is not None:
-            time.sleep(args.for_seconds)
-        else:
-            while True:
-                time.sleep(3600)
+        deadline = (
+            time.monotonic() + args.for_seconds
+            if args.for_seconds is not None
+            else None
+        )
+        while not draining["flag"]:
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(0.2)
+        graceful = draining["flag"]
     except KeyboardInterrupt:
-        print("shutting down", flush=True)
+        graceful = True
     finally:
-        daemon.stop()
+        if graceful:
+            print(
+                f"draining: admissions stopped, settling in-flight work "
+                f"(up to {args.drain_timeout:.0f}s)",
+                flush=True,
+            )
+            settled = daemon.drain(timeout=args.drain_timeout)
+            daemon.stop_preserving()
+            print(
+                "drained cleanly"
+                if settled
+                else "drain timed out; unfinished work journaled for "
+                     "the next boot",
+                flush=True,
+            )
+        else:
+            daemon.stop()
         _close_telemetry(exporter, registry)
     return 0
 
@@ -919,6 +984,22 @@ def main(argv=None) -> int:
                    help="upload spool directory (default: temp dir)")
     p.add_argument("--keep-traces", action="store_true",
                    help="keep spooled traces after analysis")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="write-ahead submission journal file "
+                        "(default: <spool>/journal.clnj)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the write-ahead journal (submissions "
+                        "do not survive a restart)")
+    p.add_argument("--no-dedup", action="store_true",
+                   help="disable the content-hashed verdict cache "
+                        "(every upload hits the worker pool)")
+    p.add_argument("--drain-timeout", type=float, default=30.0, metavar="S",
+                   help="on SIGTERM/SIGINT: seconds to settle in-flight "
+                        "work before journaling the rest (default: 30)")
+    p.add_argument("--recover-only", action="store_true",
+                   help="dry-run journal recovery against --spool, print "
+                        "the report and exit (nothing is modified; exit 1 "
+                        "when submissions would be lost)")
     p.add_argument("--chaos-crash-every", type=int, default=0, metavar="N",
                    help="fault injection: crash the worker on every Nth "
                         "submission (0 = off)")
@@ -971,7 +1052,8 @@ def main(argv=None) -> int:
         default="trace-bitflip,checkpoint-truncate,worker-crash",
         metavar="KINDS",
         help="comma-separated fault kinds (trace-bitflip, "
-             "checkpoint-truncate, worker-crash, worker-hang, monitor-raise)",
+             "checkpoint-truncate, worker-crash, worker-hang, "
+             "monitor-raise, daemon-kill)",
     )
     p.add_argument("--jobs", type=int, default=2, metavar="N",
                    help="worker processes for the chaos job passes")

@@ -47,8 +47,18 @@ FORMAT_VERSION = 3
 class CheckpointStore:
     """One JSON result file per job id under ``root``."""
 
-    def __init__(self, root: Union[str, Path] = ".cache/experiments") -> None:
+    def __init__(
+        self,
+        root: Union[str, Path] = ".cache/experiments",
+        fsync: bool = False,
+    ) -> None:
         self.root = Path(root)
+        #: Flush records to stable storage before renaming them into
+        #: place.  Off by default (sweep checkpoints tolerate losing the
+        #: last result to a power cut); the service verdict cache turns
+        #: it on because a record that vanishes after the client saw a
+        #: 202 breaks crash-recovery determinism.
+        self.fsync = fsync
         #: Corrupt records hit (and quarantined) by this store instance.
         self.corrupt_records = 0
 
@@ -135,6 +145,9 @@ class CheckpointStore:
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(record, fh, sort_keys=True)
+                if self.fsync:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

@@ -882,6 +882,12 @@ class PersistentPool:
     * a worker that **crashes** mid-job is respawned and the job
       retried, up to ``retries`` times, then failed structurally
       (``JobResult.status == "failed"`` — never an exception);
+    * consecutive respawns back off exponentially
+      (``respawn_backoff`` doubling per cycle, capped at 1s), and a
+      **respawn storm** — ``respawn_limit`` cycles without any worker
+      delivering a result — stops the forking altogether: the pool
+      degrades to inline threads and increments ``pool.respawn_storm``
+      rather than thrash forever against a poisoned environment;
     * a job past ``timeout`` seconds (``job.timeout`` overrides) has
       its worker terminated and respawned, same retry policy;
     * if child processes cannot be spawned at all (restricted
@@ -903,6 +909,13 @@ class PersistentPool:
     mp_context: Optional[str] = None
     #: force in-process (threaded) execution — tests and sandboxes
     inline: bool = False
+    #: consecutive crash→respawn cycles (with no worker delivering a
+    #: single result in between) tolerated before the pool stops
+    #: burning forks and degrades to inline threads
+    respawn_limit: int = 8
+    #: base of the exponential backoff between consecutive respawns
+    #: (doubles per cycle, capped at one second)
+    respawn_backoff: float = 0.05
 
     def __post_init__(self) -> None:
         self.workers = max(1, self.workers)
@@ -919,6 +932,10 @@ class PersistentPool:
         self._wake_r = None
         self._wake_w = None
         self._wake_lock = threading.Lock()
+        #: consecutive respawns since a worker last delivered a result
+        self._respawn_streak = 0
+        #: no worker slot is refilled before this perf_counter instant
+        self._respawn_at: Optional[float] = None
         self._counts = {
             "submitted": 0,
             "completed": 0,
@@ -927,6 +944,7 @@ class PersistentPool:
             "crashes": 0,
             "timeouts": 0,
             "respawns": 0,
+            "respawn_storm": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -1134,6 +1152,7 @@ class PersistentPool:
         holds the lock."""
         if self._stopping:
             return
+        self._refill_workers_locked()
         for worker in self._workers:
             if not self._queue:
                 break
@@ -1183,10 +1202,17 @@ class PersistentPool:
             for e in self._entries.values()
             if e.deadline is not None
         ]
+        if (
+            self._respawn_at is not None
+            and not (self.inline or self._degraded or self._stopping)
+            and len(self._workers) < self.workers
+        ):
+            deadlines.append(self._respawn_at)
         return min(deadlines) if deadlines else None
 
     def _replace_worker_locked(self, worker: _PoolWorker) -> None:
-        """Swap a dead worker for a fresh one. Caller holds the lock."""
+        """Retire a dead worker; the dispatcher refills the slot after
+        the respawn backoff window passes. Caller holds the lock."""
         try:
             worker.conn.close()
         except OSError:
@@ -1196,13 +1222,57 @@ class PersistentPool:
         worker.process.join(timeout=2.0)
         if worker in self._workers:
             self._workers.remove(worker)
-        if not self._stopping:
-            self._counts["respawns"] += 1
-            if self.registry is not None:
-                self.registry.inc("pool.respawns")
+        if self._stopping:
+            return
+        self._counts["respawns"] += 1
+        if self.registry is not None:
+            self.registry.inc("pool.respawns")
+        self._respawn_streak += 1
+        if self._respawn_streak > self.respawn_limit:
+            # Respawn storm: fresh workers keep dying before any of
+            # them delivers a single result (poisoned job mix, broken
+            # interpreter, hostile sandbox).  Stop burning forks; once
+            # the last slot is gone the pool degrades to inline threads
+            # so the service keeps answering instead of thrashing.
+            if not self._workers and not self._degraded:
+                self._degraded = True
+                self._counts["respawn_storm"] += 1
+                if self.registry is not None:
+                    self.registry.inc("pool.respawn_storm")
+                    self.registry.set_gauge("pool.workers", self.workers)
+            return
+        delay = min(
+            self.respawn_backoff * (2 ** (self._respawn_streak - 1)), 1.0
+        )
+        self._respawn_at = time.perf_counter() + delay
+
+    def _refill_workers_locked(self) -> None:
+        """Top retired worker slots back up once the respawn backoff
+        window has passed. Caller holds the lock."""
+        if (
+            self.inline
+            or self._degraded
+            or self._stopping
+            or not self._started
+        ):
+            return
+        missing = self.workers - len(self._workers)
+        if missing <= 0:
+            self._respawn_at = None
+            return
+        if (
+            self._respawn_at is not None
+            and time.perf_counter() < self._respawn_at
+        ):
+            return
+        self._respawn_at = None
+        for _ in range(missing):
             fresh = self._spawn_worker()
-            if fresh is not None:
-                self._workers.append(fresh)
+            if fresh is None:
+                break
+            self._workers.append(fresh)
+        if self.registry is not None and self._workers:
+            self.registry.set_gauge("pool.workers", len(self._workers))
 
     def _drain_worker(self, worker: _PoolWorker) -> None:
         try:
@@ -1230,6 +1300,9 @@ class PersistentPool:
         kind = message[0]
         with self._lock:
             worker.inflight = None
+            # Any delivered message — success or a clean job error —
+            # proves workers can survive a job: the storm is over.
+            self._respawn_streak = 0
         if kind == "ok":
             _, seq, value, cpu_s, telem = message
             self._resolve(seq, value=value, cpu_s=cpu_s, telemetry=telem)

@@ -26,6 +26,14 @@ against real damage.  This module supplies the damage:
     execution-monitor hook mid-run, which must surface as an ordinary
     (retryable) job failure.
 
+* **service faults** target a whole ``repro serve`` daemon —
+
+  - ``daemon-kill`` SIGKILLs the daemon in the middle of a submission
+    burst and restarts it on the same spool; the write-ahead journal
+    must carry every acknowledged submission across the crash to the
+    exact verdict an uninterrupted run produces
+    (:func:`run_daemon_kill`).
+
 Every fault is driven by a seeded :class:`FaultPlan`, so a chaos run is
 exactly reproducible: same seed, same faults, same targets.  Job faults
 fire **once** per scar file — the first attempt hits the fault, the
@@ -44,6 +52,7 @@ import json
 import multiprocessing
 import os
 import random
+import re
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,12 +67,14 @@ __all__ = [
     "FaultPlan",
     "FaultyMonitor",
     "JOB_FAULTS",
+    "SERVICE_FAULTS",
     "chaos_job",
     "deliver",
     "inject_checkpoint_truncate",
     "inject_trace_bitflip",
     "is_wedged",
     "run_chaos",
+    "run_daemon_kill",
     "wedge",
 ]
 
@@ -71,8 +82,10 @@ __all__ = [
 ARTIFACT_FAULTS = ("trace-bitflip", "checkpoint-truncate")
 #: Faults delivered into job attempts via the ``inject_fault`` config key.
 JOB_FAULTS = ("worker-crash", "worker-hang", "monitor-raise")
+#: Faults delivered to a whole ``repro serve`` daemon process.
+SERVICE_FAULTS = ("daemon-kill",)
 #: Every injectable fault kind.
-FAULT_KINDS = ARTIFACT_FAULTS + JOB_FAULTS
+FAULT_KINDS = ARTIFACT_FAULTS + JOB_FAULTS + SERVICE_FAULTS
 
 
 class FaultInjected(RuntimeError):
@@ -150,6 +163,10 @@ class FaultPlan:
     @property
     def job_kinds(self) -> List[str]:
         return [k for k in self.kinds if k in JOB_FAULTS]
+
+    @property
+    def service_kinds(self) -> List[str]:
+        return [k for k in self.kinds if k in SERVICE_FAULTS]
 
     def assign_jobs(self, labels: Sequence[str]) -> Dict[str, str]:
         """Deterministically map each requested job fault to one label."""
@@ -494,6 +511,21 @@ def run_chaos(
                 quarantined=store.quarantined(),
             )
 
+        # -- service faults -------------------------------------------------
+        if "daemon-kill" in plan.kinds:
+            dk = run_daemon_kill(workdir / "daemon-kill", seed=plan.seed)
+            check(
+                "daemon-kill",
+                detected=dk["accepted"] > 0,
+                recovered=dk["ok"],
+                submitted=dk["submitted"],
+                accepted=dk["accepted"],
+                matched=dk["matched"],
+                lost=len(dk["lost"]),
+                failed=len(dk["failed"]),
+                mismatched=len(dk["mismatched"]),
+            )
+
         # -- job faults, two identical passes (the second pass re-fires
         # every fault from a fresh scar directory: surviving results must
         # match exactly, fault or no fault)
@@ -591,6 +623,195 @@ def run_chaos(
     if forensics_dir is not None:
         report["forensics"] = forensics_artifacts
     (workdir / "chaos_report.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return report
+
+
+# -- the daemon-kill harness -------------------------------------------------
+
+
+def _start_serve_daemon(
+    spool: Path, log_path: Path, workers: int, startup_timeout: float = 30.0
+):
+    """Launch ``repro serve`` as a subprocess on an ephemeral port.
+
+    Returns ``(proc, log_handle, port)``; the port is parsed from the
+    daemon's startup banner.
+    """
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    log = open(log_path, "w", encoding="utf-8")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--workers", str(workers),
+            "--spool", str(spool),
+            "--no-collector",
+        ],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+    deadline = time.monotonic() + startup_timeout
+    port: Optional[int] = None
+    while port is None and time.monotonic() < deadline:
+        if proc.poll() is not None:
+            break
+        match = re.search(
+            r"listening on http://127\.0\.0\.1:(\d+)",
+            log_path.read_text(encoding="utf-8", errors="replace"),
+        )
+        if match:
+            port = int(match.group(1))
+        else:
+            time.sleep(0.05)
+    if port is None:
+        proc.kill()
+        proc.wait()
+        log.close()
+        raise RuntimeError(f"serve daemon did not start; see {log_path}")
+    return proc, log, port
+
+
+def _service_request(port: int, method: str, path: str, body=None):
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=15)
+    try:
+        conn.request(method, path, body=body)
+        resp = conn.getresponse()
+        return resp.status, json.loads(resp.read())
+    finally:
+        conn.close()
+
+
+def run_daemon_kill(
+    workdir: Union[str, Path],
+    seed: int = 0,
+    submissions: int = 6,
+    workers: int = 2,
+    timeout: float = 120.0,
+) -> Dict[str, Any]:
+    """SIGKILL a live ``repro serve`` daemon mid-burst; prove recovery.
+
+    The crash-recovery-determinism invariant of the durable service:
+
+    1. record ``submissions`` traces (the chaos suite mix) and compute
+       each one's **control verdict** in-process, with no daemon at all;
+    2. start a daemon on a fresh spool, POST the whole burst, and
+       ``kill -9`` the process the moment the last upload is
+       acknowledged — workers die mid-analysis, the queue dies full;
+    3. restart the daemon on the same spool and poll every acknowledged
+       submission id to a terminal state.
+
+    Every acknowledged submission must come back — none lost, none
+    failed — and every verdict report must be **byte-identical** to its
+    control.  Returns a JSON-able report; ``report["ok"]`` is the
+    verdict, and a copy lands in ``<workdir>/daemon_kill_report.json``.
+    """
+    from .experiments.traces import record_trace
+    from .service.jobs import analyze_submission
+    from .workloads.suite import get_benchmark
+
+    workdir = Path(workdir)
+    spool = workdir / "spool"
+    traces_dir = workdir / "traces"
+    traces_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- control verdicts: no daemon, no crash, pure analysis ---------------
+    mix = [CHAOS_SUITE[i % len(CHAOS_SUITE)] for i in range(submissions)]
+    paths: List[Path] = []
+    control: List[Dict[str, Any]] = []
+    for i, (name, racy) in enumerate(mix):
+        path = traces_dir / f"{i:02d}_{name}.trace"
+        record_trace(
+            get_benchmark(name), scale="test", seed=seed + i, racy=racy
+        ).save(path)
+        paths.append(path)
+        control.append(analyze_submission(str(path)))
+
+    # -- burst, then kill -9 ------------------------------------------------
+    proc, log, port = _start_serve_daemon(
+        spool, workdir / "daemon_burst.log", workers
+    )
+    accepted: List[Tuple[str, int]] = []  # (submission id, trace index)
+    try:
+        for i, path in enumerate(paths):
+            status, payload = _service_request(
+                port, "POST", "/submit", body=path.read_bytes()
+            )
+            if status == 202:
+                accepted.append((payload["id"], i))
+    finally:
+        proc.kill()
+        proc.wait()
+        log.close()
+    _count_fault("daemon-kill")
+
+    # -- restart on the same spool; every acked id must reach its verdict --
+    proc, log, port = _start_serve_daemon(
+        spool, workdir / "daemon_recover.log", workers
+    )
+    lost: List[str] = []
+    failed: List[Dict[str, Any]] = []
+    mismatched: List[str] = []
+    matched: List[str] = []
+    try:
+        deadline = time.monotonic() + timeout
+        for sid, index in accepted:
+            state = None
+            while time.monotonic() < deadline:
+                status, payload = _service_request(
+                    port, "GET", f"/result/{sid}"
+                )
+                if status == 404:
+                    state = "lost"
+                    break
+                state = payload.get("state")
+                if state in ("done", "failed"):
+                    break
+                time.sleep(0.1)
+            if state == "lost" or state is None:
+                lost.append(sid)
+            elif state == "failed":
+                failed.append({"id": sid, "error": payload.get("error")})
+            else:
+                _, report_payload = _service_request(
+                    port, "GET", f"/report/{sid}"
+                )
+                if report_payload.get("report") == control[index]:
+                    matched.append(sid)
+                else:
+                    mismatched.append(sid)
+    finally:
+        proc.terminate()
+        proc.wait(timeout=15)
+        log.close()
+
+    report = {
+        "fault": "daemon-kill",
+        "seed": seed,
+        "submitted": len(paths),
+        "accepted": len(accepted),
+        "matched": len(matched),
+        "lost": lost,
+        "failed": failed,
+        "mismatched": mismatched,
+        "ok": (
+            len(accepted) == len(paths)
+            and len(matched) == len(accepted)
+            and not lost
+            and not failed
+            and not mismatched
+        ),
+    }
+    (workdir / "daemon_kill_report.json").write_text(
         json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return report

@@ -53,6 +53,8 @@ __all__ = [
     "chunked_events",
     "verify_trace",
     "verify_trace_bytes",
+    "write_frame",
+    "read_frames",
     "READ",
     "WRITE",
     "SYNC",
@@ -849,6 +851,78 @@ def verify_trace_bytes(data: bytes, name: str = "<upload>") -> int:
     """:func:`verify_trace` for a trace still in memory (e.g. an HTTP
     request body, validated before it is spooled to disk)."""
     return _verify_walk(io.BytesIO(data), name)
+
+
+# -- generic CRC-framed record streams ----------------------------------------
+#
+# The same per-record checksum discipline the binary trace chunks use,
+# packaged for append-only logs: each record is a little-endian
+# ``(length, crc32(payload))`` header followed by the payload bytes.  A
+# writer that dies mid-append leaves a *torn tail* — a partial header,
+# a short payload, or a payload whose CRC no longer matches — and the
+# salvage read mode recognizes exactly that and cuts the stream at the
+# last intact record instead of raising.  The ``repro serve``
+# write-ahead submission journal is built on these frames.
+
+_FRAME_HEADER = struct.Struct("<II")
+
+
+def write_frame(fh: BinaryIO, payload: bytes) -> int:
+    """Append one CRC-framed record to ``fh``; returns bytes written."""
+    fh.write(
+        _FRAME_HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    )
+    fh.write(payload)
+    return _FRAME_HEADER.size + len(payload)
+
+
+def read_frames(
+    data: bytes, name: str = "<frames>", salvage: bool = False
+) -> Tuple[List[bytes], int]:
+    """Decode a CRC-framed record stream; returns ``(payloads, good_bytes)``.
+
+    ``good_bytes`` is the offset just past the last intact record — the
+    length a salvaging writer should truncate the file to.  With
+    ``salvage=False`` any damage (torn header, short payload, CRC
+    mismatch) raises ``ValueError``; with ``salvage=True`` the stream is
+    cut at the damage point and whatever decoded cleanly before it is
+    returned.  A record is either returned intact or not at all — a
+    torn tail can lose the final record, never invent one.
+    """
+    payloads: List[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if offset + _FRAME_HEADER.size > total:
+            if salvage:
+                break
+            raise ValueError(
+                f"truncated/corrupt frame stream: {name}: torn header at "
+                f"offset {offset} ({total - offset}/{_FRAME_HEADER.size} bytes)"
+            )
+        length, expected = _FRAME_HEADER.unpack_from(data, offset)
+        start = offset + _FRAME_HEADER.size
+        end = start + length
+        if end > total:
+            if salvage:
+                break
+            raise ValueError(
+                f"truncated/corrupt frame stream: {name}: torn payload at "
+                f"offset {offset} ({total - start}/{length} bytes)"
+            )
+        payload = data[start:end]
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual != expected:
+            if salvage:
+                break
+            raise ValueError(
+                f"truncated/corrupt frame stream: {name}: CRC mismatch at "
+                f"offset {offset} (stored {expected:#010x}, "
+                f"computed {actual:#010x})"
+            )
+        payloads.append(payload)
+        offset = end
+    return payloads, offset
 
 
 def chunked_events(

@@ -33,10 +33,11 @@ from .service import (
     QueueFull,
     QuotaExceeded,
     RaceCheckService,
+    ServiceDraining,
     ServiceError,
     UnknownSubmission,
 )
-from .store import Submission, SubmissionStore
+from .store import Submission, SubmissionJournal, SubmissionStore
 
 __all__ = [
     "CorruptTrace",
@@ -46,8 +47,10 @@ __all__ = [
     "QuotaManager",
     "RaceCheckService",
     "ServeDaemon",
+    "ServiceDraining",
     "ServiceError",
     "Submission",
+    "SubmissionJournal",
     "SubmissionStore",
     "UnknownSubmission",
 ]

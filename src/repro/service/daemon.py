@@ -128,6 +128,26 @@ class ServeDaemon:
             self.collector.stop()
         self.service.stop()
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Graceful shutdown, phase one: refuse new submissions with
+        503 + ``Retry-After`` and settle in-flight work.
+
+        Returns True when everything settled inside ``timeout``.
+        Whatever did not settle stays journaled — follow with
+        ``service.stop(preserve_queued=True)`` (or :meth:`stop_preserving`)
+        so the next boot resurrects it.
+        """
+        self.service.begin_drain()
+        return self.service.drain(timeout=timeout)
+
+    def stop_preserving(self) -> None:
+        """Tear down, leaving unfinished submissions journaled for the
+        next boot (the ``SIGTERM`` path of ``repro serve``)."""
+        self.server.stop()
+        if self.collector is not None:
+            self.collector.stop()
+        self.service.stop(preserve_queued=True)
+
     @property
     def port(self) -> int:
         return self.server.port

@@ -32,17 +32,41 @@ worker); a submission that exhausts its retries lands as a structured
 ``crash_every=N`` arms the chaos hook — every Nth submission's job
 carries a one-shot ``worker-crash`` fault spec (scarred, so the retry
 runs clean): the recovery path stays exercised in production shape.
+
+**Durability** (on by default) adds two layers on top:
+
+* a write-ahead submission journal
+  (:class:`~repro.service.store.SubmissionJournal`) — every accepted
+  submission is fsync'd to an append-only CRC-framed log before the
+  202 goes out, and :meth:`RaceCheckService.start` replays that log so
+  a ``kill -9``'d daemon restarted on the same spool re-enqueues every
+  accepted-but-unfinished submission (CLEAN's deterministic verdicts
+  make the recovery *checkable*: a recovered submission reaches the
+  byte-identical verdict an uninterrupted run would have);
+* a content-hashed verdict cache (SHA-256 of the trace bytes → verdict
+  payload, stored through the atomic
+  :class:`~repro.exec.checkpoint.CheckpointStore`) — duplicate uploads
+  are verdict-served at submit time without touching the worker pool,
+  counted in ``cache.hit``/``cache.miss`` and with the quota token
+  refunded (a hit costs the fleet nothing).
+
+:meth:`RaceCheckService.begin_drain` is the graceful-shutdown valve:
+admissions turn into 503 + ``Retry-After`` (:class:`ServiceDraining`),
+in-flight analyses settle, and ``stop(preserve_queued=True)`` leaves
+whatever did not finish journaled for the next boot instead of failing
+it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import queue
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
-from ..exec import Job, PersistentPool
+from ..exec import CheckpointStore, Job, PersistentPool
 from ..runtime.trace import verify_trace_bytes
 from .quota import QuotaManager
 from .store import SubmissionStore
@@ -53,6 +77,7 @@ __all__ = [
     "QueueFull",
     "QuotaExceeded",
     "RaceCheckService",
+    "ServiceDraining",
     "ServiceError",
     "UnknownSubmission",
 ]
@@ -92,6 +117,18 @@ class QueueFull(ServiceError):
 
     def __init__(self, capacity: int, retry_after: float) -> None:
         super().__init__(f"submission queue is full ({capacity} deep)")
+        self.retry_after = retry_after
+
+
+class ServiceDraining(ServiceError):
+    """The daemon is shutting down gracefully: no new admissions, but
+    in-flight and journaled work is preserved — retry on the next boot."""
+
+    status = 503
+    error = "draining"
+
+    def __init__(self, retry_after: float = 5.0) -> None:
+        super().__init__("service is draining; retry after restart")
         self.retry_after = retry_after
 
 
@@ -136,6 +173,10 @@ class RaceCheckService:
         keep_traces: bool = False,
         crash_every: int = 0,
         inline_pool: bool = False,
+        journal: Union[None, bool, str] = True,
+        journal_fsync: bool = True,
+        dedup: bool = True,
+        compact_every: int = 256,
     ) -> None:
         if mode not in ("batch", "scalar"):
             raise ValueError(
@@ -156,7 +197,23 @@ class RaceCheckService:
         self.queue_size = queue_size
         self.retry_after_s = retry_after_s
         self.crash_every = crash_every
-        self.store = SubmissionStore(spool, keep_traces=keep_traces)
+        self.store = SubmissionStore(
+            spool,
+            keep_traces=keep_traces,
+            journal=journal,
+            journal_fsync=journal_fsync,
+            compact_every=compact_every,
+        )
+        self.dedup = dedup
+        #: Content-addressed verdict cache: SHA-256 of the trace bytes
+        #: (plus the analysis parameters, via the synthetic job id) →
+        #: the verdict payload, one atomic JSON record each.
+        self._verdicts: Optional[CheckpointStore] = (
+            CheckpointStore(self.store.spool / "verdicts", fsync=True)
+            if dedup
+            else None
+        )
+        self.recovery: Dict[str, Any] = {}
         self.quota = QuotaManager(
             tokens=quota_tokens, refill_per_s=quota_refill_per_s
         )
@@ -177,6 +234,8 @@ class RaceCheckService:
         self._accepted = 0
         self._started = False
         self._stopping = False
+        self._draining = False
+        self._preserve = False
         self._paused = threading.Event()
         self._resumed = threading.Event()
         self._resumed.set()
@@ -197,6 +256,12 @@ class RaceCheckService:
             ("serve.corrupt_rejected", "uploads failing the CRC walk"),
             ("serve.latency", "queue-to-verdict seconds"),
             ("serve.queue_depth", "submissions waiting for a worker"),
+            ("cache.hit", "duplicate uploads verdict-served from cache"),
+            ("cache.miss", "uploads analyzed fresh (not in the cache)"),
+            ("serve.recovered", "submissions re-enqueued by crash recovery"),
+            ("serve.restored", "terminal verdicts restored from the journal"),
+            ("serve.lost_trace", "journaled submissions whose trace was lost"),
+            ("serve.drain_rejected", "submissions refused while draining"),
         ):
             self.registry.describe(base, text)
 
@@ -228,7 +293,14 @@ class RaceCheckService:
 
     # -- lifecycle ----------------------------------------------------------
 
-    def start(self) -> "RaceCheckService":
+    def start(self, recover: bool = True) -> "RaceCheckService":
+        """Start the pool and dispatcher, then replay the journal.
+
+        ``recover=True`` (the default) runs crash recovery against the
+        spool: terminal submissions are restored, unfinished ones
+        re-enqueued, orphans reaped — see
+        :meth:`~repro.service.store.SubmissionStore.recover`.
+        """
         with self._lock:
             if self._started:
                 return self
@@ -238,15 +310,46 @@ class RaceCheckService:
             target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
         )
         self._dispatcher.start()
+        if recover and self.store.journal is not None:
+            self.recovery = self.store.recover()
+            for name, key in (
+                ("serve.restored", "restored"),
+                ("serve.lost_trace", "lost"),
+            ):
+                if self.recovery[key]:
+                    self.registry.inc(name, len(self.recovery[key]))
+            if self.recovery["salvaged_bytes"]:
+                self.registry.inc(
+                    "journal.salvaged_bytes", self.recovery["salvaged_bytes"]
+                )
+            for sid in self.recovery["resumed"]:
+                with self._lock:
+                    self._inflight += 1
+                self.registry.inc("serve.recovered")
+                self._queue.put(sid)
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Stop accepting, let in-flight analyses finish, tear down."""
+    def begin_drain(self) -> None:
+        """Stop admissions (503 + ``Retry-After``) but keep working:
+        the first phase of a graceful shutdown."""
+        self._draining = True
+
+    def stop(self, timeout: float = 10.0, preserve_queued: bool = False) -> None:
+        """Stop accepting, let in-flight analyses finish, tear down.
+
+        ``preserve_queued=False`` (the default) settles whatever never
+        ran as ``failed: ServiceStopped`` so no client polls a
+        submission that cannot finish.  ``preserve_queued=True`` is the
+        graceful path: unfinished submissions keep their ``accepted``
+        journal records and the *next* boot re-enqueues them — nothing
+        is failed, nothing is lost.
+        """
         with self._lock:
             if not self._started or self._stopping:
                 self._stopping = True
                 return
             self._stopping = True
+            self._preserve = preserve_queued
         self._resumed.set()
         try:
             self._queue.put_nowait(None)
@@ -255,6 +358,7 @@ class RaceCheckService:
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=timeout)
         self.pool.stop(timeout=timeout)
+        self.store.close()
 
     def __enter__(self) -> "RaceCheckService":
         return self.start()
@@ -282,11 +386,17 @@ class RaceCheckService:
     ) -> Dict[str, Any]:
         """Admit one uploaded trace; returns the ``202`` payload.
 
-        Raises :class:`QuotaExceeded`, :class:`CorruptTrace` or
-        :class:`QueueFull` — each mapping to one structured HTTP
-        refusal.  A token is only *kept* when the submission is actually
-        queued; refusals downstream of the quota refund it.
+        Raises :class:`QuotaExceeded`, :class:`CorruptTrace`,
+        :class:`QueueFull` or :class:`ServiceDraining` — each mapping
+        to one structured HTTP refusal.  A token is only *kept* when
+        the submission actually costs analysis work; refusals
+        downstream of the quota — and dedup-cache hits, which cost the
+        pool nothing — refund it.
         """
+        if self._draining and not self._stopping:
+            self._tinc("serve.submissions", tenant)
+            self._tinc("serve.drain_rejected", tenant)
+            raise ServiceDraining(self.retry_after_s)
         if self._stopping or not self._started:
             raise ServiceError("service is not accepting submissions")
         self._tinc("serve.submissions", tenant)
@@ -299,11 +409,37 @@ class RaceCheckService:
             self.quota.refund(tenant)
             self._tinc("serve.corrupt_rejected", tenant)
             raise CorruptTrace(str(exc)) from None
+        sha256 = hashlib.sha256(data).hexdigest()
+        cached = self._cached_verdict(sha256)
         with self._lock:
             self._accepted += 1
             if request_id is None or not request_id.strip():
                 request_id = f"r{self._accepted:06d}"
-        submission = self.store.create(tenant, request_id, data, events)
+        submission = self.store.create(
+            tenant, request_id, data, events, sha256=sha256,
+            persist=cached is None,
+        )
+        if cached is not None:
+            # Dedup hit: the verdict is already known — serve it
+            # without queueing, refund the token, journal the whole
+            # lifecycle so a restart still remembers the submission.
+            submission.cached = True
+            self.quota.refund(tenant)
+            self._tinc("cache.hit", tenant)
+            self._tinc("serve.accepted", tenant)
+            self.store.commit(submission.id)
+            with self._lock:
+                self._inflight += 1
+            self._settle(
+                submission.id, result=cached, attempts=0, fold_counters=False
+            )
+            return {
+                "id": submission.id,
+                "request_id": request_id,
+                "state": submission.state,
+                "events": events,
+                "cached": True,
+            }
         try:
             self._queue.put_nowait(submission.id)
         except queue.Full:
@@ -311,6 +447,9 @@ class RaceCheckService:
             self.quota.refund(tenant)
             self._tinc("serve.queue_rejected", tenant)
             raise QueueFull(self.queue_size, self.retry_after_s) from None
+        self.store.commit(submission.id)
+        if self.dedup:
+            self._tinc("cache.miss", tenant)
         with self._lock:
             self._inflight += 1
         self._tinc("serve.accepted", tenant)
@@ -330,6 +469,43 @@ class RaceCheckService:
             "state": submission.state,
             "events": events,
         }
+
+    # -- the verdict dedup cache --------------------------------------------
+
+    def _cache_job(self, sha256: str) -> Job:
+        """The synthetic job keying one trace-content + analysis-params
+        combination in the verdict cache.  Never executed — only its
+        content-hashed ``job_id`` matters, so a mode or hot-sites
+        change can never serve a stale-shaped report."""
+        return Job(
+            fn="repro.service.jobs:analyze_submission",
+            config={
+                "sha256": sha256,
+                "mode": self.mode,
+                "hot_sites": self.hot_sites,
+            },
+            name=f"verdict:{sha256[:12]}",
+            group="serve",
+        )
+
+    def _cached_verdict(self, sha256: str) -> Optional[Dict[str, Any]]:
+        if self._verdicts is None:
+            return None
+        record = self._verdicts.load(self._cache_job(sha256))
+        if record is None:
+            return None
+        value = record.get("value")
+        return value if isinstance(value, dict) else None
+
+    def _store_verdict(self, sha256: str, result: Dict[str, Any]) -> None:
+        if self._verdicts is None or not sha256:
+            return
+        try:
+            self._verdicts.store(self._cache_job(sha256), result)
+        except OSError:
+            # The cache is an optimization; a full disk must not fail
+            # the verdict that was already computed.
+            self.registry.inc("cache.store_errors")
 
     # -- dispatch -----------------------------------------------------------
 
@@ -353,20 +529,35 @@ class RaceCheckService:
             self._slots.acquire()
             if self._stopping:
                 self._slots.release()
-                self._settle(sid, error="ServiceStopped: daemon shut down",
-                             attempts=0)
+                self._shutdown_settle(sid)
                 continue
             self._launch(sid)
         # Shutdown: whatever is still queued gets a terminal state so no
-        # client polls a submission that can never finish.
+        # client polls a submission that can never finish — unless the
+        # stop is preserving, in which case the journal keeps owing it
+        # to the next boot.
         while True:
             try:
                 sid = self._queue.get_nowait()
             except queue.Empty:
                 return
             if sid is not None:
-                self._settle(sid, error="ServiceStopped: daemon shut down",
-                             attempts=0)
+                self._shutdown_settle(sid)
+
+    def _shutdown_settle(self, sid: str) -> None:
+        if self._preserve:
+            # Graceful: leave the submission journaled as accepted; the
+            # next boot's recovery re-enqueues it.
+            with self._lock:
+                span = self._spans.pop(sid, None)
+                self._inflight -= 1
+                self._idle.notify_all()
+            if span is not None:
+                span.set("state", "journaled")
+                self.tracer.end_span(span)
+            self.registry.inc("serve.preserved")
+            return
+        self._settle(sid, error="ServiceStopped: daemon shut down", attempts=0)
 
     def _launch(self, sid: str) -> None:
         submission = self.store.get(sid)
@@ -404,6 +595,19 @@ class RaceCheckService:
         if result.ok:
             self._settle(sid, result=result.value, attempts=result.attempts)
         else:
+            if self._preserve and "PoolStopped" in (result.error or ""):
+                # Preserving stop: the analysis never ran — keep the
+                # journaled accepted record for the next boot instead
+                # of failing the submission.
+                with self._lock:
+                    span = self._spans.pop(sid, None)
+                    self._inflight -= 1
+                    self._idle.notify_all()
+                if span is not None:
+                    span.set("state", "journaled")
+                    self.tracer.end_span(span)
+                self.registry.inc("serve.preserved")
+                return
             self._settle(sid, error=result.error, attempts=result.attempts)
 
     def _settle(
@@ -412,7 +616,16 @@ class RaceCheckService:
         result: Optional[Dict[str, Any]] = None,
         error: Optional[str] = None,
         attempts: int = 1,
+        fold_counters: bool = True,
     ) -> None:
+        if error is None and fold_counters:
+            # Store the verdict BEFORE the state flips to terminal: a
+            # client that polls /result, sees "done" and instantly
+            # re-uploads the same bytes must hit the cache, not race
+            # past it into the pool.
+            before = self.store.get(sid)
+            if before is not None:
+                self._store_verdict(before.sha256, result or {})
         submission = self.store.finish(
             sid, result=result, error=error, attempts=attempts
         )
@@ -424,11 +637,16 @@ class RaceCheckService:
             self._tinc("serve.completed", tenant)
             verdict = (result or {}).get("verdict", "unknown")
             self._tinc(f"serve.verdict.{verdict}", tenant)
-            # Fleet-wide detector totals: every verdict's clean.* counter
-            # trail accumulates into the shared registry, so /metrics
-            # exposes the same counters a live detector would.
-            for name, value in ((result or {}).get("counters") or {}).items():
-                self.registry.inc(name, value)
+            if fold_counters:
+                # Fleet-wide detector totals: every verdict's clean.*
+                # counter trail accumulates into the shared registry, so
+                # /metrics exposes the same counters a live detector
+                # would.  Cache-served verdicts skip this — no detector
+                # work actually happened.
+                for name, value in (
+                    (result or {}).get("counters") or {}
+                ).items():
+                    self.registry.inc(name, value)
         else:
             self._tinc("serve.failed", tenant)
         with self._lock:
@@ -473,9 +691,11 @@ class RaceCheckService:
 
     def status(self) -> Dict[str, Any]:
         """The ``/status`` document."""
-        return {
+        document = {
             "state": "stopping" if self._stopping else (
-                "serving" if self._started else "idle"
+                "draining" if self._draining else (
+                    "serving" if self._started else "idle"
+                )
             ),
             "uptime_s": round(time.monotonic() - self._start_time, 3),
             "queue": {
@@ -486,4 +706,21 @@ class RaceCheckService:
             "submissions": self.store.counts(),
             "pool": self.pool.status_snapshot(),
             "quota": self.quota.snapshot(),
+            "durability": {
+                "journal": (
+                    str(self.store.journal.path)
+                    if self.store.journal is not None
+                    else None
+                ),
+                "dedup": self.dedup,
+            },
         }
+        if self.recovery:
+            document["recovery"] = {
+                "resumed": len(self.recovery.get("resumed", [])),
+                "restored": len(self.recovery.get("restored", [])),
+                "lost": len(self.recovery.get("lost", [])),
+                "orphan_spools": self.recovery.get("orphan_spools", 0),
+                "salvaged_bytes": self.recovery.get("salvaged_bytes", 0),
+            }
+        return document

@@ -1,4 +1,4 @@
-"""The submission store: spooled trace files + in-memory lifecycle.
+"""The submission store: spooled trace files, lifecycle, durability.
 
 A :class:`Submission` walks ``queued -> running -> done | failed``.
 The store assigns ids (``s000001``, ...), spools each accepted upload
@@ -8,23 +8,63 @@ histograms come from), and — unless ``keep_traces`` — deletes the
 spooled file once the submission reaches a terminal state, so a
 long-running daemon's disk footprint is bounded by the work in flight.
 
+**Durability.**  With a :class:`SubmissionJournal` attached, every
+lifecycle transition is written through to an append-only, CRC-framed,
+fsync'd journal *before* the transition is acknowledged:
+
+* ``accepted`` — the submission is committed (its trace is already
+  spooled and fsync'd): after this record hits disk, a crash cannot
+  lose the submission;
+* ``running`` — an analysis attempt started;
+* ``done`` / ``failed`` — the terminal record, carrying the verdict
+  payload (or the structured error) so a restart can serve results the
+  crashed daemon had already computed.
+
+On restart :meth:`SubmissionStore.recover` replays the journal against
+the spool directory: terminal submissions are restored verbatim,
+accepted-but-unfinished ones whose spooled trace still passes the CRC
+walk are re-queued for analysis, and journal entries whose trace is
+missing or corrupt become ``failed: lost_trace`` — *visible* loss, not
+silent loss.  Torn final records (the daemon died mid-append) are
+salvaged away by frame-level CRC checks: a truncated tail can drop the
+final record, never fabricate one.  After recovery — and periodically
+at runtime once enough terminal records accumulate — the journal is
+*compacted* down to its live (non-terminal) entries, so its size tracks
+the work in flight, not the daemon's lifetime.
+
 All mutation goes through the store's lock; reads hand out JSON-ready
 payload dicts, never live objects.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import re
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
-__all__ = ["Submission", "SubmissionStore"]
+from ..runtime.trace import read_frames, verify_trace, write_frame
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "Submission",
+    "SubmissionJournal",
+    "SubmissionStore",
+]
 
 #: Submission lifecycle states.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+#: Magic bytes opening every submission journal, followed by nothing —
+#: the frame stream starts immediately (one version byte is folded into
+#: the magic itself).
+JOURNAL_MAGIC = b"CLNJRNL1"
+
+_SID_RE = re.compile(r"s(\d{6,})\.trace$")
 
 
 @dataclass
@@ -37,10 +77,15 @@ class Submission:
     size: int
     trace_path: str
     events: int = 0
+    sha256: str = ""
     state: str = QUEUED
     error: Optional[str] = None
     result: Optional[Dict[str, Any]] = None
     attempts: int = 0
+    #: verdict served from the dedup cache, no analysis dispatched
+    cached: bool = False
+    #: resurrected by crash recovery (re-analyzed or restored)
+    recovered: bool = False
     queued_at: float = field(default_factory=time.monotonic)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -67,6 +112,10 @@ class Submission:
             "events": self.events,
             "attempts": self.attempts,
         }
+        if self.cached:
+            payload["cached"] = True
+        if self.recovered:
+            payload["recovered"] = True
         if self.terminal:
             latency = self.latency_s()
             payload["latency_s"] = (
@@ -81,27 +130,199 @@ class Submission:
         return payload
 
 
+class SubmissionJournal:
+    """Append-only write-ahead log of submission lifecycle records.
+
+    One JSON record per CRC frame (:func:`~repro.runtime.trace.write_frame`),
+    after a fixed magic header.  Appends are fsync'd by default — an
+    acknowledged record survives ``kill -9`` — and :meth:`replay` reads
+    the journal back in salvage mode, physically truncating any torn
+    tail so the file converges back to a clean prefix.  Thread-safe.
+    """
+
+    def __init__(self, path: Union[str, Path], fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._fh: Optional[Any] = None
+        #: terminal records appended since the last compaction — the
+        #: trigger for runtime compaction.
+        self.dead_records = 0
+        #: bytes of torn tail dropped by the last :meth:`replay`.
+        self.salvaged_bytes = 0
+
+    def _open_locked(self) -> Any:
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fresh = not self.path.exists() or self.path.stat().st_size == 0
+            self._fh = open(self.path, "ab")
+            if fresh:
+                self._fh.write(JOURNAL_MAGIC)
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+        return self._fh
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (fsync'd unless disabled)."""
+        payload = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        with self._lock:
+            fh = self._open_locked()
+            write_frame(fh, payload)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+            if record.get("op") in (DONE, FAILED):
+                self.dead_records += 1
+
+    def replay(self, truncate: bool = True) -> List[Dict[str, Any]]:
+        """Read every intact record back, salvaging a torn tail.
+
+        ``truncate=True`` (the default) also cuts the file back to its
+        last intact record, so the next append lands on a clean prefix.
+        Records that decode as frames but not as JSON objects end the
+        readable prefix the same way a CRC mismatch does — everything
+        past the first damage is untrusted in an append-only log.
+        """
+        with self._lock:
+            self.salvaged_bytes = 0
+            try:
+                data = self.path.read_bytes()
+            except FileNotFoundError:
+                return []
+            if not data:
+                return []
+            body = data
+            skip = 0
+            if body.startswith(JOURNAL_MAGIC):
+                skip = len(JOURNAL_MAGIC)
+                body = data[skip:]
+            elif len(body) < len(JOURNAL_MAGIC) and JOURNAL_MAGIC.startswith(
+                body
+            ):
+                # The crash landed inside the magic itself: an empty
+                # journal, not a corrupt one.
+                body, skip = b"", len(data)
+            payloads, good = read_frames(
+                body, name=str(self.path), salvage=True
+            )
+            records: List[Dict[str, Any]] = []
+            kept = 0
+            for payload in payloads:
+                try:
+                    record = json.loads(payload.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    record = None
+                if not isinstance(record, dict) or "op" not in record:
+                    break
+                records.append(record)
+                kept += len(payload) + 8  # frame header is 8 bytes
+            good = min(good, kept)
+            self.salvaged_bytes = len(body) - good
+            if truncate and self.salvaged_bytes:
+                if self._fh is not None and not self._fh.closed:
+                    self._fh.close()
+                    self._fh = None
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(skip + good)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            return records
+
+    def rewrite(self, records: List[Dict[str, Any]]) -> None:
+        """Atomically replace the journal with ``records`` (compaction).
+
+        Written to a temporary sibling, fsync'd, then renamed into
+        place — a crash mid-compaction leaves either the old journal or
+        the new one, never a hybrid.
+        """
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+                self._fh = None
+            tmp = self.path.with_suffix(".compact")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                fh.write(JOURNAL_MAGIC)
+                for record in records:
+                    write_frame(
+                        fh,
+                        json.dumps(
+                            record, sort_keys=True, separators=(",", ":")
+                        ).encode("utf-8"),
+                    )
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self.dead_records = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+
+
 class SubmissionStore:
     """Thread-safe registry of submissions plus their spooled traces."""
 
-    def __init__(self, spool: str, keep_traces: bool = False) -> None:
+    def __init__(
+        self,
+        spool: str,
+        keep_traces: bool = False,
+        journal: Union[None, bool, str, Path] = None,
+        journal_fsync: bool = True,
+        compact_every: int = 256,
+    ) -> None:
         self.spool = Path(spool)
         self.spool.mkdir(parents=True, exist_ok=True)
         self.keep_traces = keep_traces
+        self.compact_every = max(1, compact_every)
+        if journal is True:
+            journal = self.spool / "journal.clnj"
+        self.journal: Optional[SubmissionJournal] = (
+            SubmissionJournal(journal, fsync=journal_fsync)
+            if journal
+            else None
+        )
         self._lock = threading.Lock()
         self._items: Dict[str, Submission] = {}
         self._next = 0
 
+    # -- lifecycle ----------------------------------------------------------
+
     def create(
-        self, tenant: str, request_id: str, data: bytes, events: int
+        self,
+        tenant: str,
+        request_id: str,
+        data: bytes,
+        events: int,
+        sha256: str = "",
+        persist: bool = True,
     ) -> Submission:
-        """Spool ``data`` (already CRC-validated) and register it."""
+        """Spool ``data`` (already CRC-validated) and register it.
+
+        The spool write is flushed and fsync'd when a journal is
+        attached: an ``accepted`` journal record must never point at a
+        trace the page cache still owed to disk.  The submission is not
+        journaled here — :meth:`commit` does that once the service has
+        actually admitted it (a queue-full rejection between the two
+        leaves nothing to resurrect).  ``persist=False`` skips the
+        spool write entirely — the dedup-cache hit path, where the
+        verdict is already known and the bytes will never be analyzed.
+        """
         with self._lock:
             self._next += 1
             sid = f"s{self._next:06d}"
         path = self.spool / f"{sid}.trace"
-        with open(path, "wb") as fh:
-            fh.write(data)
+        if persist:
+            with open(path, "wb") as fh:
+                fh.write(data)
+                if self.journal is not None:
+                    fh.flush()
+                    os.fsync(fh.fileno())
         submission = Submission(
             id=sid,
             tenant=tenant,
@@ -109,10 +330,33 @@ class SubmissionStore:
             size=len(data),
             trace_path=str(path),
             events=events,
+            sha256=sha256,
         )
         with self._lock:
             self._items[sid] = submission
         return submission
+
+    def _accepted_record(self, submission: Submission) -> Dict[str, Any]:
+        return {
+            "op": "accepted",
+            "id": submission.id,
+            "tenant": submission.tenant,
+            "request_id": submission.request_id,
+            "size": submission.size,
+            "events": submission.events,
+            "sha256": submission.sha256,
+            "trace": os.path.basename(submission.trace_path),
+        }
+
+    def commit(self, sid: str) -> None:
+        """Write-ahead the acceptance: after this returns, a crash
+        cannot lose the submission."""
+        if self.journal is None:
+            return
+        with self._lock:
+            submission = self._items.get(sid)
+        if submission is not None:
+            self.journal.append(self._accepted_record(submission))
 
     def get(self, sid: str) -> Optional[Submission]:
         with self._lock:
@@ -120,14 +364,22 @@ class SubmissionStore:
 
     def discard(self, sid: str) -> None:
         """Drop a record whose submission was rejected downstream (full
-        queue): the client got a 429 with no id, so nothing may remain."""
+        queue): the client got a 429 with no id, so nothing may remain —
+        neither the registry entry nor the spooled ``.trace`` file."""
         with self._lock:
             submission = self._items.pop(sid, None)
-        if submission is not None:
-            try:
-                os.unlink(submission.trace_path)
-            except OSError:
-                pass
+        # Reap the spool file even if the registry entry is already gone
+        # (or was never created): a discarded submission must not leak
+        # its upload onto the daemon's disk.
+        path = (
+            submission.trace_path
+            if submission is not None
+            else str(self.spool / f"{sid}.trace")
+        )
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
 
     def payload(self, sid: str, full: bool = False) -> Optional[Dict[str, Any]]:
         with self._lock:
@@ -140,6 +392,8 @@ class SubmissionStore:
             submission.state = RUNNING
             if submission.started_at is None:
                 submission.started_at = time.monotonic()
+        if self.journal is not None:
+            self.journal.append({"op": "running", "id": sid})
 
     def finish(
         self,
@@ -159,12 +413,203 @@ class SubmissionStore:
             else:
                 submission.state = FAILED
                 submission.error = error
+        if self.journal is not None:
+            record: Dict[str, Any] = {
+                "op": submission.state,
+                "id": sid,
+                "attempts": attempts,
+                "latency_s": round(submission.latency_s() or 0.0, 6),
+            }
+            if error is None:
+                record["result"] = result
+            else:
+                record["error"] = error
+            self.journal.append(record)
         if not self.keep_traces:
             try:
                 os.unlink(submission.trace_path)
             except OSError:
                 pass
+        if (
+            self.journal is not None
+            and self.journal.dead_records >= self.compact_every
+        ):
+            self.compact()
         return submission
+
+    # -- durability ---------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the journal down to its live entries; returns how
+        many submissions stayed journaled.
+
+        Terminal records are dropped: their verdicts live on in memory
+        (and, content-addressed, in the dedup cache) — the journal only
+        owes the next boot the submissions that still need work.
+        """
+        if self.journal is None:
+            return 0
+        with self._lock:
+            live = [s for s in self._items.values() if not s.terminal]
+            records: List[Dict[str, Any]] = []
+            for submission in sorted(live, key=lambda s: s.id):
+                records.append(self._accepted_record(submission))
+                if submission.state == RUNNING:
+                    records.append({"op": "running", "id": submission.id})
+        self.journal.rewrite(records)
+        return len(live)
+
+    def recover(self, dry_run: bool = False) -> Dict[str, Any]:
+        """Replay the journal against the spool directory.
+
+        Classifies every journaled submission:
+
+        * terminal (``done``/``failed`` record present) → **restored**:
+          the verdict the crashed daemon already computed is served
+          as-is;
+        * accepted/running with an intact spooled trace → **resumed**:
+          re-queued for analysis (the caller re-enqueues the returned
+          ids);
+        * accepted/running with a missing or corrupt trace → **lost**:
+          terminally ``failed: lost_trace`` — the loss is reported to
+          the polling client, never silent.
+
+        Spool files with no journal record (the daemon died between the
+        spool write and the ``accepted`` record — the client never got
+        its 202) are reaped as orphans.  Unless ``dry_run``, the store
+        is populated, lost entries are journaled terminal, and the
+        journal is compacted down to the resumed entries.
+        """
+        report: Dict[str, Any] = {
+            "journaled": 0,
+            "resumed": [],
+            "restored": [],
+            "lost": [],
+            "orphan_spools": 0,
+            "salvaged_bytes": 0,
+        }
+        if self.journal is None:
+            return report
+        records = self.journal.replay(truncate=not dry_run)
+        report["salvaged_bytes"] = self.journal.salvaged_bytes
+        # Pass 1: the set of real submissions is exactly the set of
+        # accepted records — state records for unknown ids (impossible
+        # in an intact journal, conceivable after salvage) are ignored,
+        # never fabricated into submissions.
+        entries: Dict[str, Dict[str, Any]] = {}
+        for record in records:
+            if record.get("op") == "accepted" and "id" in record:
+                entries[record["id"]] = {"accepted": record, "terminal": None,
+                                         "running": False}
+        # Pass 2: lifecycle transitions, in journal order.
+        for record in records:
+            entry = entries.get(record.get("id"))
+            if entry is None:
+                continue
+            op = record.get("op")
+            if op == "running":
+                entry["running"] = True
+            elif op in (DONE, FAILED):
+                entry["terminal"] = record
+        report["journaled"] = len(entries)
+
+        highest = 0
+        restored: List[Submission] = []
+        now = time.monotonic()
+        for sid in sorted(entries):
+            entry = entries[sid]
+            accepted = entry["accepted"]
+            try:
+                highest = max(highest, int(sid[1:]))
+            except ValueError:
+                pass
+            trace_path = self.spool / str(accepted.get("trace") or
+                                          f"{sid}.trace")
+            submission = Submission(
+                id=sid,
+                tenant=str(accepted.get("tenant", "default")),
+                request_id=str(accepted.get("request_id", sid)),
+                size=int(accepted.get("size", 0)),
+                trace_path=str(trace_path),
+                events=int(accepted.get("events", 0)),
+                sha256=str(accepted.get("sha256", "")),
+                recovered=True,
+                queued_at=now,
+            )
+            terminal = entry["terminal"]
+            if terminal is not None:
+                latency = float(terminal.get("latency_s") or 0.0)
+                submission.queued_at = now - latency
+                submission.finished_at = now
+                submission.attempts = int(terminal.get("attempts", 1))
+                if terminal.get("op") == DONE:
+                    submission.state = DONE
+                    submission.result = terminal.get("result")
+                else:
+                    submission.state = FAILED
+                    submission.error = str(terminal.get("error", "failed"))
+                report["restored"].append(sid)
+                restored.append(submission)
+                continue
+            damage: Optional[str] = None
+            if not trace_path.exists():
+                damage = "spooled trace file is missing"
+            else:
+                try:
+                    verify_trace(trace_path)
+                except ValueError as exc:
+                    damage = str(exc)
+            if damage is None:
+                submission.state = QUEUED
+                report["resumed"].append(sid)
+                restored.append(submission)
+            else:
+                submission.state = FAILED
+                submission.error = f"lost_trace: {damage}"
+                submission.finished_at = now
+                report["lost"].append(sid)
+                restored.append(submission)
+
+        # Orphan spool files: present on disk, absent from the journal.
+        known = {os.path.basename(s.trace_path) for s in restored}
+        orphans: List[Path] = []
+        for path in sorted(self.spool.glob("*.trace")):
+            match = _SID_RE.match(path.name)
+            if match is not None:
+                highest = max(highest, int(match.group(1)))
+            if path.name not in known:
+                orphans.append(path)
+        report["orphan_spools"] = len(orphans)
+
+        if dry_run:
+            return report
+
+        for path in orphans:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self._next = max(self._next, highest)
+            for submission in restored:
+                self._items[submission.id] = submission
+        for sid in report["lost"]:
+            # The loss is journaled terminal so a second crash does not
+            # rediscover it — but compaction below drops it anyway; the
+            # in-memory failed state is what the client polls.
+            if not self.keep_traces:
+                try:
+                    os.unlink(self._items[sid].trace_path)
+                except OSError:
+                    pass
+        self.compact()
+        return report
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- views --------------------------------------------------------------
 
     def counts(self) -> Dict[str, int]:
         """State histogram for ``/status``."""

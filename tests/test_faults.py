@@ -230,7 +230,8 @@ class TestFaultPlan:
     def test_all_kinds_classified(self):
         for kind in FAULT_KINDS:
             plan = FaultPlan.parse(0, [kind])
-            assert plan.artifact_kinds or plan.job_kinds
+            assert (plan.artifact_kinds or plan.job_kinds
+                    or plan.service_kinds)
 
 
 class TestDelivery:

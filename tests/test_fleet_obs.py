@@ -457,8 +457,11 @@ class TestDaemonFleetObservability:
             assert _wait_for(lambda: _request(
                 port, "GET", f"/result/{sub['id']}"
             )[1]["state"] in ("done", "failed"))
+            # wait for a sample taken *after* the submissions landed —
+            # the immediate startup sample alone predates them
             assert _wait_for(
-                lambda: daemon.timeseries.latest_time() is not None
+                lambda: "serve.submissions"
+                in daemon.timeseries.to_payload()["series"]
             )
 
             status, ts, _ = _request(port, "GET", "/timeseries")
